@@ -1,0 +1,116 @@
+// Ablation: Eq. (16c)'s RU/RL balancing blocks.
+//
+// Compares the Schur-diagonal reading (RU = −Y⁻¹W, RL = X⁻¹Z; the default,
+// which converges) against the literal "very small random values" reading
+// across balancing magnitudes, plus the ratio-cap sweep of the Schur mode
+// and the recovery-mode comparison (division-free vs Eq. 16b diagonal
+// solve). Documents why DESIGN.md adopts the Schur interpretation.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/ls_pdip.hpp"
+#include "lp/result.hpp"
+#include "solvers/simplex.hpp"
+
+using namespace memlp;
+
+namespace {
+
+struct CellStats {
+  double error = 0.0;
+  std::size_t solved = 0;
+  std::size_t attempted = 0;
+};
+
+CellStats run(const bench::SweepConfig& config, std::size_t m,
+              const core::LsPdipOptions& base) {
+  CellStats stats;
+  std::vector<double> errors;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const auto problem = bench::feasible_problem(config, m, trial);
+    const auto reference = solvers::solve_simplex(problem);
+    if (!reference.optimal()) continue;
+    ++stats.attempted;
+    core::LsPdipOptions options = base;
+    options.seed = config.seed + trial;
+    const auto outcome = core::solve_ls_pdip(problem, options);
+    if (!outcome.result.optimal()) continue;
+    ++stats.solved;
+    errors.push_back(
+        lp::relative_error(outcome.result.objective, reference.objective));
+  }
+  stats.error = bench::mean(errors);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const auto config = bench::SweepConfig::from_env();
+  bench::print_header("Ablation — Algorithm 2 design choices",
+                      "Schur vs literal RU/RL; ratio cap; recovery mode",
+                      config);
+  const std::size_t m = config.sizes.back();
+
+  TextTable mode_table("M1 mode (10% variation)");
+  mode_table.set_header({"mode", "solved", "relative error"});
+  {
+    core::LsPdipOptions schur;
+    schur.hardware.crossbar.variation = mem::VariationModel::uniform(0.10);
+    const auto schur_stats = run(config, m, schur);
+    mode_table.add_row(
+        {"Schur diagonal (default)",
+         TextTable::num((long long)schur_stats.solved) + "/" +
+             TextTable::num((long long)schur_stats.attempted),
+         bench::percent(schur_stats.error)});
+    for (const double scale : {0.005, 0.02, 0.1}) {
+      core::LsPdipOptions literal = schur;
+      literal.m1_mode = core::M1Mode::kLiteralBalanced;
+      literal.recovery = core::RecoveryMode::kM2Diagonal;
+      literal.balancing_scale = scale;
+      const auto literal_stats = run(config, m, literal);
+      mode_table.add_row(
+          {"literal, eps=" + TextTable::num(scale, 3),
+           TextTable::num((long long)literal_stats.solved) + "/" +
+               TextTable::num((long long)literal_stats.attempted),
+           bench::percent(literal_stats.error)});
+    }
+  }
+  mode_table.print();
+
+  TextTable cap_table("Schur ratio cap (10% variation)");
+  cap_table.set_header({"ratio cap", "solved", "relative error"});
+  for (const double cap : {1e2, 1e3, 1e4, 1e6}) {
+    core::LsPdipOptions options;
+    options.hardware.crossbar.variation = mem::VariationModel::uniform(0.10);
+    options.ratio_cap = cap;
+    const auto stats = run(config, m, options);
+    cap_table.add_row({TextTable::num(cap, 2),
+                       TextTable::num((long long)stats.solved) + "/" +
+                           TextTable::num((long long)stats.attempted),
+                       bench::percent(stats.error)});
+  }
+  cap_table.print();
+
+  TextTable recovery_table("slack-direction recovery (10% variation)");
+  recovery_table.set_header({"recovery", "solved", "relative error"});
+  for (const bool stable : {true, false}) {
+    core::LsPdipOptions options;
+    options.hardware.crossbar.variation = mem::VariationModel::uniform(0.10);
+    options.recovery = stable ? core::RecoveryMode::kStable
+                              : core::RecoveryMode::kM2Diagonal;
+    const auto stats = run(config, m, options);
+    recovery_table.add_row(
+        {stable ? "division-free (default)" : "Eq. (16b) diagonal solve",
+         TextTable::num((long long)stats.solved) + "/" +
+             TextTable::num((long long)stats.attempted),
+         bench::percent(stats.error)});
+  }
+  recovery_table.print();
+  std::printf(
+      "\nexpected: the literal random-fill mode rarely converges (1/eps "
+      "step amplification); the Eq. (16b) recovery is noise-amplified on "
+      "near-zero diagonals.\n");
+  return 0;
+}

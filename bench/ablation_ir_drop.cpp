@@ -1,0 +1,80 @@
+// Ablation: word/bit-line wire resistance (IR drop, cf. [15]).
+//
+// The paper assumes ideal interconnect; real crossbars lose accuracy to the
+// series resistance of the metal lines, more so for far-corner cells. This
+// ablation sweeps the per-segment line resistance on the crossbar PDIP
+// solver and contrasts a monolithic array with a NoC of small tiles — tiling
+// shortens the lines, which is one more argument for the §3.4 structure.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/result.hpp"
+#include "solvers/simplex.hpp"
+
+using namespace memlp;
+
+namespace {
+
+struct Cell {
+  double error = 0.0;
+  std::size_t solved = 0;
+  std::size_t attempted = 0;
+};
+
+Cell run(const bench::SweepConfig& config, std::size_t m,
+         double line_resistance, bool tiled) {
+  Cell cell;
+  std::vector<double> errors;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const auto problem = bench::feasible_problem(config, m, trial);
+    const auto reference = solvers::solve_simplex(problem);
+    if (!reference.optimal()) continue;
+    ++cell.attempted;
+    core::XbarPdipOptions options;
+    options.hardware.crossbar.line_resistance_ohm = line_resistance;
+    if (tiled) {
+      options.hardware.force_noc = true;
+      options.hardware.tile_dim = 32;
+    }
+    options.seed = config.seed + trial;
+    const auto outcome = core::solve_xbar_pdip(problem, options);
+    if (!outcome.result.optimal()) continue;
+    ++cell.solved;
+    errors.push_back(
+        lp::relative_error(outcome.result.objective, reference.objective));
+  }
+  cell.error = bench::mean(errors);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const auto config = bench::SweepConfig::from_env();
+  bench::print_header("Ablation — interconnect IR drop",
+                      "accuracy vs line resistance; monolithic vs tiled",
+                      config);
+  const std::size_t m = config.sizes.back();
+
+  TextTable table("crossbar PDIP accuracy vs per-segment line resistance");
+  table.set_header({"r_wire [ohm]", "monolithic err", "solved",
+                    "tiled-NoC err", "solved(t)"});
+  for (const double r_wire : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const Cell mono = run(config, m, r_wire, false);
+    const Cell tiled = run(config, m, r_wire, true);
+    table.add_row({TextTable::num(r_wire, 2), bench::percent(mono.error),
+                   TextTable::num((long long)mono.solved) + "/" +
+                       TextTable::num((long long)mono.attempted),
+                   bench::percent(tiled.error),
+                   TextTable::num((long long)tiled.solved) + "/" +
+                       TextTable::num((long long)tiled.attempted)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected: accuracy degrades with wire resistance. Tiling bounds the "
+      "worst-case line length, which matters for arrays much larger than "
+      "this sweep's; at these sizes both variants degrade mildly.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation (extension): Mehrotra predictor–corrector on the crossbar.
+//
+// The paper's Algorithm 1 uses the plain µ rule of Eq. (8). Modern software
+// IPMs use Mehrotra's predictor–corrector instead; on the crossbar the
+// corrector re-uses the already-programmed array, so it costs one extra
+// analog settle per iteration while saving iterations — and every saved
+// iteration saves the O(N) coefficient rewrite that dominates the latency
+// estimate. This harness quantifies the trade.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/result.hpp"
+#include "perf/hardware_model.hpp"
+#include "solvers/simplex.hpp"
+
+using namespace memlp;
+
+int main() {
+  const auto config = bench::SweepConfig::from_env();
+  bench::print_header("Ablation — Mehrotra on the crossbar (extension)",
+                      "plain Eq. (8) µ rule vs predictor-corrector",
+                      config);
+  const perf::HardwareModel hardware;
+
+  TextTable table("crossbar PDIP at 10% variation");
+  table.set_header({"m", "rule", "iterations", "settles", "est. latency [ms]",
+                    "relative error"});
+  for (const std::size_t m : config.sizes) {
+    for (const bool mehrotra : {false, true}) {
+      std::vector<double> iterations, settles, latency, errors;
+      for (std::size_t trial = 0; trial < config.trials; ++trial) {
+        const auto problem = bench::feasible_problem(config, m, trial);
+        const auto reference = solvers::solve_simplex(problem);
+        if (!reference.optimal()) continue;
+        core::XbarPdipOptions options;
+        options.hardware.crossbar.variation =
+            mem::VariationModel::uniform(0.10);
+        options.pdip.predictor_corrector = mehrotra;
+        options.seed = config.seed + trial;
+        const auto outcome = core::solve_xbar_pdip(problem, options);
+        if (!outcome.result.optimal()) continue;
+        iterations.push_back(static_cast<double>(outcome.stats.iterations));
+        const auto iterative =
+            outcome.stats.backend.since(outcome.stats.programming);
+        settles.push_back(static_cast<double>(iterative.xbar.mvm_ops +
+                                              iterative.xbar.solve_ops));
+        latency.push_back(hardware.estimate(outcome.stats).latency_s * 1e3);
+        errors.push_back(lp::relative_error(outcome.result.objective,
+                                            reference.objective));
+      }
+      table.add_row({TextTable::num((long long)m),
+                     mehrotra ? "Mehrotra" : "Eq. (8)",
+                     TextTable::num(bench::mean(iterations), 4),
+                     TextTable::num(bench::mean(settles), 4),
+                     TextTable::num(bench::mean(latency), 4),
+                     bench::percent(bench::mean(errors))});
+    }
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf(
+      "\nexpected: fewer iterations (and hence fewer O(N) rewrite phases) "
+      "for ~3x the settles — a net latency win on write-dominated "
+      "hardware.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "common/env.hpp"
+
+namespace memlp::bench {
+
+SweepConfig SweepConfig::from_env() {
+  SweepConfig config;
+  const bool full = full_sweep_requested();
+  const auto min_m = static_cast<std::size_t>(env_int("MEMLP_MIN_M", 4));
+  const auto max_m = static_cast<std::size_t>(
+      env_int("MEMLP_MAX_M", full ? 1024 : 64));
+  config.trials =
+      static_cast<std::size_t>(env_int("MEMLP_TRIALS", full ? 20 : 5));
+  for (std::size_t m = min_m; m <= max_m; m *= 2) config.sizes.push_back(m);
+  config.seed = static_cast<std::uint64_t>(env_int("MEMLP_SEED", 0xbe9c));
+  return config;
+}
+
+std::string SweepConfig::describe() const {
+  std::ostringstream os;
+  os << "m in {";
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    os << (i ? "," : "") << sizes[i];
+  os << "}, n = m/3, " << trials << " trials/cell, seed " << seed;
+  return os.str();
+}
+
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  const SweepConfig& config) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("sweep: %s (MEMLP_FULL=1 for the paper's full sweep)\n\n",
+              config.describe().c_str());
+}
+
+namespace {
+
+Rng trial_rng(const SweepConfig& config, std::size_t m, std::size_t trial,
+              bool infeasible) {
+  // One independent deterministic stream per cell.
+  const std::uint64_t tag = (infeasible ? 0x8000'0000ULL : 0) |
+                            (static_cast<std::uint64_t>(m) << 32) | trial;
+  return Rng(config.seed ^ (tag * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace
+
+lp::LinearProgram feasible_problem(const SweepConfig& config, std::size_t m,
+                                   std::size_t trial) {
+  Rng rng = trial_rng(config, m, trial, false);
+  lp::GeneratorOptions options;
+  options.constraints = m;
+  return lp::random_feasible(options, rng);
+}
+
+lp::LinearProgram infeasible_problem(const SweepConfig& config, std::size_t m,
+                                     std::size_t trial) {
+  Rng rng = trial_rng(config, m, trial, true);
+  lp::GeneratorOptions options;
+  options.constraints = m < 2 ? 2 : m;
+  return lp::random_infeasible(options, rng);
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+std::string percent(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace memlp::bench

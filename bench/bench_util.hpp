@@ -1,0 +1,52 @@
+// Shared harness utilities for the figure/table reproduction binaries.
+//
+// Every bench binary sweeps problem sizes and process-variation levels per
+// the paper's §4.2 setup (m ∈ {4..1024} exponential, n = m/3, variation
+// ∈ {0, 5, 10, 20}%). The default sweep is sized to finish in minutes on a
+// small machine; set MEMLP_FULL=1 for the paper's full sweep, or override
+// individual knobs: MEMLP_MAX_M, MEMLP_TRIALS, MEMLP_MIN_M.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "lp/generator.hpp"
+#include "lp/problem.hpp"
+
+namespace memlp::bench {
+
+/// Sweep parameters resolved from the environment.
+struct SweepConfig {
+  std::vector<std::size_t> sizes;       ///< constraint counts m.
+  std::size_t trials = 5;               ///< problems per (m, variation) cell.
+  std::vector<double> variations{0.0, 0.05, 0.10, 0.20};
+  std::uint64_t seed = 0xbe9c;
+
+  /// Default: m ∈ {4..64}, 5 trials. MEMLP_FULL=1: m ∈ {4..1024}, 20 trials
+  /// (the paper's 100 are overridable via MEMLP_TRIALS).
+  static SweepConfig from_env();
+
+  /// Echo of the resolved parameters for the run header.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Prints the standard run header (what is reproduced, with what sweep).
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  const SweepConfig& config);
+
+/// Deterministic per-(size, variation, trial) problem streams.
+lp::LinearProgram feasible_problem(const SweepConfig& config, std::size_t m,
+                                   std::size_t trial);
+lp::LinearProgram infeasible_problem(const SweepConfig& config, std::size_t m,
+                                     std::size_t trial);
+
+/// Mean of a sample vector (0 for empty).
+double mean(const std::vector<double>& values);
+
+/// Formats a percentage with two digits.
+std::string percent(double fraction);
+
+}  // namespace memlp::bench

@@ -1,0 +1,87 @@
+// Micro-benchmarks of the crossbar simulator (google-benchmark): programming
+// cost, analog MVM, analog solve, and the per-iteration diagonal update —
+// simulator wall time, not hardware estimates (those come from
+// perf::HardwareModel in the figure harnesses).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "crossbar/crossbar.hpp"
+
+namespace {
+
+using namespace memlp;
+
+Matrix random_nonneg(std::size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(0.0, 1.0);
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+xbar::CrossbarConfig paper_config() {
+  xbar::CrossbarConfig config;
+  config.variation = mem::VariationModel::uniform(0.10);
+  return config;
+}
+
+void BM_Program(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_nonneg(n, rng);
+  xbar::Crossbar crossbar(paper_config(), Rng(2));
+  for (auto _ : state) crossbar.program(a);
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Program)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_AnalogMvm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Matrix a = random_nonneg(n, rng);
+  xbar::Crossbar crossbar(paper_config(), Rng(4));
+  crossbar.program(a);
+  Vec x(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(crossbar.multiply(x));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AnalogMvm)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_AnalogSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const Matrix a = random_nonneg(n, rng);
+  Vec b(n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    // Re-program so every solve refactors (as the PDIP iteration does).
+    xbar::Crossbar crossbar(paper_config(), Rng(6));
+    crossbar.program(a);
+    benchmark::DoNotOptimize(crossbar.solve(b));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AnalogSolve)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_DiagonalUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const Matrix a = random_nonneg(n, rng);
+  xbar::Crossbar crossbar(paper_config(), Rng(8));
+  crossbar.program(a, 2.0 * a.max_abs());
+  double value = 0.5;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) crossbar.update_cell(i, i, value);
+    value = value == 0.5 ? 0.75 : 0.5;  // force level changes
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DiagonalUpdate)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Micro-benchmarks of the linear-algebra substrate (google-benchmark):
+// the O(N³) LU factorization and O(N²) GEMV that bound the software PDIP's
+// per-iteration cost (§3.5).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+
+namespace {
+
+using namespace memlp;
+
+Matrix random_matrix(std::size_t n, Rng& rng, bool boost_diagonal) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  if (boost_diagonal)
+    for (std::size_t i = 0; i < n; ++i)
+      a(i, i) += static_cast<double>(n) + 1.0;
+  return a;
+}
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_matrix(n, rng, true);
+  Vec b(n);
+  for (double& v : b) v = rng.normal();
+  for (auto _ : state) {
+    const LuFactorization lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LuFactorSolve)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_Gemv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix a = random_matrix(n, rng, false);
+  Vec x(n);
+  for (double& v : x) v = rng.normal();
+  for (auto _ : state) benchmark::DoNotOptimize(gemv(a, x));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Gemv)->RangeMultiplier(2)->Range(32, 1024)->Complexity();
+
+void BM_GaussSeidelSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Matrix a = random_matrix(n, rng, true);
+  Vec b(n);
+  for (double& v : b) v = rng.normal();
+  IterativeOptions options;
+  options.max_sweeps = 1;
+  for (auto _ : state) benchmark::DoNotOptimize(gauss_seidel(a, b, options));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GaussSeidelSweep)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

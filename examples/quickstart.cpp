@@ -1,0 +1,56 @@
+// Quickstart: solve a small LP on the simulated memristor crossbar.
+//
+//   maximize 3x₁ + 5x₂
+//   s.t.      x₁        ≤ 4
+//                  2x₂  ≤ 12
+//            3x₁ + 2x₂  ≤ 18,   x ≥ 0        (optimum: 36 at x = (2, 6))
+//
+// Shows the three-step API: describe the LP, pick the hardware, solve.
+#include <cstdio>
+
+#include "core/xbar_pdip.hpp"
+#include "perf/hardware_model.hpp"
+#include "solvers/simplex.hpp"
+
+int main() {
+  using namespace memlp;
+
+  // 1. The problem: max cᵀx subject to A·x ≤ b, x ≥ 0.
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {0, 2}, {3, 2}};
+  problem.b = {4, 12, 18};
+  problem.c = {3, 5};
+
+  // 2. The hardware: the paper's setup — 256 conductance levels, 8-bit
+  //    voltage I/O, 10% process variation, fresh draws on every write.
+  core::XbarPdipOptions options;
+  options.hardware.crossbar.variation = mem::VariationModel::uniform(0.10);
+  options.seed = 42;
+
+  // 3. Solve on the crossbar and compare with the exact simplex optimum.
+  const auto outcome = core::solve_xbar_pdip(problem, options);
+  const auto exact = solvers::solve_simplex(problem);
+
+  std::printf("crossbar solver: %s\n",
+              lp::to_string(outcome.result.status).c_str());
+  if (outcome.result.optimal()) {
+    std::printf("  objective      = %.4f (exact: %.4f, error %.2f%%)\n",
+                outcome.result.objective, exact.objective,
+                100.0 * lp::relative_error(outcome.result.objective,
+                                           exact.objective));
+    std::printf("  x              = (%.3f, %.3f)\n", outcome.result.x[0],
+                outcome.result.x[1]);
+    std::printf("  PDIP iterations= %zu (attempts: %zu)\n",
+                outcome.stats.iterations, outcome.stats.attempts);
+
+    const perf::HardwareModel hardware;
+    const auto cost = hardware.estimate(outcome.stats);
+    std::printf("  est. latency   = %.3f ms, est. energy = %.3f mJ\n",
+                cost.latency_s * 1e3, cost.energy_j * 1e3);
+    std::printf("  crossbar ops   : %zu cells written, %zu MVMs, %zu solves\n",
+                outcome.stats.backend.xbar.cells_written,
+                outcome.stats.backend.xbar.mvm_ops,
+                outcome.stats.backend.xbar.solve_ops);
+  }
+  return outcome.result.optimal() ? 0 : 1;
+}

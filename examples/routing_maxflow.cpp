@@ -1,0 +1,69 @@
+// Routing example (the paper's opening motivation): maximum flow through a
+// layered network, formulated as an LP with edge-capacity rows and
+// two-sided flow-conservation rows (the conservation rows carry ±1
+// coefficients, exercising the negative-coefficient elimination of Eq. 13).
+//
+// Solves the same instance with all four solvers in this library and
+// compares objective values and costs.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/ls_pdip.hpp"
+#include "core/pdip.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/generator.hpp"
+#include "perf/hardware_model.hpp"
+#include "solvers/simplex.hpp"
+
+int main() {
+  using namespace memlp;
+
+  Rng rng(7);
+  const auto problem = lp::max_flow_routing(/*layers=*/3, /*width=*/3, rng);
+  std::printf("max-flow LP: %zu edges (variables), %zu rows\n",
+              problem.num_variables(), problem.num_constraints());
+
+  const auto simplex = solvers::solve_simplex(problem);
+  std::printf("\nsimplex (exact):    flow = %.4f   [%zu pivots, %.3f ms]\n",
+              simplex.objective, simplex.iterations,
+              simplex.wall_seconds * 1e3);
+
+  const auto pdip = core::solve_pdip(problem);
+  std::printf("software PDIP:      flow = %.4f   [%zu iterations, %.3f ms]\n",
+              pdip.objective, pdip.iterations, pdip.wall_seconds * 1e3);
+
+  const perf::HardwareModel hardware;
+
+  core::XbarPdipOptions xbar_options;
+  xbar_options.hardware.crossbar.variation = mem::VariationModel::uniform(0.10);
+  xbar_options.seed = 99;
+  const auto xbar = core::solve_xbar_pdip(problem, xbar_options);
+  std::printf("crossbar PDIP:      flow = %.4f   [%zu iterations, est. %.3f "
+              "ms, error %.2f%%]\n",
+              xbar.result.objective, xbar.stats.iterations,
+              hardware.estimate(xbar.stats).latency_s * 1e3,
+              100.0 * lp::relative_error(xbar.result.objective,
+                                         simplex.objective));
+
+  core::LsPdipOptions ls_options;
+  ls_options.hardware.crossbar.variation = mem::VariationModel::uniform(0.10);
+  ls_options.seed = 99;
+  const auto ls = core::solve_ls_pdip(problem, ls_options);
+  if (ls.result.optimal())
+    std::printf("large-scale solver: flow = %.4f   [%zu iterations, est. "
+                "%.3f ms, error %.2f%%]\n",
+                ls.result.objective, ls.stats.iterations,
+                hardware.estimate(ls.stats).latency_s * 1e3,
+                100.0 * lp::relative_error(ls.result.objective,
+                                           simplex.objective));
+  else
+    std::printf("large-scale solver: %s — the duplicated ±conservation rows "
+                "leave M1 near-singular; Algorithm 1 handles this class\n",
+                lp::to_string(ls.result.status).c_str());
+
+  std::printf("\nnegative-coefficient elimination: %zu compensation "
+              "variables on a %zux%zu crossbar system\n",
+              xbar.stats.compensations, xbar.stats.system_dim,
+              xbar.stats.system_dim);
+  return simplex.optimal() && xbar.result.optimal() ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Variation study (extension example): sweeps the process-variation level
+// finely on one LP and prints an ASCII accuracy curve, separating the two
+// error sources the paper discusses — the solver's analog noise floor and
+// the LP's intrinsic sensitivity to a perturbed A (§4.3).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/generator.hpp"
+#include "memristor/variation.hpp"
+#include "solvers/simplex.hpp"
+
+int main() {
+  using namespace memlp;
+
+  Rng rng(31);
+  lp::GeneratorOptions generator;
+  generator.constraints = 48;
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto exact = solvers::solve_simplex(problem);
+  std::printf("random feasible LP: m=%zu, n=%zu, exact optimum %.4f\n\n",
+              problem.num_constraints(), problem.num_variables(),
+              exact.objective);
+
+  std::printf("%-10s %-14s %-18s %s\n", "variation", "xbar error",
+              "perturbed-exact", "|-- xbar error bar");
+  const std::vector<double> levels{0.0,  0.02, 0.05, 0.08, 0.10,
+                                   0.12, 0.15, 0.20, 0.25};
+  for (const double level : levels) {
+    // Crossbar solver at this variation level (mean of 3 seeds).
+    double xbar_error = 0.0;
+    int solved = 0;
+    for (int seed = 0; seed < 3; ++seed) {
+      core::XbarPdipOptions options;
+      options.hardware.crossbar.variation =
+          level > 0.0 ? mem::VariationModel::uniform(level)
+                      : mem::VariationModel::none();
+      options.seed = 100 + seed;
+      const auto outcome = core::solve_xbar_pdip(problem, options);
+      if (!outcome.result.optimal()) continue;
+      ++solved;
+      xbar_error +=
+          lp::relative_error(outcome.result.objective, exact.objective);
+    }
+    if (solved > 0) xbar_error /= solved;
+
+    // Intrinsic sensitivity: exact solve of the Eq.(18)-perturbed problem.
+    lp::LinearProgram perturbed = problem;
+    Rng perturb_rng(500 + static_cast<std::uint64_t>(level * 1000));
+    if (level > 0.0)
+      mem::VariationModel::uniform(level).perturb(perturbed.a, perturb_rng);
+    const auto perturbed_exact = solvers::solve_simplex(perturbed);
+    const double intrinsic =
+        perturbed_exact.optimal()
+            ? lp::relative_error(perturbed_exact.objective, exact.objective)
+            : 0.0;
+
+    const int bar = std::min(50, static_cast<int>(xbar_error * 500));
+    std::printf("%-10.2f %-14s %-18s %s\n", level,
+                (std::to_string(xbar_error * 100).substr(0, 5) + "%").c_str(),
+                (std::to_string(intrinsic * 100).substr(0, 5) + "%").c_str(),
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  std::printf(
+      "\nboth curves grow together: the solver's error largely mirrors the "
+      "LP's intrinsic sensitivity to coefficient perturbation (§4.3).\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+mkdir -p results
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  echo "== $name"
+  "$b" | tee "results/${name}.txt"
+done

@@ -1,0 +1,60 @@
+// Lightweight contract-checking macros in the spirit of the Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions", I.8 Ensures()).
+//
+// All checks are active in every build type: this library is a research
+// simulator where correctness matters far more than the nanoseconds a branch
+// costs, and the hot loops (GEMV/LU) hoist their checks outside the loops.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace memlp::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace memlp::detail
+
+/// Precondition check. Throws memlp::ContractViolation on failure.
+#define MEMLP_EXPECT(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::memlp::detail::contract_fail("Precondition", #cond, __FILE__,      \
+                                     __LINE__, "");                        \
+  } while (false)
+
+/// Precondition check with an explanatory message (streamable expression).
+#define MEMLP_EXPECT_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream memlp_os_;                                        \
+      memlp_os_ << msg;                                                    \
+      ::memlp::detail::contract_fail("Precondition", #cond, __FILE__,      \
+                                     __LINE__, memlp_os_.str());           \
+    }                                                                      \
+  } while (false)
+
+/// Postcondition check.
+#define MEMLP_ENSURE(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::memlp::detail::contract_fail("Postcondition", #cond, __FILE__,     \
+                                     __LINE__, "");                        \
+  } while (false)
+
+/// Internal invariant check.
+#define MEMLP_ASSERT(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::memlp::detail::contract_fail("Invariant", #cond, __FILE__,         \
+                                     __LINE__, "");                        \
+  } while (false)

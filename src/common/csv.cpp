@@ -1,0 +1,46 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+
+namespace memlp {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string csv_table(const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::string out = csv_row(header);
+  for (const auto& row : rows) out += csv_row(row);
+  return out;
+}
+
+bool write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << csv_table(header, rows);
+  return static_cast<bool>(file);
+}
+
+}  // namespace memlp

@@ -1,0 +1,30 @@
+// Minimal CSV writing for experiment exports.
+//
+// The bench harnesses print TextTables for humans; setting MEMLP_CSV_DIR
+// makes them also drop machine-readable CSVs for plotting, via
+// TextTable-compatible rows. Quoting follows RFC 4180 (quote fields
+// containing comma, quote, or newline; double embedded quotes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memlp {
+
+/// Escapes one field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Renders one row.
+std::string csv_row(const std::vector<std::string>& fields);
+
+/// Renders a whole table (header + rows).
+std::string csv_table(const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows);
+
+/// Writes a table to `path`; returns false (without throwing) when the file
+/// cannot be opened — CSV export is best-effort.
+bool write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace memlp

@@ -1,0 +1,52 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+namespace memlp {
+namespace {
+
+std::optional<std::string> env_raw(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+}  // namespace
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const auto raw = env_raw(name);
+  if (!raw) return fallback;
+  try {
+    return std::stoll(*raw);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double env_double(const std::string& name, double fallback) {
+  const auto raw = env_raw(name);
+  if (!raw) return fallback;
+  try {
+    return std::stod(*raw);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  auto raw = env_raw(name);
+  if (!raw) return fallback;
+  std::string v = *raw;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+bool full_sweep_requested() { return env_bool("MEMLP_FULL", false); }
+
+}  // namespace memlp

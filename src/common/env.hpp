@@ -1,0 +1,27 @@
+// Environment-variable configuration helpers for bench harnesses.
+//
+// The figure harnesses default to a sweep that finishes in minutes on a small
+// container; setting MEMLP_FULL=1 selects the paper's full sweep
+// (1024 constraints, 100 trials). Individual knobs can also be overridden,
+// e.g. MEMLP_TRIALS=20 MEMLP_MAX_M=512.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace memlp {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Reads a double environment variable, returning `fallback` when unset.
+double env_double(const std::string& name, double fallback);
+
+/// Reads a boolean environment variable ("1"/"true"/"yes", case-insensitive).
+bool env_bool(const std::string& name, bool fallback);
+
+/// True when MEMLP_FULL=1: run the paper's full sweep sizes and trial counts.
+bool full_sweep_requested();
+
+}  // namespace memlp

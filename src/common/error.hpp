@@ -1,0 +1,48 @@
+// Error and exception types shared across all memlp libraries.
+//
+// memlp follows the C++ Core Guidelines error-handling philosophy (E.2/E.3):
+// exceptions are used for errors that the immediate caller cannot reasonably
+// be expected to handle — dimension mismatches, contract violations, and
+// numerical failures that indicate a programming error or an unusable input.
+// Expected outcomes (e.g. "this LP is infeasible") are NOT exceptions; they
+// are encoded in result types such as memlp::SolveResult.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace memlp {
+
+/// Base class for all memlp exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition, postcondition, or invariant check failed.
+/// Indicates a bug in the caller (precondition) or in memlp itself.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// Operands have incompatible shapes (e.g. GEMV with mismatched sizes).
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical operation could not be completed (singular matrix, overflow,
+/// non-convergent iterative method where convergence is required).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// A configuration value (hardware parameter, solver option) is invalid.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace memlp

@@ -1,0 +1,64 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component in memlp (LP workload generators, process
+// variation, write noise) draws from an explicitly seeded Rng so that every
+// experiment in EXPERIMENTS.md is bit-reproducible. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through SplitMix64 as its authors
+// recommend; it is small, fast, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace memlp {
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions, but the built-in helpers below are preferred
+/// for cross-platform reproducibility (libstdc++/libc++ distributions differ).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal deviate (Box–Muller; caches the second deviate).
+  double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Uniform double in [-1, 1) — the paper's `Rd` matrix entries (Eq. 18).
+  double signed_unit() noexcept;
+
+  /// Returns an independent generator derived from this one's stream.
+  /// Used to hand each trial / each component its own stream.
+  Rng split() noexcept;
+
+  /// Advances the state as if 2^128 outputs were drawn (xoshiro jump).
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace memlp

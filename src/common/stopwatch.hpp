@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used to measure the *software* baselines
+// (simplex / software PDIP), mirroring how the paper timed MATLAB linprog.
+// Hardware (crossbar) latency is never measured by wall clock — it is
+// estimated through memlp::perf::HardwareModel from operation counters.
+#pragma once
+
+#include <chrono>
+
+namespace memlp {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  /// Restarts timing from now.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace memlp

@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/env.hpp"
+
+namespace memlp {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  MEMLP_EXPECT(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MEMLP_EXPECT_MSG(row.size() == header_.size(),
+                   "row arity " << row.size() << " != header arity "
+                                << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::num(long long value) { return std::to_string(value); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  }();
+  const auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += rule + line(header_) + rule;
+  for (const auto& row : rows_) out += line(row);
+  out += rule;
+  return out;
+}
+
+namespace {
+
+std::string slugify(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    else if (!slug.empty() && slug.back() != '-')
+      slug += '-';
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "table" : slug;
+}
+
+}  // namespace
+
+void TextTable::print() const {
+  std::fputs(str().c_str(), stdout);
+  const char* dir = std::getenv("MEMLP_CSV_DIR");
+  if (dir != nullptr && *dir != 0)
+    (void)write_csv(std::string(dir) + "/" + slugify(title_) + ".csv");
+}
+
+bool TextTable::write_csv(const std::string& path) const {
+  return memlp::write_csv(path, header_, rows_);
+}
+
+}  // namespace memlp

@@ -1,0 +1,46 @@
+// Plain-text table formatting for experiment harnesses.
+//
+// Every bench binary prints the rows/series of the paper figure it
+// regenerates with this printer, so the outputs in EXPERIMENTS.md are
+// uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace memlp {
+
+/// Column-aligned text table with a title, a header row, and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header labels; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` significant-ish digits.
+  static std::string num(double value, int precision = 4);
+
+  /// Convenience: integer cell.
+  static std::string num(long long value);
+
+  /// Renders the table (title, rule, header, rule, rows, rule).
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout. When MEMLP_CSV_DIR is set, also writes
+  /// <dir>/<slug-of-title>.csv (best-effort).
+  void print() const;
+
+  /// Writes the table as CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memlp

@@ -1,0 +1,108 @@
+#include "core/backend.hpp"
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace memlp::core {
+namespace {
+
+class SingleCrossbarBackend final : public AnalogBackend {
+ public:
+  SingleCrossbarBackend(const xbar::CrossbarConfig& config, Rng rng)
+      : crossbar_(config, rng) {}
+
+  void program(const Matrix& a, double full_scale_hint) override {
+    crossbar_.program(a, full_scale_hint);
+  }
+  void update_cell(std::size_t r, std::size_t c, double value) override {
+    crossbar_.update_cell(r, c, value);
+  }
+  Vec multiply(std::span<const double> x, IoBoundary io) override {
+    return crossbar_.multiply(x, io);
+  }
+  std::optional<Vec> solve(std::span<const double> b,
+                           IoBoundary io) override {
+    return crossbar_.solve(b, io);
+  }
+  BackendStats stats() const override {
+    BackendStats s;
+    s.xbar = crossbar_.stats();
+    s.num_tiles = 1;
+    return s;
+  }
+  void reset_stats() override { crossbar_.reset_stats(); }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "single crossbar " << crossbar_.rows() << "x" << crossbar_.cols();
+    return os.str();
+  }
+
+ private:
+  xbar::Crossbar crossbar_;
+};
+
+class TiledNocBackend final : public AnalogBackend {
+ public:
+  TiledNocBackend(const BackendOptions& options, Rng rng)
+      : tiled_(noc::TiledConfig{options.tile_dim, options.topology,
+                                options.crossbar},
+               rng) {}
+
+  void program(const Matrix& a, double full_scale_hint) override {
+    tiled_.program(a, full_scale_hint);
+  }
+  void update_cell(std::size_t r, std::size_t c, double value) override {
+    Matrix single(1, 1);
+    single(0, 0) = value;
+    tiled_.update_block(r, c, single);
+  }
+  Vec multiply(std::span<const double> x, IoBoundary io) override {
+    return tiled_.multiply(x, io);
+  }
+  std::optional<Vec> solve(std::span<const double> b,
+                           IoBoundary io) override {
+    return tiled_.solve(b, io);
+  }
+  BackendStats stats() const override {
+    BackendStats s;
+    s.xbar = tiled_.crossbar_stats();
+    s.amps = tiled_.amplifier_stats();
+    s.noc = tiled_.noc_stats();
+    s.num_tiles = tiled_.num_tiles();
+    return s;
+  }
+  void reset_stats() override { tiled_.reset_stats(); }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << (tiled_.config().topology == noc::TopologyKind::kHierarchical
+               ? "hierarchical"
+               : "mesh")
+       << " NoC, " << tiled_.num_tiles() << " tiles of "
+       << tiled_.config().tile_dim;
+    return os.str();
+  }
+
+ private:
+  noc::TiledCrossbarMatrix tiled_;
+};
+
+}  // namespace
+
+std::unique_ptr<AnalogBackend> make_backend(const BackendOptions& options,
+                                            std::size_t dim, Rng rng) {
+  MEMLP_EXPECT(dim > 0);
+  const std::size_t crossbar_limit =
+      options.crossbar.max_dim == 0 ? dim : options.crossbar.max_dim;
+  const bool needs_noc = options.force_noc || dim > crossbar_limit ||
+                         (options.crossbar.max_dim != 0 &&
+                          dim > options.crossbar.max_dim);
+  if (needs_noc) {
+    BackendOptions tiled_options = options;
+    tiled_options.crossbar.max_dim = 0;  // tile enforces its own bound
+    return std::make_unique<TiledNocBackend>(tiled_options, rng);
+  }
+  return std::make_unique<SingleCrossbarBackend>(options.crossbar, rng);
+}
+
+}  // namespace memlp::core

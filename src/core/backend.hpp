@@ -1,0 +1,82 @@
+// Analog execution backend for the crossbar solvers.
+//
+// Both solvers drive their system matrix through this interface so the same
+// algorithm code runs on a single monolithic crossbar (Solver 1's default)
+// or on a grid of crossbar tiles behind an analog NoC (§3.4) when the matrix
+// exceeds the manufacturable crossbar size.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "crossbar/amplifier.hpp"
+#include "crossbar/crossbar.hpp"
+#include "noc/tiled.hpp"
+
+namespace memlp::core {
+
+/// Merged operation counters from a backend (inputs to the cost model).
+struct BackendStats {
+  xbar::CrossbarStats xbar;
+  xbar::AmplifierStats amps;
+  noc::NocStats noc;
+  std::size_t num_tiles = 1;
+
+  BackendStats& operator+=(const BackendStats& other) noexcept {
+    xbar += other.xbar;
+    amps += other.amps;
+    noc += other.noc;
+    num_tiles = num_tiles > other.num_tiles ? num_tiles : other.num_tiles;
+    return *this;
+  }
+
+  /// Counter-wise difference (for phase snapshots).
+  [[nodiscard]] BackendStats since(const BackendStats& earlier) const noexcept {
+    BackendStats d;
+    d.xbar = xbar.since(earlier.xbar);
+    d.amps = amps.since(earlier.amps);
+    d.noc = noc.since(earlier.noc);
+    d.num_tiles = num_tiles;
+    return d;
+  }
+};
+
+/// Hardware selection for a solver's system matrix.
+struct BackendOptions {
+  xbar::CrossbarConfig crossbar{};
+  /// Force the NoC-tiled structure even for small systems.
+  bool force_noc = false;
+  /// Tile side used when the NoC structure is engaged.
+  std::size_t tile_dim = 128;
+  noc::TopologyKind topology = noc::TopologyKind::kHierarchical;
+};
+
+/// A programmable analog matrix (single crossbar or tiled NoC).
+class AnalogBackend {
+ public:
+  virtual ~AnalogBackend() = default;
+
+  using IoBoundary = xbar::Crossbar::IoBoundary;
+
+  virtual void program(const Matrix& a, double full_scale_hint) = 0;
+  virtual void update_cell(std::size_t r, std::size_t c, double value) = 0;
+  [[nodiscard]] virtual Vec multiply(std::span<const double> x,
+                                     IoBoundary io = IoBoundary::kBoth) = 0;
+  [[nodiscard]] virtual std::optional<Vec> solve(
+      std::span<const double> b, IoBoundary io = IoBoundary::kBoth) = 0;
+  [[nodiscard]] virtual BackendStats stats() const = 0;
+  virtual void reset_stats() = 0;
+  /// Human-readable description for reports ("crossbar 128x128", "mesh NoC
+  /// of 16 tiles", ...).
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Chooses single-crossbar vs NoC-tiled execution for a `dim`-sized system:
+/// the NoC engages when force_noc is set or the system exceeds either the
+/// crossbar's max_dim or the tile_dim.
+std::unique_ptr<AnalogBackend> make_backend(const BackendOptions& options,
+                                            std::size_t dim, Rng rng);
+
+}  // namespace memlp::core

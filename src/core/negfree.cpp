@@ -1,0 +1,98 @@
+#include "core/negfree.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace memlp::core {
+
+NegativeFreeSystem::NegativeFreeSystem(const Matrix& b) {
+  if (!b.square()) throw DimensionError("negfree: matrix must be square");
+  base_dim_ = b.rows();
+
+  // Pass 1: find the negative-containing columns.
+  std::vector<bool> has_negative(base_dim_, false);
+  for (std::size_t i = 0; i < base_dim_; ++i)
+    for (std::size_t j = 0; j < base_dim_; ++j)
+      if (b(i, j) < 0.0) has_negative[j] = true;
+  comp_of_column_.assign(base_dim_, kNoComp);
+  for (std::size_t j = 0; j < base_dim_; ++j)
+    if (has_negative[j]) {
+      comp_of_column_[j] = comp_columns_.size();
+      comp_columns_.push_back(j);
+    }
+
+  // Pass 2: assemble the augmented matrix.
+  const std::size_t d = dim();
+  augmented_ = Matrix(d, d);
+  for (std::size_t i = 0; i < base_dim_; ++i)
+    for (std::size_t j = 0; j < base_dim_; ++j)
+      augmented_(i, j) = b(i, j) > 0.0 ? b(i, j) : 0.0;
+  for (std::size_t l = 0; l < comp_columns_.size(); ++l) {
+    const std::size_t j = comp_columns_[l];
+    for (std::size_t i = 0; i < base_dim_; ++i)
+      if (b(i, j) < 0.0) augmented_(i, base_dim_ + l) = -b(i, j);
+    // Consistency row: s_j + p_l = 0.
+    augmented_(base_dim_ + l, j) = 1.0;
+    augmented_(base_dim_ + l, base_dim_ + l) = 1.0;
+  }
+  MEMLP_ENSURE(augmented_.nonnegative());
+}
+
+Vec NegativeFreeSystem::extend(std::span<const double> s) const {
+  MEMLP_EXPECT(s.size() == base_dim_);
+  Vec out(s.begin(), s.end());
+  out.reserve(dim());
+  for (std::size_t j : comp_columns_) out.push_back(-s[j]);
+  return out;
+}
+
+Vec NegativeFreeSystem::extend_rhs(std::span<const double> r) const {
+  MEMLP_EXPECT(r.size() == base_dim_);
+  Vec out(r.begin(), r.end());
+  out.resize(dim(), 0.0);
+  return out;
+}
+
+Vec NegativeFreeSystem::restrict(std::span<const double> augmented) const {
+  MEMLP_EXPECT(augmented.size() == dim());
+  return Vec(augmented.begin(),
+             augmented.begin() + static_cast<std::ptrdiff_t>(base_dim_));
+}
+
+void NegativeFreeSystem::update_base_cell(std::size_t i, std::size_t j,
+                                          double value) {
+  MEMLP_EXPECT(i < base_dim_ && j < base_dim_);
+  MEMLP_EXPECT_MSG(value >= 0.0,
+                   "update_base_cell only supports non-negative values; the "
+                   "sign pattern was fixed at construction");
+  augmented_(i, j) = value;
+}
+
+std::vector<NegativeFreeSystem::CellWrite>
+NegativeFreeSystem::update_base_cell_signed(std::size_t i, std::size_t j,
+                                            double value) {
+  MEMLP_EXPECT(i < base_dim_ && j < base_dim_);
+  const std::size_t comp = comp_of_column_[j];
+  std::vector<CellWrite> writes;
+  if (value >= 0.0) {
+    writes.push_back({i, j, value});
+    augmented_(i, j) = value;
+    if (comp != kNoComp) {
+      writes.push_back({i, base_dim_ + comp, 0.0});
+      augmented_(i, base_dim_ + comp) = 0.0;
+    }
+  } else {
+    MEMLP_EXPECT_MSG(comp != kNoComp,
+                     "negative write into column " << j
+                         << " which has no compensation column");
+    writes.push_back({i, j, 0.0});
+    augmented_(i, j) = 0.0;
+    writes.push_back({i, base_dim_ + comp, -value});
+    augmented_(i, base_dim_ + comp) = -value;
+  }
+  return writes;
+}
+
+}  // namespace memlp::core

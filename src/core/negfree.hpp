@@ -1,0 +1,101 @@
+// Negative-coefficient elimination (Eq. 13 / Eq. 14a).
+//
+// A memristor crossbar can only hold non-negative coefficients (§2.3). The
+// paper's remedy: for every column j of the system matrix that contains a
+// negative element, introduce a compensation variable p_ℓ = −s_j, move the
+// magnitudes of the negative entries into a new non-negative column, and add
+// the consistency row  s_j + p_ℓ = 0  (Eq. 13). The transformed system
+//
+//     [ B⁺  B⁻ ] [ s ]   [ r ]
+//     [ E   I  ] [ p ] = [ 0 ]
+//
+// (B⁺ = max(B,0); B⁻_{iℓ} = |B_{i,jℓ}| where B_{i,jℓ} < 0; E_{ℓ,jℓ} = 1)
+// is square, non-negative, and has exactly the solutions of B·s = r extended
+// with p = −s|_neg-cols. The paper's Eq. (14a) is this construction applied
+// to the KKT matrix of Eq. (12); its ∆v ( = −∆z, for the −I block) and ∆p
+// columns come out of the same rule. (The paper also pads with ∆u = −∆w to
+// keep its hand-laid layout square; the generic construction needs no
+// padding, which only makes the crossbar smaller — noted in DESIGN.md.)
+//
+// NegativeFreeSystem captures the sign pattern once — in the PDIP systems
+// the pattern is fixed by A, Aᵀ, and −I, while the always-non-negative
+// X, Y, Z, W diagonal blocks change values only — so the augmented layout is
+// stable across iterations and per-iteration updates touch original cells
+// in place.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace memlp::core {
+
+/// The non-negative augmentation of a square system matrix.
+class NegativeFreeSystem {
+ public:
+  /// Builds the augmentation of square matrix `b`.
+  explicit NegativeFreeSystem(const Matrix& b);
+
+  /// Dimension of the original system.
+  [[nodiscard]] std::size_t base_dim() const noexcept { return base_dim_; }
+
+  /// Number of compensation variables (negative-containing columns).
+  [[nodiscard]] std::size_t num_compensations() const noexcept {
+    return comp_columns_.size();
+  }
+
+  /// Dimension of the augmented system (base_dim + num_compensations).
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return base_dim_ + comp_columns_.size();
+  }
+
+  /// The augmented non-negative matrix M (dim x dim).
+  [[nodiscard]] const Matrix& matrix() const noexcept { return augmented_; }
+
+  /// Original column index backing compensation variable ℓ.
+  [[nodiscard]] std::size_t compensated_column(std::size_t l) const {
+    return comp_columns_[l];
+  }
+
+  /// Extends an operand vector: returns [s; p] with p_ℓ = −s_{jℓ}.
+  [[nodiscard]] Vec extend(std::span<const double> s) const;
+
+  /// Extends a right-hand side: returns [r; 0_p].
+  [[nodiscard]] Vec extend_rhs(std::span<const double> r) const;
+
+  /// Truncates an augmented solution back to the base variables.
+  [[nodiscard]] Vec restrict(std::span<const double> augmented) const;
+
+  /// Writes a new (non-negative) value into base cell (i, j) of the
+  /// augmented matrix. Only valid for cells that were non-negative in the
+  /// original sign pattern (the PDIP diagonal blocks satisfy this).
+  void update_base_cell(std::size_t i, std::size_t j, double value);
+
+  /// One physical cell write in the augmented matrix.
+  struct CellWrite {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+  };
+
+  /// Writes a possibly-negative value into base cell (i, j): the positive
+  /// part lands on the original column, the magnitude of the negative part
+  /// on the column's compensation column (which must exist when value < 0 —
+  /// i.e. the cell was negative in the structural sign pattern). Returns the
+  /// augmented-matrix cell writes so the caller can mirror them onto the
+  /// analog backend. Used by the large-scale solver, whose −Y⁻¹W diagonal
+  /// changes value every iteration but never sign.
+  [[nodiscard]] std::vector<CellWrite> update_base_cell_signed(
+      std::size_t i, std::size_t j, double value);
+
+ private:
+  std::size_t base_dim_ = 0;
+  Matrix augmented_;
+  std::vector<std::size_t> comp_columns_;   ///< base column per comp var.
+  std::vector<std::size_t> comp_of_column_;  ///< comp index per base column
+                                             ///< (npos when none).
+  static constexpr std::size_t kNoComp = static_cast<std::size_t>(-1);
+};
+
+}  // namespace memlp::core

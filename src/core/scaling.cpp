@@ -1,0 +1,36 @@
+#include "core/scaling.hpp"
+
+#include <algorithm>
+
+#include "linalg/ops.hpp"
+
+namespace memlp::core {
+
+ProblemScaling::ProblemScaling(const lp::LinearProgram& problem) {
+  problem.validate();
+  const double a_norm = std::max(problem.a.max_abs(), 1e-300);
+  const double b_norm = std::max(norm_inf(problem.b), 1e-300);
+  const double c_norm = std::max(norm_inf(problem.c), 1e-300);
+
+  // x = σx·x̄ with σx = ‖b‖/‖A‖:  A·x ≤ b  ⇔  (A/‖A‖)·x̄ ≤ b/‖b‖.
+  x_scale_ = b_norm / a_norm;
+  w_scale_ = b_norm;
+  // Dual: Aᵀ·y ≥ c ⇔ (A/‖A‖)ᵀ·ȳ ≥ c/‖c‖ with y = (‖c‖/‖A‖)·ȳ.
+  y_scale_ = c_norm / a_norm;
+  z_scale_ = c_norm;
+  obj_scale_ = c_norm * x_scale_;
+
+  scaled_.a = problem.a * (1.0 / a_norm);
+  scaled_.b = memlp::scaled(problem.b, 1.0 / b_norm);
+  scaled_.c = memlp::scaled(problem.c, 1.0 / c_norm);
+}
+
+void ProblemScaling::unscale(lp::SolveResult& result) const {
+  for (double& v : result.x) v *= x_scale_;
+  for (double& v : result.w) v *= w_scale_;
+  for (double& v : result.y) v *= y_scale_;
+  for (double& v : result.z) v *= z_scale_;
+  result.objective *= obj_scale_;
+}
+
+}  // namespace memlp::core

@@ -1,0 +1,44 @@
+// Problem normalization for analog execution.
+//
+// A crossbar maps matrix entries onto a fixed conductance window and a fixed
+// voltage range; data spanning several decades (say b ~ 100 while A ~ 1)
+// would waste the whole write resolution on the large entries. Like any
+// analog front-end, the solver therefore normalizes the problem first:
+//
+//   Ā = A/‖A‖,  b̄ = b/‖b‖,  c̄ = c/‖c‖,  x = σx·x̄ with σx = ‖b‖/‖A‖,
+//
+// which makes Ā, b̄, c̄ — and hence the interior iterates — O(1). The
+// solution and certificates are rescaled back before the result is
+// returned; statuses and operation counts are unaffected.
+#pragma once
+
+#include "lp/problem.hpp"
+#include "lp/result.hpp"
+
+namespace memlp::core {
+
+/// A normalized copy of an LP plus the factors to undo the normalization.
+class ProblemScaling {
+ public:
+  /// Builds the normalized problem (throws via validate() on bad shapes).
+  explicit ProblemScaling(const lp::LinearProgram& problem);
+
+  /// The normalized problem the hardware actually solves.
+  [[nodiscard]] const lp::LinearProgram& scaled() const noexcept {
+    return scaled_;
+  }
+
+  /// Rescales a result of the *scaled* problem back to original units
+  /// (x, y, w, z, and the objective).
+  void unscale(lp::SolveResult& result) const;
+
+ private:
+  lp::LinearProgram scaled_;
+  double x_scale_ = 1.0;    ///< x = x_scale · x̄
+  double w_scale_ = 1.0;    ///< w = w_scale · w̄
+  double y_scale_ = 1.0;    ///< y = y_scale · ȳ
+  double z_scale_ = 1.0;    ///< z = z_scale · z̄
+  double obj_scale_ = 1.0;  ///< cᵀx = obj_scale · c̄ᵀx̄
+};
+
+}  // namespace memlp::core

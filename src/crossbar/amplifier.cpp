@@ -1,0 +1,72 @@
+#include "crossbar/amplifier.hpp"
+
+#include "common/contracts.hpp"
+
+namespace memlp::xbar {
+
+Vec AmplifierBank::add(std::span<const double> a, std::span<const double> b) {
+  MEMLP_EXPECT(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  count(a.size());
+  return out;
+}
+
+Vec AmplifierBank::sub(std::span<const double> a, std::span<const double> b) {
+  MEMLP_EXPECT(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  count(a.size());
+  return out;
+}
+
+Vec AmplifierBank::scale(std::span<const double> a, double k) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = k * a[i];
+  count(a.size());
+  return out;
+}
+
+Vec AmplifierBank::add_scaled(std::span<const double> a, double k,
+                              std::span<const double> b) {
+  MEMLP_EXPECT(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + k * b[i];
+  count(a.size());
+  return out;
+}
+
+Vec AmplifierBank::halve(std::span<const double> a) { return scale(a, 0.5); }
+
+Vec AmplifierBank::multiply_elementwise(std::span<const double> a,
+                                        std::span<const double> b) {
+  MEMLP_EXPECT(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  count(a.size());
+  return out;
+}
+
+Vec AmplifierBank::reciprocal_scale(double k, std::span<const double> a) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    MEMLP_EXPECT_MSG(a[i] != 0.0, "reciprocal_scale: zero input");
+    out[i] = k / a[i];
+  }
+  count(a.size());
+  return out;
+}
+
+Vec AmplifierBank::divide_elementwise(std::span<const double> a,
+                                      std::span<const double> b) {
+  MEMLP_EXPECT(a.size() == b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    MEMLP_EXPECT_MSG(b[i] != 0.0, "divide_elementwise: zero divisor");
+    out[i] = a[i] / b[i];
+  }
+  count(a.size());
+  return out;
+}
+
+}  // namespace memlp::xbar

@@ -1,0 +1,79 @@
+// Summing-amplifier bank.
+//
+// The solver's vector updates happen in the analog domain with summing
+// amplifiers (§3.2): computing r as the difference of two vectors
+// (Eq. 15a), the divide-by-2 correction of Eq. (15b), and the state update
+// s = s + θ·∆s (Eq. 10). Each element processed is one amplifier operation;
+// the counters feed perf::HardwareModel. The arithmetic itself is exact —
+// voltage-precision effects are modelled at the crossbar I/O boundary.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace memlp::xbar {
+
+/// Counts analog vector operations performed by summing amplifiers.
+struct AmplifierStats {
+  std::size_t element_ops = 0;  ///< scalar add/scale operations performed.
+  std::size_t vector_ops = 0;   ///< vector-level operations (parallel banks).
+
+  AmplifierStats& operator+=(const AmplifierStats& other) noexcept {
+    element_ops += other.element_ops;
+    vector_ops += other.vector_ops;
+    return *this;
+  }
+
+  /// Counter-wise difference (for phase snapshots).
+  [[nodiscard]] AmplifierStats since(const AmplifierStats& earlier) const noexcept {
+    return {element_ops - earlier.element_ops,
+            vector_ops - earlier.vector_ops};
+  }
+};
+
+/// Analog vector ALU backed by summing amplifiers.
+class AmplifierBank {
+ public:
+  /// out = a + b.
+  Vec add(std::span<const double> a, std::span<const double> b);
+
+  /// out = a − b.
+  Vec sub(std::span<const double> a, std::span<const double> b);
+
+  /// out = k·a (amplifier gain k).
+  Vec scale(std::span<const double> a, double k);
+
+  /// out = a + k·b (one pass: summing amp with weighted input).
+  Vec add_scaled(std::span<const double> a, double k,
+                 std::span<const double> b);
+
+  /// out = a / 2 — the Eq. (15b) correction for the 2·XZe / 2·YWe rows.
+  Vec halve(std::span<const double> a);
+
+  /// out_i = a_i · b_i — four-quadrant analog multiplier bank (used for the
+  /// Z∘∆x / W∘∆y cross terms of the large-scale solver's recovery step).
+  Vec multiply_elementwise(std::span<const double> a,
+                           std::span<const double> b);
+
+  /// out_i = k / a_i — analog divider bank (the µ./x, µ./y terms).
+  /// Requires every a_i != 0.
+  Vec reciprocal_scale(double k, std::span<const double> a);
+
+  /// out_i = a_i / b_i — analog divider bank. Requires every b_i != 0.
+  Vec divide_elementwise(std::span<const double> a,
+                         std::span<const double> b);
+
+  [[nodiscard]] const AmplifierStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  void count(std::size_t elements) noexcept {
+    stats_.element_ops += elements;
+    ++stats_.vector_ops;
+  }
+
+  AmplifierStats stats_;
+};
+
+}  // namespace memlp::xbar

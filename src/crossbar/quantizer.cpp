@@ -1,0 +1,38 @@
+#include "crossbar/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp::xbar {
+
+Quantizer::Quantizer(std::size_t bits) : bits_(bits) {
+  if (bits > 24) throw ConfigError("quantizer: bits must be <= 24");
+  if (bits_ > 0)
+    max_code_ = static_cast<double>((1ULL << (bits_ - 1)) - 1);
+}
+
+double Quantizer::quantize(double value, double full_scale) const {
+  if (!enabled() || full_scale <= 0.0) return value;
+  const double step = full_scale / max_code_;
+  const double code =
+      std::clamp(std::round(value / step), -max_code_, max_code_);
+  return code * step;
+}
+
+void Quantizer::quantize(Vec& v) const {
+  if (!enabled() || v.empty()) return;
+  const double full_scale = norm_inf(v);
+  if (full_scale <= 0.0) return;
+  for (double& value : v) value = quantize(value, full_scale);
+}
+
+Vec Quantizer::quantized(std::span<const double> v) const {
+  Vec out(v.begin(), v.end());
+  quantize(out);
+  return out;
+}
+
+}  // namespace memlp::xbar

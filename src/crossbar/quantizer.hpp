@@ -1,0 +1,39 @@
+// Analog I/O precision model.
+//
+// §4.1: "All voltage inputs and outputs are stored with 8-bit precision."
+// The Quantizer snaps a voltage vector to 2^bits uniformly spaced codes over
+// the vector's own symmetric dynamic range [−max|v|, +max|v|], modelling a
+// sample-and-hold + programmable-gain stage at the crossbar boundary.
+// bits == 0 disables quantization (ideal analog storage).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace memlp::xbar {
+
+/// Uniform symmetric mid-tread quantizer.
+class Quantizer {
+ public:
+  /// `bits` in [0, 24]; 0 means pass-through.
+  explicit Quantizer(std::size_t bits);
+
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+  [[nodiscard]] bool enabled() const noexcept { return bits_ != 0; }
+
+  /// Quantizes a single value over the given full-scale range (> 0).
+  [[nodiscard]] double quantize(double value, double full_scale) const;
+
+  /// Quantizes the vector in place over its own max-abs full scale.
+  void quantize(Vec& v) const;
+
+  /// Returns a quantized copy.
+  [[nodiscard]] Vec quantized(std::span<const double> v) const;
+
+ private:
+  std::size_t bits_;
+  double max_code_ = 0.0;  // 2^(bits-1) - 1
+};
+
+}  // namespace memlp::xbar

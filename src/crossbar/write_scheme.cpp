@@ -1,0 +1,28 @@
+#include "crossbar/write_scheme.hpp"
+
+#include "common/contracts.hpp"
+
+namespace memlp::xbar {
+
+WriteEvent selective_write_event(const mem::DeviceParameters& device,
+                                 std::size_t rows, std::size_t cols,
+                                 double row_conductance_sum,
+                                 double column_conductance_sum) {
+  MEMLP_EXPECT(rows >= 1 && cols >= 1);
+  MEMLP_EXPECT(row_conductance_sum >= 0.0 && column_conductance_sum >= 0.0);
+  device.validate();
+  WriteEvent event;
+  event.half_selected_cells = (cols - 1) + (rows - 1);
+  // Selected cell: full Vdd across a mid-window device for one pulse.
+  const double g_mid = 0.5 * (device.g_min() + device.g_max());
+  event.selected_energy_j =
+      device.v_write * device.v_write * g_mid * device.pulse_width_s;
+  // Half-selected cells: (Vdd/2)² across their actual conductances.
+  const double v_half = 0.5 * device.v_write;
+  event.half_select_energy_j =
+      v_half * v_half * (row_conductance_sum + column_conductance_sum) *
+      device.pulse_width_s;
+  return event;
+}
+
+}  // namespace memlp::xbar

@@ -1,0 +1,47 @@
+// The V/2 write-bias scheme of §3.3.
+//
+// "the voltage difference Vdd is applied on the corresponding WL and BL …
+// whereas other WLs and BLs are biased by Vdd/2, which will have negligible
+// effect on other memristor devices since |Vdd/2| < |Vth|."
+//
+// Writing cell (r, c) of an R×C array therefore half-selects the other
+// (C − 1) cells of row r and (R − 1) cells of column c. This module models
+// the two consequences the ideal abstraction hides:
+//   * energy — every half-selected device burns (Vdd/2)²·g for the pulse
+//     duration, which for large arrays dominates the selected cell's energy;
+//   * disturb — real devices drift slightly even below threshold; after
+//     enough half-select events a cell's state has moved by a full level.
+//     The per-event drift fraction is configurable (0 = the paper's ideal
+//     assumption).
+#pragma once
+
+#include <cstddef>
+
+#include "memristor/device.hpp"
+
+namespace memlp::xbar {
+
+/// Parameters of the V/2 biasing scheme.
+struct WriteSchemeParameters {
+  /// Per-half-select multiplicative state drift (fraction of the cell's
+  /// value, signed towards the write polarity). 0 = ideal (|Vdd/2| < Vth
+  /// strictly, §3.3); real arrays see 1e-6…1e-4 per event.
+  double half_select_disturb = 0.0;
+};
+
+/// Accounting for one selective write into an R×C array.
+struct WriteEvent {
+  std::size_t half_selected_cells = 0;  ///< cells seeing Vdd/2.
+  double selected_energy_j = 0.0;       ///< the programmed cell.
+  double half_select_energy_j = 0.0;    ///< all half-selected cells.
+};
+
+/// Computes the §3.3 write-event accounting for one cell write.
+/// `row_conductance_sum` / `column_conductance_sum` are the total device
+/// conductances on the selected word/bit line (excluding the target cell).
+WriteEvent selective_write_event(const mem::DeviceParameters& device,
+                                 std::size_t rows, std::size_t cols,
+                                 double row_conductance_sum,
+                                 double column_conductance_sum);
+
+}  // namespace memlp::xbar

@@ -1,0 +1,93 @@
+#include "linalg/iterative.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp {
+namespace {
+
+double residual_inf_norm(const Matrix& a, std::span<const double> x,
+                         std::span<const double> b) {
+  const Vec ax = gemv(a, x);
+  double best = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    best = std::max(best, std::abs(ax[i] - b[i]));
+  return best;
+}
+
+}  // namespace
+
+IterativeResult gauss_seidel(const Matrix& a, std::span<const double> b,
+                             const IterativeOptions& options) {
+  MEMLP_EXPECT(a.square() && a.rows() == b.size());
+  const std::size_t n = a.rows();
+  const double threshold =
+      options.tolerance * std::max(1.0, norm_inf(b));
+  IterativeResult result;
+  result.x.assign(n, 0.0);
+  for (std::size_t sweep = 1; sweep <= options.max_sweeps; ++sweep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = a.row(i);
+      double sum = b[i];
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) sum -= row[j] * result.x[j];
+      MEMLP_EXPECT_MSG(row[i] != 0.0, "gauss_seidel: zero diagonal at " << i);
+      result.x[i] = sum / row[i];
+    }
+    result.sweeps = sweep;
+    result.residual_inf = residual_inf_norm(a, result.x, b);
+    if (result.residual_inf <= threshold) {
+      result.converged = true;
+      break;
+    }
+    if (!std::isfinite(result.residual_inf)) break;  // diverged
+  }
+  return result;
+}
+
+IterativeResult jacobi(const Matrix& a, std::span<const double> b,
+                       const IterativeOptions& options) {
+  MEMLP_EXPECT(a.square() && a.rows() == b.size());
+  const std::size_t n = a.rows();
+  const double threshold =
+      options.tolerance * std::max(1.0, norm_inf(b));
+  IterativeResult result;
+  result.x.assign(n, 0.0);
+  Vec next(n, 0.0);
+  for (std::size_t sweep = 1; sweep <= options.max_sweeps; ++sweep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = a.row(i);
+      double sum = b[i];
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) sum -= row[j] * result.x[j];
+      MEMLP_EXPECT_MSG(row[i] != 0.0, "jacobi: zero diagonal at " << i);
+      next[i] = sum / row[i];
+    }
+    result.x.swap(next);
+    result.sweeps = sweep;
+    result.residual_inf = residual_inf_norm(a, result.x, b);
+    if (result.residual_inf <= threshold) {
+      result.converged = true;
+      break;
+    }
+    if (!std::isfinite(result.residual_inf)) break;  // diverged
+  }
+  return result;
+}
+
+bool strictly_diagonally_dominant(const Matrix& a) {
+  if (!a.square()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double off_diagonal = 0.0;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (j != i) off_diagonal += std::abs(row[j]);
+    if (std::abs(row[i]) <= off_diagonal) return false;
+  }
+  return true;
+}
+
+}  // namespace memlp

@@ -1,0 +1,42 @@
+// Iterative linear-system solvers.
+//
+// §3.5 of the paper compares against "iterative method such as Gauss-Seidel"
+// with O(N^2) per-sweep cost; these implementations back that software
+// baseline in bench/complexity_scaling and serve as a general substrate.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace memlp {
+
+/// Options shared by the stationary iterative solvers.
+struct IterativeOptions {
+  std::size_t max_sweeps = 10'000;
+  /// Stop when ||Ax - b||_inf <= tolerance * max(1, ||b||_inf).
+  double tolerance = 1e-10;
+};
+
+/// Result of an iterative solve.
+struct IterativeResult {
+  Vec x;
+  std::size_t sweeps = 0;
+  double residual_inf = 0.0;
+  bool converged = false;
+};
+
+/// Gauss–Seidel iteration. Convergence is guaranteed for strictly diagonally
+/// dominant or SPD matrices; for other inputs the result's `converged` flag
+/// must be checked.
+IterativeResult gauss_seidel(const Matrix& a, std::span<const double> b,
+                             const IterativeOptions& options = {});
+
+/// Jacobi iteration (same contract as gauss_seidel).
+IterativeResult jacobi(const Matrix& a, std::span<const double> b,
+                       const IterativeOptions& options = {});
+
+/// True when `a` is strictly diagonally dominant by rows.
+bool strictly_diagonally_dominant(const Matrix& a);
+
+}  // namespace memlp

@@ -1,0 +1,47 @@
+#include "linalg/ldlt.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace memlp {
+
+LdltFactorization::LdltFactorization(const Matrix& a) {
+  if (!a.square()) throw DimensionError("LDLT requires a square matrix");
+  const std::size_t n = a.rows();
+  l_ = Matrix::identity(n);
+  d_.assign(n, 0.0);
+  const double scale = std::max(a.max_abs(), 1.0);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
+    if (std::abs(dj) <= 1e-13 * scale) {
+      failed_ = true;
+      return;
+    }
+    d_[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double lij = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) lij -= l_(i, k) * l_(j, k) * d_[k];
+      l_(i, j) = lij / dj;
+    }
+  }
+}
+
+Vec LdltFactorization::solve(std::span<const double> b) const {
+  MEMLP_EXPECT_MSG(!failed_, "solve() on a failed LDLT factorization");
+  MEMLP_EXPECT(b.size() == l_.rows());
+  const std::size_t n = l_.rows();
+  // L·y = b (forward), D·z = y, Lᵀ·x = z (backward).
+  Vec x(b.begin(), b.end());
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < i; ++k) x[i] -= l_(i, k) * x[k];
+  for (std::size_t i = 0; i < n; ++i) x[i] /= d_[i];
+  for (std::size_t ii = n; ii-- > 0;)
+    for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= l_(k, ii) * x[k];
+  return x;
+}
+
+}  // namespace memlp

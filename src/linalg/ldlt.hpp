@@ -1,0 +1,37 @@
+// LDLᵀ factorization for symmetric positive-definite systems.
+//
+// Backs the normal-equations variant of the software PDIP baseline: instead
+// of the full 2(n+m) KKT system of Eq. (12), eliminate ∆x, ∆w, ∆z to get
+//   (A·Θ·Aᵀ + Y⁻¹W)·∆y = rhs,   Θ = Z⁻¹X,
+// an m×m SPD system — the textbook IPM implementation and a fairer software
+// baseline than dense LU on the full system.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace memlp {
+
+/// LDLᵀ factorization (no pivoting — intended for SPD/quasi-definite input).
+class LdltFactorization {
+ public:
+  /// Factors symmetric `a` (only the lower triangle is read).
+  /// Throws DimensionError if not square.
+  explicit LdltFactorization(const Matrix& a);
+
+  /// True when a pivot collapsed (matrix not positive definite enough).
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// Solves A·x = b. Requires !failed().
+  [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return l_.rows(); }
+
+ private:
+  Matrix l_;  ///< unit lower triangle.
+  Vec d_;    ///< diagonal of D.
+  bool failed_ = false;
+};
+
+}  // namespace memlp

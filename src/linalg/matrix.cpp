@@ -1,0 +1,132 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace memlp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    MEMLP_EXPECT_MSG(r.size() == cols_, "ragged initializer rows");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  MEMLP_EXPECT_MSG(i < rows_ && j < cols_,
+                   "index (" << i << "," << j << ") out of " << rows_ << "x"
+                             << cols_);
+  return (*this)(i, j);
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  MEMLP_EXPECT_MSG(i < rows_ && j < cols_,
+                   "index (" << i << "," << j << ") out of " << rows_ << "x"
+                             << cols_);
+  return (*this)(i, j);
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& block) {
+  MEMLP_EXPECT_MSG(r0 + block.rows() <= rows_ && c0 + block.cols() <= cols_,
+                   "block does not fit");
+  for (std::size_t i = 0; i < block.rows(); ++i) {
+    const auto src = block.row(i);
+    std::copy(src.begin(), src.end(), row(r0 + i).begin() + c0);
+  }
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  MEMLP_EXPECT_MSG(r0 + nr <= rows_ && c0 + nc <= cols_,
+                   "block out of range");
+  Matrix out(nr, nc);
+  for (std::size_t i = 0; i < nr; ++i) {
+    const auto src = row(r0 + i).subspan(c0, nc);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+double Matrix::max_abs() const noexcept {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double Matrix::inf_norm() const noexcept {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (double v : row(i)) sum += std::abs(v);
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+bool Matrix::nonnegative() const noexcept {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](double v) { return v >= 0.0; });
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  MEMLP_EXPECT(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  MEMLP_EXPECT(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) noexcept {
+  for (double& v : data_) v *= scale;
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  MEMLP_EXPECT(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t k = 0; k < data_.size(); ++k)
+    out.data_[k] = data_[k] * other.data_[k];
+  return out;
+}
+
+}  // namespace memlp

@@ -1,0 +1,114 @@
+// Dense row-major matrix type used throughout memlp.
+//
+// The simulator works with dense matrices because the paper's crossbar maps a
+// dense conductance array; the KKT systems it builds (Eq. 12 / 14a / 16c) are
+// block-structured but are materialized densely exactly as the hardware
+// would hold them.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace memlp {
+
+/// Vector alias: memlp passes vectors as std::vector<double> and views them
+/// as std::span where only read access is needed.
+using Vec = std::vector<double>;
+
+/// Dense row-major matrix of doubles with value semantics.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix with every element equal to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  /// Construction from nested initializer lists (row by row); rows must have
+  /// equal lengths. Intended for tests and small examples.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Square matrix with `d` on the diagonal.
+  static Matrix diagonal(std::span<const double> d);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked element access (throws ContractViolation).
+  double& at(std::size_t i, std::size_t j);
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+
+  /// View of row i.
+  [[nodiscard]] std::span<const double> row(std::size_t i) const noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<double> row(std::size_t i) noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Raw contiguous storage (row-major).
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  std::span<double> data() noexcept { return data_; }
+
+  /// Copies `block` into this matrix with its (0,0) at (r0,c0).
+  /// The block must fit inside this matrix.
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& block);
+
+  /// Extracts the sub-matrix of size (nr x nc) starting at (r0, c0).
+  [[nodiscard]] Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+                             std::size_t nc) const;
+
+  /// Returns the transpose.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Largest absolute element value (0 for an empty matrix).
+  [[nodiscard]] double max_abs() const noexcept;
+
+  /// Maximum-absolute-row-sum norm (infinity norm).
+  [[nodiscard]] double inf_norm() const noexcept;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// True when every element is >= 0 (what a crossbar can represent).
+  [[nodiscard]] bool nonnegative() const noexcept;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scale) noexcept;
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  bool operator==(const Matrix& other) const = default;
+
+  /// Element-wise (Hadamard) product — used by the process-variation model,
+  /// Eq. 18: M' = M + M ∘ (var · Rd).
+  [[nodiscard]] Matrix hadamard(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace memlp

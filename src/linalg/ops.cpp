@@ -1,0 +1,129 @@
+#include "linalg/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace memlp {
+
+Vec gemv(const Matrix& a, std::span<const double> x) {
+  MEMLP_EXPECT_MSG(a.cols() == x.size(), "gemv: " << a.rows() << "x"
+                                                  << a.cols() << " * "
+                                                  << x.size());
+  Vec y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vec gemv_transposed(const Matrix& a, std::span<const double> x) {
+  MEMLP_EXPECT_MSG(a.rows() == x.size(), "gemv_transposed: "
+                                             << a.rows() << "x" << a.cols()
+                                             << "^T * " << x.size());
+  Vec y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < row.size(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  MEMLP_EXPECT_MSG(a.cols() == b.rows(), "gemm: " << a.rows() << "x"
+                                                  << a.cols() << " * "
+                                                  << b.rows() << "x"
+                                                  << b.cols());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    auto crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+void axpy(double alpha, std::span<const double> x, Vec& y) {
+  MEMLP_EXPECT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  MEMLP_EXPECT(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+Vec add(std::span<const double> x, std::span<const double> y) {
+  MEMLP_EXPECT(x.size() == y.size());
+  Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+  return z;
+}
+
+Vec sub(std::span<const double> x, std::span<const double> y) {
+  MEMLP_EXPECT(x.size() == y.size());
+  Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
+  return z;
+}
+
+Vec scaled(std::span<const double> x, double alpha) {
+  Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = alpha * x[i];
+  return z;
+}
+
+double norm2(std::span<const double> x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double norm_inf(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double max_element(std::span<const double> x) {
+  MEMLP_EXPECT(!x.empty());
+  return *std::max_element(x.begin(), x.end());
+}
+
+Vec hadamard(std::span<const double> x, std::span<const double> y) {
+  MEMLP_EXPECT(x.size() == y.size());
+  Vec z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] * y[i];
+  return z;
+}
+
+Vec concat(std::initializer_list<std::span<const double>> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Vec out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+Vec slice(std::span<const double> x, std::size_t offset, std::size_t len) {
+  MEMLP_EXPECT(offset + len <= x.size());
+  return Vec(x.begin() + static_cast<std::ptrdiff_t>(offset),
+             x.begin() + static_cast<std::ptrdiff_t>(offset + len));
+}
+
+}  // namespace memlp

@@ -1,0 +1,50 @@
+// Free-function BLAS-like operations on memlp::Matrix and memlp::Vec.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace memlp {
+
+/// y = A * x.
+Vec gemv(const Matrix& a, std::span<const double> x);
+
+/// y = A^T * x (without materializing the transpose).
+Vec gemv_transposed(const Matrix& a, std::span<const double> x);
+
+/// C = A * B.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, Vec& y);
+
+/// Dot product.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Element-wise sum / difference.
+Vec add(std::span<const double> x, std::span<const double> y);
+Vec sub(std::span<const double> x, std::span<const double> y);
+
+/// Element-wise scale.
+Vec scaled(std::span<const double> x, double alpha);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+/// Infinity norm (max |x_i|); 0 for empty input.
+double norm_inf(std::span<const double> x);
+
+/// Largest element value (not absolute); requires non-empty input.
+double max_element(std::span<const double> x);
+
+/// Element-wise product z_i = x_i * y_i — the XZe / YWe terms of Eq. (6c).
+Vec hadamard(std::span<const double> x, std::span<const double> y);
+
+/// Concatenates vectors in order.
+Vec concat(std::initializer_list<std::span<const double>> parts);
+
+/// Returns x[offset .. offset+len) as a fresh vector.
+Vec slice(std::span<const double> x, std::size_t offset, std::size_t len);
+
+}  // namespace memlp

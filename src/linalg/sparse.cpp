@@ -1,0 +1,117 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+
+namespace memlp {
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double threshold) {
+  CsrMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.row_offsets_.assign(1, 0);
+  out.row_offsets_.reserve(dense.rows() + 1);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      const double value = dense(i, j);
+      if (std::abs(value) > threshold) {
+        out.column_indices_.push_back(j);
+        out.values_.push_back(value);
+      }
+    }
+    out.row_offsets_.push_back(out.values_.size());
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const auto& t : triplets)
+    if (t.row >= rows || t.col >= cols)
+      throw DimensionError("csr: triplet out of range");
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_offsets_.assign(1, 0);
+  std::size_t current_row = 0;
+  for (std::size_t k = 0; k < triplets.size();) {
+    // Sum duplicates.
+    const std::size_t row = triplets[k].row;
+    const std::size_t col = triplets[k].col;
+    double sum = 0.0;
+    while (k < triplets.size() && triplets[k].row == row &&
+           triplets[k].col == col)
+      sum += triplets[k++].value;
+    while (current_row < row) {
+      out.row_offsets_.push_back(out.values_.size());
+      ++current_row;
+    }
+    if (sum != 0.0) {
+      out.column_indices_.push_back(col);
+      out.values_.push_back(sum);
+    }
+  }
+  while (current_row < rows) {
+    out.row_offsets_.push_back(out.values_.size());
+    ++current_row;
+  }
+  return out;
+}
+
+double CsrMatrix::density() const noexcept {
+  const std::size_t total = rows_ * cols_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+Vec CsrMatrix::multiply(std::span<const double> x) const {
+  MEMLP_EXPECT_MSG(x.size() == cols_, "csr multiply: size mismatch");
+  Vec y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t k = row_offsets_[i]; k < row_offsets_[i + 1]; ++k)
+      sum += values_[k] * x[column_indices_[k]];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vec CsrMatrix::multiply_transposed(std::span<const double> x) const {
+  MEMLP_EXPECT_MSG(x.size() == rows_, "csr multiply_transposed: mismatch");
+  Vec y(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t k = row_offsets_[i]; k < row_offsets_[i + 1]; ++k)
+      y[column_indices_[k]] += values_[k] * xi;
+  }
+  return y;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix dense(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_offsets_[i]; k < row_offsets_[i + 1]; ++k)
+      dense(i, column_indices_[k]) = values_[k];
+  return dense;
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  MEMLP_EXPECT(row < rows_ && col < cols_);
+  const auto begin = column_indices_.begin() +
+                     static_cast<std::ptrdiff_t>(row_offsets_[row]);
+  const auto end = column_indices_.begin() +
+                   static_cast<std::ptrdiff_t>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - column_indices_.begin())];
+}
+
+}  // namespace memlp

@@ -1,0 +1,62 @@
+// Compressed sparse row (CSR) matrix.
+//
+// §3.5 notes that LP constraint matrices are typically sparse; the software
+// baselines use CSR for their residual MVMs on sparse workloads, and the
+// sparsity-aware crossbar programming (structural zeros are free) mirrors
+// the same observation on the hardware side.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace memlp {
+
+/// Immutable CSR matrix of doubles.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// Compresses a dense matrix; entries with |value| <= threshold drop out.
+  static CsrMatrix from_dense(const Matrix& dense, double threshold = 0.0);
+
+  /// Builds from coordinate triplets (row, col, value); duplicates are
+  /// summed. Throws DimensionError on out-of-range coordinates.
+  struct Triplet {
+    std::size_t row = 0;
+    std::size_t col = 0;
+    double value = 0.0;
+  };
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// Fill fraction (nnz / rows·cols); 0 for an empty matrix.
+  [[nodiscard]] double density() const noexcept;
+
+  /// y = A·x.
+  [[nodiscard]] Vec multiply(std::span<const double> x) const;
+
+  /// y = Aᵀ·x.
+  [[nodiscard]] Vec multiply_transposed(std::span<const double> x) const;
+
+  /// Reconstructs the dense form.
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Element lookup (O(log nnz-in-row)); 0 for structural zeros.
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_{0};
+  std::vector<std::size_t> column_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace memlp

@@ -1,0 +1,257 @@
+#include "lp/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp::lp {
+namespace {
+
+/// Draws the constraint matrix with the requested sign mix and sparsity.
+Matrix draw_matrix(const GeneratorOptions& options, Rng& rng) {
+  const std::size_t m = options.constraints;
+  const std::size_t n = options.effective_variables();
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (options.sparsity > 0.0 && rng.uniform() < options.sparsity) continue;
+      const double magnitude =
+          rng.uniform(0.1, 1.0) * options.coefficient_scale;
+      const bool negative = rng.uniform() < options.negative_fraction;
+      a(i, j) = negative ? -magnitude : magnitude;
+    }
+  return a;
+}
+
+/// Ensures every column sum is comfortably positive so y = t·1 is
+/// dual-feasible for large t (bounded primal), and no column is all-zero.
+void ensure_positive_column_sums(Matrix& a, double scale, Rng& rng) {
+  const double floor = 0.2 * scale;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) sum += a(i, j);
+    while (sum < floor) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(a.rows()) - 1));
+      const double boost = rng.uniform(0.5, 1.0) * scale;
+      sum -= a(i, j);
+      a(i, j) = std::abs(a(i, j)) + boost;
+      sum += a(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+LinearProgram random_feasible(const GeneratorOptions& options, Rng& rng) {
+  MEMLP_EXPECT(options.constraints >= 1);
+  LinearProgram lp;
+  lp.a = draw_matrix(options, rng);
+  ensure_positive_column_sums(lp.a, options.coefficient_scale, rng);
+
+  const std::size_t n = lp.a.cols();
+  // Interior point first, then right-hand sides with strictly positive slack.
+  Vec interior(n);
+  for (double& v : interior) v = rng.uniform(0.5, 2.0);
+  lp.b = gemv(lp.a, interior);
+  for (double& v : lp.b) v += rng.uniform(0.5, 2.0);
+
+  lp.c.resize(n);
+  for (double& v : lp.c)
+    v = rng.uniform(0.1, 1.0) * options.coefficient_scale;
+  lp.validate();
+  return lp;
+}
+
+LinearProgram random_infeasible(const GeneratorOptions& options, Rng& rng) {
+  MEMLP_EXPECT(options.constraints >= 2);
+  LinearProgram lp = random_feasible(options, rng);
+  const std::size_t n = lp.a.cols();
+  // Overwrite the last two rows with a contradiction: u·x <= beta and
+  // u·x >= 2·beta for u > 0, beta > 0 — unsatisfiable for any x >= 0.
+  Vec u(n);
+  for (double& v : u) v = rng.uniform(0.2, 1.0) * options.coefficient_scale;
+  const double beta = rng.uniform(0.5, 2.0);
+  const std::size_t r1 = lp.a.rows() - 2;
+  const std::size_t r2 = lp.a.rows() - 1;
+  for (std::size_t j = 0; j < n; ++j) {
+    lp.a(r1, j) = u[j];
+    lp.a(r2, j) = -u[j];
+  }
+  lp.b[r1] = beta;
+  lp.b[r2] = -2.0 * beta;
+  return lp;
+}
+
+LinearProgram max_flow_routing(std::size_t layers, std::size_t width,
+                               Rng& rng) {
+  MEMLP_EXPECT(layers >= 1 && width >= 1);
+  // Layered graph: source -> layer 1 (width nodes) -> ... -> layer L -> sink.
+  // Edges: source to every first-layer node, complete bipartite between
+  // consecutive layers, every last-layer node to sink.
+  struct Edge {
+    std::size_t from, to;  // node ids; 0 = source, 1..L*width = internal,
+                           // L*width+1 = sink
+    double capacity;
+  };
+  const std::size_t internal = layers * width;
+  const std::size_t sink = internal + 1;
+  std::vector<Edge> edges;
+  const auto node_id = [&](std::size_t layer, std::size_t k) {
+    return 1 + layer * width + k;
+  };
+  for (std::size_t k = 0; k < width; ++k)
+    edges.push_back({0, node_id(0, k), rng.uniform(1.0, 4.0)});
+  for (std::size_t layer = 0; layer + 1 < layers; ++layer)
+    for (std::size_t from = 0; from < width; ++from)
+      for (std::size_t to = 0; to < width; ++to)
+        edges.push_back({node_id(layer, from), node_id(layer + 1, to),
+                         rng.uniform(0.5, 2.0)});
+  for (std::size_t k = 0; k < width; ++k)
+    edges.push_back({node_id(layers - 1, k), sink, rng.uniform(1.0, 4.0)});
+
+  const std::size_t num_edges = edges.size();
+  // Rows: capacity per edge + 2 conservation rows per internal node.
+  const std::size_t m = num_edges + 2 * internal;
+  LinearProgram lp;
+  lp.a = Matrix(m, num_edges);
+  lp.b.assign(m, 0.0);
+  lp.c.assign(num_edges, 0.0);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    lp.a(e, e) = 1.0;
+    lp.b[e] = edges[e].capacity;
+    if (edges[e].from == 0) lp.c[e] = 1.0;  // maximize flow out of source
+  }
+  for (std::size_t v = 1; v <= internal; ++v) {
+    const std::size_t out_row = num_edges + 2 * (v - 1);
+    const std::size_t in_row = out_row + 1;
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      double coefficient = 0.0;
+      if (edges[e].to == v) coefficient += 1.0;   // inflow
+      if (edges[e].from == v) coefficient -= 1.0;  // outflow
+      lp.a(out_row, e) = coefficient;    // inflow - outflow <= 0
+      lp.a(in_row, e) = -coefficient;    // outflow - inflow <= 0
+    }
+  }
+  lp.validate();
+  return lp;
+}
+
+LinearProgram production_scheduling(std::size_t products,
+                                    std::size_t resources, Rng& rng) {
+  MEMLP_EXPECT(products >= 1 && resources >= 1);
+  LinearProgram lp;
+  lp.a = Matrix(resources, products);
+  lp.b.assign(resources, 0.0);
+  lp.c.assign(products, 0.0);
+  for (std::size_t r = 0; r < resources; ++r) {
+    for (std::size_t p = 0; p < products; ++p)
+      lp.a(r, p) = rng.uniform(0.1, 2.0);  // units of resource r per product
+    lp.b[r] = rng.uniform(5.0, 20.0) * static_cast<double>(products);
+  }
+  for (std::size_t p = 0; p < products; ++p)
+    lp.c[p] = rng.uniform(1.0, 10.0);  // profit per unit
+  lp.validate();
+  return lp;
+}
+
+LinearProgram transportation(std::size_t suppliers, std::size_t consumers,
+                             Rng& rng) {
+  MEMLP_EXPECT(suppliers >= 1 && consumers >= 1);
+  const std::size_t num_routes = suppliers * consumers;
+  LinearProgram lp;
+  lp.a = Matrix(suppliers + consumers, num_routes);
+  lp.b.assign(suppliers + consumers, 0.0);
+  lp.c.assign(num_routes, 0.0);
+  const auto route = [&](std::size_t s, std::size_t t) {
+    return s * consumers + t;
+  };
+  Vec demand(consumers);
+  double total_demand = 0.0;
+  for (std::size_t t = 0; t < consumers; ++t) {
+    demand[t] = rng.uniform(1.0, 5.0);
+    total_demand += demand[t];
+  }
+  // Supplies sized so total supply exceeds total demand (feasibility).
+  for (std::size_t s = 0; s < suppliers; ++s) {
+    for (std::size_t t = 0; t < consumers; ++t)
+      lp.a(s, route(s, t)) = 1.0;  // sum_t x_st <= supply_s
+    lp.b[s] = total_demand / static_cast<double>(suppliers) *
+              rng.uniform(1.2, 1.8);
+  }
+  for (std::size_t t = 0; t < consumers; ++t) {
+    for (std::size_t s = 0; s < suppliers; ++s)
+      lp.a(suppliers + t, route(s, t)) = -1.0;  // sum_s x_st >= demand_t
+    lp.b[suppliers + t] = -demand[t];
+  }
+  // Cost minimization as canonical max: maximize -cost.
+  for (std::size_t s = 0; s < suppliers; ++s)
+    for (std::size_t t = 0; t < consumers; ++t)
+      lp.c[route(s, t)] = -rng.uniform(1.0, 10.0);
+  lp.validate();
+  return lp;
+}
+
+LinearProgram diet(std::size_t foods, std::size_t nutrients, Rng& rng) {
+  MEMLP_EXPECT(foods >= 1 && nutrients >= 1);
+  // Variables: portions per food. Rows: one nutrient-minimum row per
+  // nutrient (−N·x ≤ −requirement) and one portion cap per food.
+  LinearProgram lp;
+  lp.a = Matrix(nutrients + foods, foods);
+  lp.b.assign(nutrients + foods, 0.0);
+  lp.c.assign(foods, 0.0);
+  const double cap = 10.0;
+  Matrix content(nutrients, foods);  // nutrient per portion
+  for (std::size_t k = 0; k < nutrients; ++k)
+    for (std::size_t f = 0; f < foods; ++f)
+      content(k, f) = rng.uniform(0.0, 1.0);
+  for (std::size_t k = 0; k < nutrients; ++k) {
+    double max_attainable = 0.0;
+    for (std::size_t f = 0; f < foods; ++f) {
+      lp.a(k, f) = -content(k, f);
+      max_attainable += content(k, f) * cap;
+    }
+    // Requirement comfortably attainable under the caps: feasible by
+    // construction.
+    lp.b[k] = -rng.uniform(0.1, 0.5) * max_attainable;
+  }
+  for (std::size_t f = 0; f < foods; ++f) {
+    lp.a(nutrients + f, f) = 1.0;
+    lp.b[nutrients + f] = cap;
+  }
+  // Cost minimization as canonical max.
+  for (std::size_t f = 0; f < foods; ++f) lp.c[f] = -rng.uniform(0.5, 3.0);
+  lp.validate();
+  return lp;
+}
+
+LinearProgram assignment(std::size_t workers, std::size_t tasks, Rng& rng) {
+  MEMLP_EXPECT(workers >= tasks && tasks >= 1);
+  const std::size_t pairs = workers * tasks;
+  LinearProgram lp;
+  lp.a = Matrix(workers + tasks, pairs);
+  lp.b.assign(workers + tasks, 0.0);
+  lp.c.assign(pairs, 0.0);
+  const auto pair_index = [&](std::size_t w, std::size_t t) {
+    return w * tasks + t;
+  };
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t t = 0; t < tasks; ++t)
+      lp.a(w, pair_index(w, t)) = 1.0;  // sum_t x_wt <= 1
+    lp.b[w] = 1.0;
+  }
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t w = 0; w < workers; ++w)
+      lp.a(workers + t, pair_index(w, t)) = -1.0;  // sum_w x_wt >= 1
+    lp.b[workers + t] = -1.0;
+  }
+  for (std::size_t w = 0; w < workers; ++w)
+    for (std::size_t t = 0; t < tasks; ++t)
+      lp.c[pair_index(w, t)] = rng.uniform(0.5, 5.0);  // match value
+  lp.validate();
+  return lp;
+}
+
+}  // namespace memlp::lp

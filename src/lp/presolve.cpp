@@ -1,0 +1,105 @@
+#include "lp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace memlp::lp {
+namespace {
+
+constexpr double kZero = 1e-14;
+
+bool rows_identical(const LinearProgram& problem, std::size_t a,
+                    std::size_t b) {
+  for (std::size_t j = 0; j < problem.num_variables(); ++j)
+    if (std::abs(problem.a(a, j) - problem.a(b, j)) > kZero) return false;
+  return true;
+}
+
+}  // namespace
+
+Vec PresolveResult::restore(std::span<const double> reduced_x,
+                            std::size_t original_variables) const {
+  MEMLP_EXPECT(reduced_x.size() == kept_columns.size());
+  Vec x(original_variables, 0.0);
+  for (std::size_t j = 0; j < kept_columns.size(); ++j)
+    x[kept_columns[j]] = reduced_x[j];
+  return x;
+}
+
+PresolveResult presolve(const LinearProgram& problem) {
+  problem.validate();
+  const std::size_t m = problem.num_constraints();
+  const std::size_t n = problem.num_variables();
+
+  PresolveResult result;
+
+  // --- Columns: a variable absent from every constraint is unconstrained.
+  std::vector<bool> keep_column(n, true);
+  for (std::size_t j = 0; j < n; ++j) {
+    bool empty = true;
+    for (std::size_t i = 0; i < m && empty; ++i)
+      if (std::abs(problem.a(i, j)) > kZero) empty = false;
+    if (!empty) continue;
+    if (problem.c[j] > kZero) {
+      // max cᵀx with a free-to-grow variable: unbounded.
+      result.outcome = PresolveResult::Outcome::kUnbounded;
+      return result;
+    }
+    keep_column[j] = false;  // x_j = 0 at optimum (c_j <= 0).
+  }
+
+  // --- Rows: zero rows and duplicates.
+  std::vector<bool> keep_row(m, true);
+  for (std::size_t i = 0; i < m; ++i) {
+    bool zero = true;
+    for (std::size_t j = 0; j < n && zero; ++j)
+      if (keep_column[j] && std::abs(problem.a(i, j)) > kZero) zero = false;
+    if (!zero) continue;
+    if (problem.b[i] < -kZero) {
+      // 0 ≤ b with b < 0: contradiction.
+      result.outcome = PresolveResult::Outcome::kInfeasible;
+      return result;
+    }
+    keep_row[i] = false;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!keep_row[i]) continue;
+    for (std::size_t k = i + 1; k < m; ++k) {
+      if (!keep_row[k]) continue;
+      if (!rows_identical(problem, i, k)) continue;
+      // Keep whichever row has the tighter bound.
+      if (problem.b[k] < problem.b[i]) keep_row[i] = false;
+      else keep_row[k] = false;
+      if (!keep_row[i]) break;
+    }
+  }
+
+  for (std::size_t i = 0; i < m; ++i)
+    if (keep_row[i]) result.kept_rows.push_back(i);
+  for (std::size_t j = 0; j < n; ++j)
+    if (keep_column[j]) result.kept_columns.push_back(j);
+
+  // An LP needs at least one row and one column to stay in canonical form;
+  // degenerate fully-reduced cases keep one representative.
+  if (result.kept_rows.empty()) result.kept_rows.push_back(0);
+  if (result.kept_columns.empty()) result.kept_columns.push_back(0);
+
+  result.reduced.a =
+      Matrix(result.kept_rows.size(), result.kept_columns.size());
+  result.reduced.b.resize(result.kept_rows.size());
+  result.reduced.c.resize(result.kept_columns.size());
+  for (std::size_t i = 0; i < result.kept_rows.size(); ++i) {
+    result.reduced.b[i] = problem.b[result.kept_rows[i]];
+    for (std::size_t j = 0; j < result.kept_columns.size(); ++j)
+      result.reduced.a(i, j) =
+          problem.a(result.kept_rows[i], result.kept_columns[j]);
+  }
+  for (std::size_t j = 0; j < result.kept_columns.size(); ++j)
+    result.reduced.c[j] = problem.c[result.kept_columns[j]];
+  result.reduced.validate();
+  return result;
+}
+
+}  // namespace memlp::lp

@@ -1,0 +1,51 @@
+// LP presolve: cheap reductions applied before a solve.
+//
+// Production LP systems shrink the instance before the expensive phase; for
+// a crossbar solver the payoff is direct — fewer rows/columns mean a
+// smaller array, fewer write cells, and a better-conditioned mapping. The
+// reductions here are the classic safe ones:
+//   * zero rows      (0·x ≤ b: redundant when b ≥ 0, infeasible when b < 0)
+//   * duplicate rows (identical coefficient rows: keep the tightest bound)
+//   * zero columns   (variable absent from A: drop with x_j = 0 when
+//                     c_j ≤ 0, certify unboundedness when c_j > 0)
+// The result records the kept rows/columns so a reduced solution can be
+// restored to original coordinates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace memlp::lp {
+
+/// Outcome of presolving.
+struct PresolveResult {
+  enum class Outcome {
+    kReduced,     ///< `reduced` is equivalent to the input.
+    kInfeasible,  ///< the input was proven infeasible.
+    kUnbounded,   ///< the input was proven unbounded.
+  };
+  Outcome outcome = Outcome::kReduced;
+  LinearProgram reduced;             ///< valid when kReduced.
+  std::vector<std::size_t> kept_rows;
+  std::vector<std::size_t> kept_columns;
+
+  [[nodiscard]] std::size_t removed_rows(const LinearProgram& original) const {
+    return original.num_constraints() - kept_rows.size();
+  }
+  [[nodiscard]] std::size_t removed_columns(
+      const LinearProgram& original) const {
+    return original.num_variables() - kept_columns.size();
+  }
+
+  /// Lifts a solution of `reduced` back to the original variable space
+  /// (dropped variables are zero at optimum).
+  [[nodiscard]] Vec restore(std::span<const double> reduced_x,
+                            std::size_t original_variables) const;
+};
+
+/// Applies the reductions until a fixed point.
+PresolveResult presolve(const LinearProgram& problem);
+
+}  // namespace memlp::lp

@@ -1,0 +1,42 @@
+// A minimal human-readable text format for LP instances, so examples and
+// downstream tools can move problems in and out of memlp without an MPS
+// dependency.
+//
+//   # anything after '#' is a comment; blank lines are ignored
+//   memlp-lp 1
+//   variables 2
+//   maximize 3 5
+//   1 0 <= 4
+//   0 2 <= 12
+//   3 2 <= 18
+//
+// One constraint row per line: n coefficients, the literal token "<=", and
+// the right-hand side. Only the canonical form (max cᵀx, A·x ≤ b, x ≥ 0)
+// is represented — which is all the solvers accept.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/error.hpp"
+#include "lp/problem.hpp"
+
+namespace memlp::lp {
+
+/// Malformed text input.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Serializes a problem (validates first).
+std::string to_text(const LinearProgram& problem);
+
+/// Parses a problem; throws ParseError with a line number on bad input.
+LinearProgram from_text(const std::string& text);
+
+/// Stream variants.
+void write_text(std::ostream& out, const LinearProgram& problem);
+LinearProgram read_text(std::istream& in);
+
+}  // namespace memlp::lp

@@ -1,0 +1,83 @@
+#include "memristor/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace memlp::mem {
+
+void DeviceParameters::validate() const {
+  if (r_on_ohm <= 0 || r_off_ohm <= 0)
+    throw ConfigError("device: resistances must be positive");
+  if (r_on_ohm >= r_off_ohm)
+    throw ConfigError("device: R_ON must be below R_OFF");
+  if (thickness_nm <= 0) throw ConfigError("device: thickness must be > 0");
+  if (mobility_nm2_per_vs <= 0)
+    throw ConfigError("device: mobility must be > 0");
+  if (v_threshold <= 0) throw ConfigError("device: V_th must be > 0");
+  if (std::abs(v_write) <= v_threshold)
+    throw ConfigError("device: |V_write| must exceed V_th");
+  if (pulse_width_s <= 0)
+    throw ConfigError("device: pulse width must be > 0");
+}
+
+Device::Device(DeviceParameters params, double initial_state)
+    : params_(params), w_(std::clamp(initial_state, 0.0, 1.0)) {
+  params_.validate();
+}
+
+double Device::memristance() const noexcept {
+  return params_.r_on_ohm * w_ + params_.r_off_ohm * (1.0 - w_);
+}
+
+double Device::conductance() const noexcept { return 1.0 / memristance(); }
+
+double Device::apply_pulse(double volts, double seconds) {
+  MEMLP_EXPECT(seconds >= 0.0);
+  const double resistance_before = memristance();
+  if (std::abs(volts) > params_.v_threshold) {
+    // Linear ion drift: dw/dt = µ_v·R_ON/D² · i(t), integrated with a small
+    // fixed step so the w-dependence of the current is captured.
+    const double k = params_.mobility_nm2_per_vs * params_.r_on_ohm /
+                     (params_.thickness_nm * params_.thickness_nm);
+    constexpr int kSteps = 16;
+    const double dt = seconds / kSteps;
+    for (int step = 0; step < kSteps; ++step) {
+      const double current = volts / memristance();
+      w_ = std::clamp(w_ + k * current * dt, 0.0, 1.0);
+    }
+  }
+  // Energy ≈ V²/R · t with the pre-pulse resistance (adequate for the small
+  // per-pulse state change).
+  return volts * volts / resistance_before * seconds;
+}
+
+std::size_t Device::program_to_conductance(double target_g, double tolerance,
+                                           std::size_t max_pulses) {
+  MEMLP_EXPECT_MSG(
+      target_g >= params_.g_min() * (1 - 1e-12) &&
+          target_g <= params_.g_max() * (1 + 1e-12),
+      "target conductance " << target_g << " outside device window ["
+                            << params_.g_min() << ", " << params_.g_max()
+                            << "]");
+  // Program-and-verify: fixed-width pulses walk toward the target; when the
+  // sign of the error flips (overshoot) the pulse width is halved, emulating
+  // the amplitude/width adjustment of §3.3.
+  std::size_t pulses = 0;
+  double width = params_.pulse_width_s;
+  double previous_direction = 0.0;
+  while (pulses < max_pulses) {
+    const double g = conductance();
+    if (std::abs(g - target_g) <= tolerance * target_g) break;
+    const double direction = target_g > g ? 1.0 : -1.0;
+    if (previous_direction != 0.0 && direction != previous_direction)
+      width = std::max(width * 0.5, params_.pulse_width_s * 1e-6);
+    previous_direction = direction;
+    apply_pulse(direction * params_.v_write, width);
+    ++pulses;
+  }
+  return pulses;
+}
+
+}  // namespace memlp::mem

@@ -1,0 +1,40 @@
+#include "memristor/programming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace memlp::mem {
+
+ProgrammingModel::ProgrammingModel(const DeviceParameters& device,
+                                   std::size_t levels)
+    : levels_(levels), g_min_(device.g_min()), g_max_(device.g_max()) {
+  device.validate();
+  if (levels < 2) throw ConfigError("programming model needs >= 2 levels");
+  step_ = (g_max_ - g_min_) / static_cast<double>(levels_ - 1);
+}
+
+std::size_t ProgrammingModel::level_for(double g) const noexcept {
+  const double clamped = std::clamp(g, g_min_, g_max_);
+  const double index = std::round((clamped - g_min_) / step_);
+  return static_cast<std::size_t>(index);
+}
+
+double ProgrammingModel::conductance_of(std::size_t index) const noexcept {
+  const std::size_t clamped = std::min(index, levels_ - 1);
+  return g_min_ + static_cast<double>(clamped) * step_;
+}
+
+double ProgrammingModel::quantize(double g) const noexcept {
+  return conductance_of(level_for(g));
+}
+
+std::size_t ProgrammingModel::pulses_for(double from,
+                                         double to) const noexcept {
+  const auto a = level_for(from);
+  const auto b = level_for(to);
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace memlp::mem

@@ -1,0 +1,49 @@
+// Write-path model: conductance-level quantization and pulse accounting.
+//
+// §3.3: "Programming a memristor device to a specific resistance is achieved
+// by adjusting the amplitude and width of the write pulse (or the total
+// number of write pulse spikes)." We model the common pulse-train scheme:
+// the conductance window [g_min, g_max] is divided into `levels` programmable
+// states, and moving a cell by k levels costs k pulses. The per-pulse time
+// and energy constants live in perf::HardwareModel; this class provides the
+// level arithmetic and is calibrated against mem::Device in the unit tests.
+#pragma once
+
+#include <cstddef>
+
+#include "memristor/device.hpp"
+
+namespace memlp::mem {
+
+/// Maps target conductances to discrete device levels.
+class ProgrammingModel {
+ public:
+  /// `levels` >= 2 discrete conductance states across the device window.
+  /// 2^8 = 256 levels corresponds to 8-bit write precision.
+  ProgrammingModel(const DeviceParameters& device, std::size_t levels);
+
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_; }
+  [[nodiscard]] double g_min() const noexcept { return g_min_; }
+  [[nodiscard]] double g_max() const noexcept { return g_max_; }
+
+  /// Index of the closest programmable level for `g` (clamped to window).
+  [[nodiscard]] std::size_t level_for(double g) const noexcept;
+
+  /// Conductance value of level `index`.
+  [[nodiscard]] double conductance_of(std::size_t index) const noexcept;
+
+  /// Quantizes `g` to the nearest programmable conductance.
+  [[nodiscard]] double quantize(double g) const noexcept;
+
+  /// Pulses needed to move a cell from conductance `from` to `to`
+  /// (= level distance; 0 when both quantize to the same level).
+  [[nodiscard]] std::size_t pulses_for(double from, double to) const noexcept;
+
+ private:
+  std::size_t levels_;
+  double g_min_;
+  double g_max_;
+  double step_;
+};
+
+}  // namespace memlp::mem

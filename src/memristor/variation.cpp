@@ -1,0 +1,39 @@
+#include "memristor/variation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace memlp::mem {
+
+VariationModel::VariationModel(VariationKind kind, double magnitude)
+    : kind_(kind), magnitude_(magnitude) {
+  if (magnitude < 0.0 || magnitude >= 1.0)
+    throw ConfigError("variation magnitude must be in [0, 1)");
+  if (kind == VariationKind::kNone && magnitude != 0.0)
+    throw ConfigError("kNone variation must have zero magnitude");
+}
+
+double VariationModel::perturb(double value, Rng& rng) const {
+  switch (kind_) {
+    case VariationKind::kNone:
+      return value;
+    case VariationKind::kUniform:
+      return value * (1.0 + magnitude_ * rng.signed_unit());
+    case VariationKind::kLogNormal: {
+      // 3σ of the log-normal exponent matches the max uniform spread so the
+      // two models are comparable at equal `magnitude`.
+      const double sigma = magnitude_ / 3.0;
+      return value * std::exp(sigma * rng.normal());
+    }
+  }
+  return value;  // unreachable
+}
+
+void VariationModel::perturb(Matrix& m, Rng& rng) const {
+  if (kind_ == VariationKind::kNone) return;
+  auto data = m.data();
+  for (double& v : data) v = perturb(v, rng);
+}
+
+}  // namespace memlp::mem

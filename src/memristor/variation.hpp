@@ -1,0 +1,57 @@
+// Process-variation model for memristor crossbars.
+//
+// Implements Eq. (18) of the paper:
+//     M' = M + M ∘ (var · Rd)
+// where `var` is the maximum variation percentage (5%–20% per [22]) and Rd
+// has i.i.d. entries uniform in (−1, 1). The paper resamples variation on
+// every write ("process variation differs from each time of writing", §4.3),
+// which this model reproduces: a fresh draw is applied each time a cell is
+// programmed.
+//
+// A log-normal variant is provided as an ablation (geometry-variation
+// studies such as [22] often report multiplicative log-normal spreads).
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace memlp::mem {
+
+/// Shape of the multiplicative variation distribution.
+enum class VariationKind {
+  kNone,      ///< Ideal devices.
+  kUniform,   ///< Eq. (18): factor 1 + var·U(−1,1).
+  kLogNormal  ///< factor exp(σ·N(0,1)) with σ chosen to match `magnitude`
+              ///< as the ~max (3σ) relative spread.
+};
+
+/// Multiplicative per-cell variation applied at write time.
+class VariationModel {
+ public:
+  /// `magnitude` is the paper's `var` — the maximum variation fraction
+  /// (e.g. 0.10 for 10%). Must be in [0, 1).
+  VariationModel(VariationKind kind, double magnitude);
+
+  /// Ideal (no-variation) model.
+  static VariationModel none() { return {VariationKind::kNone, 0.0}; }
+
+  /// Uniform model per Eq. (18).
+  static VariationModel uniform(double magnitude) {
+    return {VariationKind::kUniform, magnitude};
+  }
+
+  [[nodiscard]] VariationKind kind() const noexcept { return kind_; }
+  [[nodiscard]] double magnitude() const noexcept { return magnitude_; }
+
+  /// Returns `value` with one fresh variation draw applied.
+  double perturb(double value, Rng& rng) const;
+
+  /// Applies an independent draw to every element of `m` in place.
+  void perturb(Matrix& m, Rng& rng) const;
+
+ private:
+  VariationKind kind_;
+  double magnitude_;
+};
+
+}  // namespace memlp::mem

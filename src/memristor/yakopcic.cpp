@@ -1,0 +1,93 @@
+#include "memristor/yakopcic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace memlp::mem {
+
+void YakopcicParameters::validate() const {
+  if (a1 <= 0 || a2 <= 0) throw ConfigError("yakopcic: a1, a2 must be > 0");
+  if (b <= 0) throw ConfigError("yakopcic: b must be > 0");
+  if (v_p <= 0 || v_n <= 0)
+    throw ConfigError("yakopcic: thresholds must be > 0");
+  if (amp_p <= 0 || amp_n <= 0)
+    throw ConfigError("yakopcic: rate factors must be > 0");
+  if (!(x_off >= 0.0 && x_off < x_on && x_on <= 1.0))
+    throw ConfigError("yakopcic: need 0 <= x_off < x_on <= 1");
+  if (eta != 1.0 && eta != -1.0)
+    throw ConfigError("yakopcic: eta must be +1 or -1");
+}
+
+YakopcicDevice::YakopcicDevice(YakopcicParameters params,
+                               double initial_state)
+    : params_(params),
+      x_(std::clamp(initial_state, params.x_off, params.x_on)) {
+  params_.validate();
+}
+
+double YakopcicDevice::current(double volts) const noexcept {
+  const double amplitude = volts >= 0.0 ? params_.a1 : params_.a2;
+  return amplitude * x_ * std::sinh(params_.b * volts);
+}
+
+double YakopcicDevice::conductance(double read_volts) const noexcept {
+  return current(read_volts) / read_volts;
+}
+
+double YakopcicDevice::rate(double volts) const noexcept {
+  if (volts > params_.v_p)
+    return params_.amp_p * (std::exp(volts) - std::exp(params_.v_p));
+  if (volts < -params_.v_n)
+    return -params_.amp_n * (std::exp(-volts) - std::exp(params_.v_n));
+  return 0.0;
+}
+
+double YakopcicDevice::window(double direction) const noexcept {
+  // Motion slows linearly near the approached boundary.
+  const double span = params_.x_on - params_.x_off;
+  if (direction > 0.0) return (params_.x_on - x_) / span;
+  return (x_ - params_.x_off) / span;
+}
+
+double YakopcicDevice::apply_pulse(double volts, double seconds) {
+  MEMLP_EXPECT(seconds >= 0.0);
+  double energy = 0.0;
+  constexpr int kSteps = 16;
+  const double dt = seconds / kSteps;
+  for (int step = 0; step < kSteps; ++step) {
+    energy += volts * current(volts) * dt;
+    const double g = params_.eta * rate(volts);
+    if (g != 0.0)
+      x_ = std::clamp(x_ + g * window(g) * dt, params_.x_off, params_.x_on);
+  }
+  return std::abs(energy);
+}
+
+std::size_t YakopcicDevice::program_to_state(double target_state,
+                                             double tolerance,
+                                             std::size_t max_pulses) {
+  MEMLP_EXPECT_MSG(
+      target_state >= params_.x_off && target_state <= params_.x_on,
+      "target state outside [x_off, x_on]");
+  std::size_t pulses = 0;
+  double width = 1e-6;
+  double previous_direction = 0.0;
+  while (pulses < max_pulses) {
+    if (std::abs(x_ - target_state) <=
+        tolerance * std::max(target_state, params_.x_off))
+      break;
+    const double direction = target_state > x_ ? 1.0 : -1.0;
+    if (previous_direction != 0.0 && direction != previous_direction)
+      width = std::max(width * 0.5, 1e-12);
+    previous_direction = direction;
+    const double volts =
+        direction > 0.0 ? params_.v_p + 0.5 : -(params_.v_n + 0.5);
+    apply_pulse(params_.eta > 0 ? volts : -volts, width);
+    ++pulses;
+  }
+  return pulses;
+}
+
+}  // namespace memlp::mem

@@ -1,0 +1,81 @@
+// Yakopcic generalized memristor model.
+//
+// The paper's latency/energy estimates are "based on memristor model from
+// [23]" (Yakopcic et al.). This class implements that device model — a
+// threshold-driven state equation with a sinh I–V — alongside the simpler
+// HP linear ion-drift Device. It is used to cross-check the write-path
+// constants of perf::HardwareModel (see test_yakopcic.cpp's calibration
+// tests); the crossbar hot path works with derived constants, not per-cell
+// ODE integration.
+//
+//   I(V, x) = a1·x·sinh(b·V)          V ≥ 0
+//             a2·x·sinh(b·V)          V < 0
+//   dx/dt   = η·g(V)·f(x)
+//   g(V)    = Ap·(e^V − e^Vp)         V >  Vp        (SET)
+//             −An·(e^−V − e^Vn)       V < −Vn        (RESET)
+//             0                       otherwise      (read-safe)
+//   f(x)    = windowing that slows motion near the state boundaries.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace memlp::mem {
+
+/// Parameters of the Yakopcic model (defaults in the published range for
+/// fast ReRAM-class devices).
+struct YakopcicParameters {
+  double a1 = 0.17;        ///< conductance factor, positive branch (A).
+  double a2 = 0.17;        ///< conductance factor, negative branch (A).
+  double b = 0.05;         ///< sinh slope (1/V).
+  double v_p = 1.0;        ///< positive (SET) threshold (V).
+  double v_n = 1.0;        ///< negative (RESET) threshold (V).
+  double amp_p = 4.0e3;    ///< SET rate factor Ap (1/s).
+  double amp_n = 4.0e3;    ///< RESET rate factor An (1/s).
+  double x_on = 1.0;       ///< upper state bound.
+  double x_off = 0.02;     ///< lower state bound (device never fully opens).
+  double eta = 1.0;        ///< polarity (+1 or −1).
+
+  void validate() const;
+};
+
+/// A single Yakopcic-model memristor.
+class YakopcicDevice {
+ public:
+  explicit YakopcicDevice(YakopcicParameters params,
+                          double initial_state = 0.02);
+
+  /// Internal state variable x.
+  [[nodiscard]] double state() const noexcept { return x_; }
+
+  /// Device current at the given voltage (sinh I–V).
+  [[nodiscard]] double current(double volts) const noexcept;
+
+  /// Small-signal conductance at the given read voltage (I/V).
+  [[nodiscard]] double conductance(double read_volts = 0.1) const noexcept;
+
+  /// Applies a voltage pulse; integrates the state equation with sub-steps.
+  /// Sub-threshold pulses leave the state unchanged (non-destructive reads).
+  /// Returns the dissipated energy (J).
+  double apply_pulse(double volts, double seconds);
+
+  /// Drives the state to within `tolerance` of `target_state` with
+  /// program-and-verify pulses (width halves on overshoot). Returns the
+  /// pulse count (capped at max_pulses).
+  std::size_t program_to_state(double target_state, double tolerance = 0.01,
+                               std::size_t max_pulses = 10'000);
+
+  [[nodiscard]] const YakopcicParameters& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  [[nodiscard]] double rate(double volts) const noexcept;
+  [[nodiscard]] double window(double direction) const noexcept;
+
+  YakopcicParameters params_;
+  double x_;
+};
+
+}  // namespace memlp::mem

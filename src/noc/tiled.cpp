@@ -1,0 +1,254 @@
+#include "noc/tiled.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp::noc {
+
+TiledCrossbarMatrix::TiledCrossbarMatrix(TiledConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.tile_dim == 0)
+    throw ConfigError("tiled crossbar: tile_dim must be > 0");
+  config_.xbar.max_dim = config_.tile_dim;
+  config_.xbar.validate();
+}
+
+std::vector<TiledCrossbarMatrix::BlockRange> TiledCrossbarMatrix::cut(
+    std::size_t extent, std::size_t tile_dim) {
+  std::vector<BlockRange> ranges;
+  for (std::size_t begin = 0; begin < extent; begin += tile_dim)
+    ranges.push_back({begin, std::min(tile_dim, extent - begin)});
+  return ranges;
+}
+
+void TiledCrossbarMatrix::program(const Matrix& a, double full_scale_hint) {
+  MEMLP_EXPECT_MSG(a.nonnegative(),
+                   "tiled crossbar only represents non-negative matrices");
+  MEMLP_EXPECT(a.rows() > 0 && a.cols() > 0);
+  rows_ = a.rows();
+  cols_ = a.cols();
+  row_blocks_ = cut(rows_, config_.tile_dim);
+  col_blocks_ = cut(cols_, config_.tile_dim);
+
+  tiles_.clear();
+  tiles_.reserve(row_blocks_.size() * col_blocks_.size());
+  for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi)
+    for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
+      tiles_.emplace_back(config_.xbar, rng_.split());
+      tiles_.back().program(
+          a.block(row_blocks_[bi].begin, col_blocks_[bj].begin,
+                  row_blocks_[bi].length, col_blocks_[bj].length),
+          full_scale_hint);
+    }
+  topology_ = make_topology(config_.topology, tiles_.size());
+  solve_cache_.reset();
+}
+
+void TiledCrossbarMatrix::update_block(std::size_t r0, std::size_t c0,
+                                       const Matrix& block) {
+  MEMLP_EXPECT(programmed());
+  MEMLP_EXPECT(r0 + block.rows() <= rows_ && c0 + block.cols() <= cols_);
+  for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi) {
+    const auto& rb = row_blocks_[bi];
+    const std::size_t r_lo = std::max(r0, rb.begin);
+    const std::size_t r_hi = std::min(r0 + block.rows(), rb.begin + rb.length);
+    if (r_lo >= r_hi) continue;
+    for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
+      const auto& cb = col_blocks_[bj];
+      const std::size_t c_lo = std::max(c0, cb.begin);
+      const std::size_t c_hi =
+          std::min(c0 + block.cols(), cb.begin + cb.length);
+      if (c_lo >= c_hi) continue;
+      const Matrix sub =
+          block.block(r_lo - r0, c_lo - c0, r_hi - r_lo, c_hi - c_lo);
+      tile(bi, bj).update_block(r_lo - rb.begin, c_lo - cb.begin, sub);
+      // New coefficients travel from the controller to the tile's write
+      // circuits over the NoC.
+      charge_transfer(sub.rows() * sub.cols(),
+                      topology_->hops_to_root(tile_index(bi, bj)));
+    }
+  }
+  solve_cache_.reset();
+}
+
+Vec TiledCrossbarMatrix::multiply(std::span<const double> x,
+                                  xbar::Crossbar::IoBoundary io) {
+  MEMLP_EXPECT(programmed());
+  MEMLP_EXPECT_MSG(x.size() == cols_, "tiled multiply: size mismatch");
+  using IoBoundary = xbar::Crossbar::IoBoundary;
+  // Tiles convert at the input when the structure does; partial outputs stay
+  // analog into the accumulating arbiters, and the combined output crosses
+  // one ADC when requested.
+  const IoBoundary tile_io =
+      (io == IoBoundary::kBoth || io == IoBoundary::kInputOnly)
+          ? IoBoundary::kInputOnly
+          : IoBoundary::kNone;
+  Vec out(rows_, 0.0);
+  for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi) {
+    const auto& rb = row_blocks_[bi];
+    Vec accumulator(rb.length, 0.0);
+    for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
+      const auto& cb = col_blocks_[bj];
+      const std::size_t t = tile_index(bi, bj);
+      // Input segment broadcast root -> tile.
+      charge_transfer(cb.length, topology_->hops_to_root(t));
+      const Vec partial =
+          tile(bi, bj).multiply(x.subspan(cb.begin, cb.length), tile_io);
+      ++stats_.tile_settles;
+      // Partial result tile -> aggregating arbiter.
+      charge_transfer(rb.length, topology_->hops_to_root(t));
+      accumulator = amps_.add(accumulator, partial);
+    }
+    std::copy(accumulator.begin(), accumulator.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(rb.begin));
+  }
+  if (io == IoBoundary::kBoth || io == IoBoundary::kOutputOnly) {
+    const xbar::Quantizer adc(config_.xbar.io_bits);
+    adc.quantize(out);
+  }
+  return out;
+}
+
+Vec TiledCrossbarMatrix::multiply_transposed(std::span<const double> x,
+                                             xbar::Crossbar::IoBoundary io) {
+  MEMLP_EXPECT(programmed());
+  MEMLP_EXPECT_MSG(x.size() == rows_, "tiled multiply_transposed: mismatch");
+  using IoBoundary = xbar::Crossbar::IoBoundary;
+  const IoBoundary tile_io =
+      (io == IoBoundary::kBoth || io == IoBoundary::kInputOnly)
+          ? IoBoundary::kInputOnly
+          : IoBoundary::kNone;
+  Vec out(cols_, 0.0);
+  for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
+    const auto& cb = col_blocks_[bj];
+    Vec accumulator(cb.length, 0.0);
+    for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi) {
+      const auto& rb = row_blocks_[bi];
+      const std::size_t t = tile_index(bi, bj);
+      charge_transfer(rb.length, topology_->hops_to_root(t));
+      const Vec partial = tile(bi, bj).multiply_transposed(
+          x.subspan(rb.begin, rb.length), tile_io);
+      ++stats_.tile_settles;
+      charge_transfer(cb.length, topology_->hops_to_root(t));
+      accumulator = amps_.add(accumulator, partial);
+    }
+    std::copy(accumulator.begin(), accumulator.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(cb.begin));
+  }
+  if (io == IoBoundary::kBoth || io == IoBoundary::kOutputOnly) {
+    const xbar::Quantizer adc(config_.xbar.io_bits);
+    adc.quantize(out);
+  }
+  return out;
+}
+
+Matrix TiledCrossbarMatrix::assemble_effective() const {
+  MEMLP_EXPECT(programmed());
+  Matrix full(rows_, cols_);
+  for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi)
+    for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj)
+      full.set_block(row_blocks_[bi].begin, col_blocks_[bj].begin,
+                     tile(bi, bj).effective());
+  return full;
+}
+
+std::optional<Vec> TiledCrossbarMatrix::solve(std::span<const double> b,
+                                              xbar::Crossbar::IoBoundary io) {
+  using IoBoundary = xbar::Crossbar::IoBoundary;
+  MEMLP_EXPECT(programmed());
+  MEMLP_EXPECT_MSG(rows_ == cols_, "tiled solve requires a square matrix");
+  MEMLP_EXPECT(b.size() == rows_);
+  // The arbiters connect the tiles into one composite network; boundary
+  // voltages cross the NoC once per settle in each direction.
+  for (std::size_t t = 0; t < tiles_.size(); ++t)
+    charge_transfer(tiles_[t].rows() + tiles_[t].cols(),
+                    topology_->hops_to_root(t));
+  ++stats_.global_settles;
+  if (!solve_cache_) solve_cache_.emplace(assemble_effective());
+  if (solve_cache_->singular()) return std::nullopt;
+  // Voltage I/O crosses the structure boundary with the tiles' precision.
+  const xbar::Quantizer converter(config_.xbar.io_bits);
+  const bool dac = io == IoBoundary::kBoth || io == IoBoundary::kInputOnly;
+  const bool adc = io == IoBoundary::kBoth || io == IoBoundary::kOutputOnly;
+  Vec x = solve_cache_->solve(dac ? converter.quantized(b)
+                                  : Vec(b.begin(), b.end()));
+  if (!std::all_of(x.begin(), x.end(),
+                   [](double v) { return std::isfinite(v); }))
+    return std::nullopt;
+  if (adc) converter.quantize(x);
+  return x;
+}
+
+BlockSolveResult TiledCrossbarMatrix::solve_block_jacobi(
+    std::span<const double> b, const BlockSolveOptions& options) {
+  MEMLP_EXPECT(programmed());
+  MEMLP_EXPECT_MSG(rows_ == cols_, "block-Jacobi requires a square matrix");
+  MEMLP_EXPECT(b.size() == rows_);
+  MEMLP_EXPECT_MSG(row_blocks_.size() == col_blocks_.size(),
+                   "block-Jacobi requires a square tile grid");
+  for (std::size_t k = 0; k < row_blocks_.size(); ++k)
+    MEMLP_EXPECT_MSG(row_blocks_[k].length == col_blocks_[k].length,
+                     "block-Jacobi requires square diagonal tiles");
+
+  BlockSolveResult result;
+  result.x.assign(rows_, 0.0);
+  const double threshold = options.tolerance * std::max(1.0, norm_inf(b));
+  const std::size_t nb = row_blocks_.size();
+  for (std::size_t sweep = 1; sweep <= options.max_sweeps; ++sweep) {
+    Vec next(rows_, 0.0);
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const auto& rb = row_blocks_[bi];
+      Vec rhs = slice(b, rb.begin, rb.length);
+      for (std::size_t bj = 0; bj < nb; ++bj) {
+        if (bj == bi) continue;
+        const auto& cb = col_blocks_[bj];
+        const std::size_t t = tile_index(bi, bj);
+        charge_transfer(cb.length, topology_->hops(tile_index(bj, bj), t));
+        const Vec contribution = tile(bi, bj).multiply(
+            std::span<const double>(result.x).subspan(cb.begin, cb.length));
+        ++stats_.tile_settles;
+        charge_transfer(rb.length, topology_->hops(t, tile_index(bi, bi)));
+        rhs = amps_.sub(rhs, contribution);
+      }
+      auto local = tile(bi, bi).solve(rhs);
+      ++stats_.tile_settles;
+      if (!local) return result;  // diagonal tile singular: no convergence
+      std::copy(local->begin(), local->end(),
+                next.begin() + static_cast<std::ptrdiff_t>(rb.begin));
+    }
+    result.x.swap(next);
+    result.sweeps = sweep;
+    const Vec residual = sub(multiply(result.x), b);
+    result.residual_inf = norm_inf(residual);
+    if (result.residual_inf <= threshold) {
+      result.converged = true;
+      break;
+    }
+    if (!std::isfinite(result.residual_inf)) break;
+  }
+  return result;
+}
+
+xbar::CrossbarStats TiledCrossbarMatrix::crossbar_stats() const noexcept {
+  xbar::CrossbarStats total;
+  for (const auto& t : tiles_) total += t.stats();
+  return total;
+}
+
+void TiledCrossbarMatrix::reset_stats() noexcept {
+  stats_ = {};
+  amps_.reset_stats();
+  for (auto& t : tiles_) t.reset_stats();
+}
+
+void TiledCrossbarMatrix::charge_transfer(std::size_t values,
+                                          std::size_t hops) noexcept {
+  ++stats_.transfers;
+  stats_.value_hops += values * hops;
+}
+
+}  // namespace memlp::noc

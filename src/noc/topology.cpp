@@ -1,0 +1,80 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace memlp::noc {
+
+HierarchicalTopology::HierarchicalTopology(std::size_t num_tiles)
+    : num_tiles_(num_tiles) {
+  MEMLP_EXPECT(num_tiles >= 1);
+  // Depth = ceil(log4(num_tiles)); arbiters = sum of internal levels.
+  std::size_t capacity = 1;
+  while (capacity < num_tiles_) {
+    capacity *= 4;
+    ++depth_;
+  }
+  std::size_t level_nodes = 1;
+  for (std::size_t level = 0; level < depth_; ++level) {
+    num_arbiters_ += level_nodes;
+    level_nodes *= 4;
+  }
+  if (depth_ == 0) num_arbiters_ = 1;  // single tile still has its arbiter
+}
+
+std::size_t HierarchicalTopology::hops_to_root(std::size_t tile) const {
+  MEMLP_EXPECT(tile < num_tiles_);
+  return depth_;
+}
+
+std::size_t HierarchicalTopology::hops(std::size_t from,
+                                       std::size_t to) const {
+  MEMLP_EXPECT(from < num_tiles_ && to < num_tiles_);
+  if (from == to) return 0;
+  // Walk both leaves up the 4-ary tree to their lowest common ancestor.
+  std::size_t a = from;
+  std::size_t b = to;
+  std::size_t distance = 0;
+  while (a != b) {
+    a /= 4;
+    b /= 4;
+    distance += 2;
+  }
+  return distance;
+}
+
+MeshTopology::MeshTopology(std::size_t num_tiles) : num_tiles_(num_tiles) {
+  MEMLP_EXPECT(num_tiles >= 1);
+  side_ = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_tiles))));
+}
+
+std::size_t MeshTopology::hops_to_root(std::size_t tile) const {
+  return hops(tile, 0);
+}
+
+std::size_t MeshTopology::hops(std::size_t from, std::size_t to) const {
+  MEMLP_EXPECT(from < num_tiles_ && to < num_tiles_);
+  const auto xy = [this](std::size_t t) {
+    return std::pair{t % side_, t / side_};
+  };
+  const auto [fx, fy] = xy(from);
+  const auto [tx, ty] = xy(to);
+  const std::size_t dx = fx > tx ? fx - tx : tx - fx;
+  const std::size_t dy = fy > ty ? fy - ty : ty - fy;
+  return dx + dy;
+}
+
+std::unique_ptr<Topology> make_topology(TopologyKind kind,
+                                        std::size_t num_tiles) {
+  switch (kind) {
+    case TopologyKind::kHierarchical:
+      return std::make_unique<HierarchicalTopology>(num_tiles);
+    case TopologyKind::kMesh:
+      return std::make_unique<MeshTopology>(num_tiles);
+  }
+  return nullptr;  // unreachable
+}
+
+}  // namespace memlp::noc

@@ -1,0 +1,100 @@
+// Analog NoC topologies for coordinating multiple memristor crossbars.
+//
+// §3.4 / Fig. 3 of the paper sketches two structures:
+//   (a) hierarchical: groups of four crossbars under one arbiter, four groups
+//       under a higher-level arbiter, and so on (4-ary tree, centralized
+//       controller at the root);
+//   (b) mesh: crossbars at mesh nodes with XY routing and distributed
+//       control, like multi-core NoCs [20].
+//
+// The topology object answers routing-distance queries; per-hop latency and
+// energy live in perf::HardwareModel. Analog buffers/switches [21] at the
+// arbiters are what the per-hop constants price in.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace memlp::noc {
+
+/// Which Fig. 3 structure to simulate.
+enum class TopologyKind { kHierarchical, kMesh };
+
+/// Routing-distance oracle for a set of crossbar tiles.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual TopologyKind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t num_tiles() const noexcept = 0;
+
+  /// Hops from a tile to the aggregation point (root arbiter for the
+  /// hierarchy; node 0 for the mesh with its distributed controller).
+  [[nodiscard]] virtual std::size_t hops_to_root(std::size_t tile) const = 0;
+
+  /// Hops between two tiles along the structure's routing.
+  [[nodiscard]] virtual std::size_t hops(std::size_t from,
+                                         std::size_t to) const = 0;
+
+  /// Number of arbiters/switches in the structure (for area/energy reports).
+  [[nodiscard]] virtual std::size_t num_arbiters() const noexcept = 0;
+};
+
+/// 4-ary tree of arbiters (Fig. 3a). Tiles are leaves; each internal arbiter
+/// groups up to four children.
+class HierarchicalTopology final : public Topology {
+ public:
+  explicit HierarchicalTopology(std::size_t num_tiles);
+
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::kHierarchical;
+  }
+  [[nodiscard]] std::size_t num_tiles() const noexcept override {
+    return num_tiles_;
+  }
+  [[nodiscard]] std::size_t hops_to_root(std::size_t tile) const override;
+  [[nodiscard]] std::size_t hops(std::size_t from,
+                                 std::size_t to) const override;
+  [[nodiscard]] std::size_t num_arbiters() const noexcept override {
+    return num_arbiters_;
+  }
+
+  /// Tree depth (root at depth 0; leaves at depth `depth()`).
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  std::size_t num_tiles_;
+  std::size_t depth_ = 0;
+  std::size_t num_arbiters_ = 0;
+};
+
+/// 2-D mesh with XY (dimension-ordered) routing (Fig. 3b).
+class MeshTopology final : public Topology {
+ public:
+  explicit MeshTopology(std::size_t num_tiles);
+
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::kMesh;
+  }
+  [[nodiscard]] std::size_t num_tiles() const noexcept override {
+    return num_tiles_;
+  }
+  [[nodiscard]] std::size_t hops_to_root(std::size_t tile) const override;
+  [[nodiscard]] std::size_t hops(std::size_t from,
+                                 std::size_t to) const override;
+  [[nodiscard]] std::size_t num_arbiters() const noexcept override {
+    return num_tiles_;  // one router per node
+  }
+
+  [[nodiscard]] std::size_t side() const noexcept { return side_; }
+
+ private:
+  std::size_t num_tiles_;
+  std::size_t side_;
+};
+
+/// Factory for the requested kind.
+std::unique_ptr<Topology> make_topology(TopologyKind kind,
+                                        std::size_t num_tiles);
+
+}  // namespace memlp::noc

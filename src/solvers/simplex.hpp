@@ -1,0 +1,34 @@
+// Two-phase primal simplex — the exact reference solver.
+//
+// Stands in for MATLAB's `linprog` in the paper's experiments: it returns
+// the exact optimum of  max cᵀx, A·x ⪯ b, x ⪰ 0  (§2.1 describes Dantzig's
+// method), detects infeasibility via a Phase-1 artificial objective, and
+// detects unboundedness via the ratio test. Dense-tableau implementation
+// with Dantzig pricing and a Bland's-rule anti-cycling fallback.
+#pragma once
+
+#include <cstddef>
+
+#include "lp/problem.hpp"
+#include "lp/result.hpp"
+
+namespace memlp::solvers {
+
+/// Options for the simplex solver.
+struct SimplexOptions {
+  /// Reduced-cost optimality tolerance.
+  double tolerance = 1e-9;
+  /// Pivot cap as a multiple of (m + n); 0 = default (50).
+  std::size_t max_pivot_factor = 50;
+  /// Switch from Dantzig to Bland pricing after this multiple of (m + n)
+  /// pivots (anti-cycling).
+  std::size_t bland_after_factor = 10;
+};
+
+/// Solves the LP exactly. The result's `y` holds the dual solution
+/// (Lagrange multipliers of the inequality rows) and `wall_seconds` the
+/// measured solve time.
+lp::SolveResult solve_simplex(const lp::LinearProgram& problem,
+                              const SimplexOptions& options = {});
+
+}  // namespace memlp::solvers

@@ -1,0 +1,58 @@
+// Tests for the summing-amplifier bank.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crossbar/amplifier.hpp"
+
+namespace memlp::xbar {
+namespace {
+
+TEST(Amplifier, AddSubScale) {
+  AmplifierBank amps;
+  EXPECT_EQ(amps.add(Vec{1, 2}, Vec{3, 4}), (Vec{4, 6}));
+  EXPECT_EQ(amps.sub(Vec{3, 4}, Vec{1, 2}), (Vec{2, 2}));
+  EXPECT_EQ(amps.scale(Vec{1, -2}, 3.0), (Vec{3, -6}));
+}
+
+TEST(Amplifier, AddScaledFusesOnePass) {
+  AmplifierBank amps;
+  EXPECT_EQ(amps.add_scaled(Vec{1, 1}, 0.5, Vec{2, 4}), (Vec{2, 3}));
+  EXPECT_EQ(amps.stats().vector_ops, 1u);
+}
+
+TEST(Amplifier, HalveIsEq15bCorrection) {
+  AmplifierBank amps;
+  EXPECT_EQ(amps.halve(Vec{2, 4, -6}), (Vec{1, 2, -3}));
+}
+
+TEST(Amplifier, CountsOperations) {
+  AmplifierBank amps;
+  (void)amps.add(Vec{1, 2, 3}, Vec{1, 2, 3});
+  (void)amps.sub(Vec{1, 2, 3}, Vec{1, 2, 3});
+  (void)amps.halve(Vec{1, 2, 3});
+  EXPECT_EQ(amps.stats().vector_ops, 3u);
+  EXPECT_EQ(amps.stats().element_ops, 9u);
+  amps.reset_stats();
+  EXPECT_EQ(amps.stats().vector_ops, 0u);
+  EXPECT_EQ(amps.stats().element_ops, 0u);
+}
+
+TEST(Amplifier, SizeMismatchThrows) {
+  AmplifierBank amps;
+  EXPECT_THROW((void)amps.add(Vec{1}, Vec{1, 2}), ContractViolation);
+  EXPECT_THROW((void)amps.sub(Vec{1, 2, 3}, Vec{1, 2}), ContractViolation);
+}
+
+TEST(AmplifierStats, AccumulateAndDiff) {
+  AmplifierStats a{10, 2};
+  const AmplifierStats b{5, 1};
+  a += b;
+  EXPECT_EQ(a.element_ops, 15u);
+  EXPECT_EQ(a.vector_ops, 3u);
+  const AmplifierStats d = a.since(b);
+  EXPECT_EQ(d.element_ops, 10u);
+  EXPECT_EQ(d.vector_ops, 2u);
+}
+
+}  // namespace
+}  // namespace memlp::xbar

@@ -1,0 +1,218 @@
+// Tests for the common substrate: RNG, contracts, tables, env config.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include <fstream>
+#include <iterator>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace memlp {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(17);
+  const int trials = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.03);
+}
+
+TEST(Rng, SignedUnitWithinBounds) {
+  Rng rng(19);
+  double min_seen = 1.0, max_seen = -1.0;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = rng.signed_unit();
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_LT(min_seen, -0.95);
+  EXPECT_GT(max_seen, 0.95);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent_a(99);
+  Rng parent_b(99);
+  Rng child_a = parent_a.split();
+  Rng child_b = parent_b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_a(), child_b());
+  // Child and parent streams differ.
+  Rng parent(99);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent() == child()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Contracts, ExpectThrowsOnViolation) {
+  EXPECT_THROW(MEMLP_EXPECT(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(MEMLP_EXPECT(1 == 1));
+}
+
+TEST(Contracts, MessageIncludesContext) {
+  try {
+    MEMLP_EXPECT_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+    EXPECT_NE(what.find("Precondition"), std::string::npos);
+  }
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table("demo");
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22.5"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArityRow) {
+  TextTable table("t");
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, NumFormatsValues) {
+  EXPECT_EQ(TextTable::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(TextTable::num(1.5, 3), "1.5");
+}
+
+TEST(Env, FallbacksWhenUnset) {
+  ::unsetenv("MEMLP_TEST_UNSET");
+  EXPECT_EQ(env_int("MEMLP_TEST_UNSET", 5), 5);
+  EXPECT_DOUBLE_EQ(env_double("MEMLP_TEST_UNSET", 2.5), 2.5);
+  EXPECT_TRUE(env_bool("MEMLP_TEST_UNSET", true));
+}
+
+TEST(Env, ParsesSetValues) {
+  ::setenv("MEMLP_TEST_INT", "17", 1);
+  ::setenv("MEMLP_TEST_DBL", "0.25", 1);
+  ::setenv("MEMLP_TEST_BOOL", "yes", 1);
+  EXPECT_EQ(env_int("MEMLP_TEST_INT", 0), 17);
+  EXPECT_DOUBLE_EQ(env_double("MEMLP_TEST_DBL", 0.0), 0.25);
+  EXPECT_TRUE(env_bool("MEMLP_TEST_BOOL", false));
+  ::setenv("MEMLP_TEST_BOOL", "off", 1);
+  EXPECT_FALSE(env_bool("MEMLP_TEST_BOOL", true));
+}
+
+TEST(Env, GarbageFallsBack) {
+  ::setenv("MEMLP_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(env_int("MEMLP_TEST_INT", 9), 9);
+}
+
+
+TEST(Csv, EscapesPerRfc4180) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, RowAndTableRendering) {
+  EXPECT_EQ(csv_row({"a", "b,c"}), "a,\"b,c\"\n");
+  const std::string table =
+      csv_table({"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(table, "x,y\n1,2\n3,4\n");
+}
+
+TEST(Csv, WriteCsvRoundTrip) {
+  const std::string path = "/tmp/memlp_csv_test.csv";
+  ASSERT_TRUE(write_csv(path, {"m", "err"}, {{"4", "0.5%"}}));
+  std::ifstream file(path);
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "m,err\n4,0.5%\n");
+}
+
+TEST(Csv, WriteCsvFailsGracefully) {
+  EXPECT_FALSE(write_csv("/nonexistent-dir/x.csv", {"a"}, {}));
+}
+
+TEST(TextTable, CsvExportViaEnv) {
+  ::setenv("MEMLP_CSV_DIR", "/tmp", 1);
+  TextTable table("CSV Export Smoke!");
+  table.set_header({"k", "v"});
+  table.add_row({"a", "1"});
+  table.print();
+  ::unsetenv("MEMLP_CSV_DIR");
+  std::ifstream file("/tmp/csv-export-smoke.csv");
+  ASSERT_TRUE(file.good());
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "k,v\na,1\n");
+}
+
+}  // namespace
+}  // namespace memlp

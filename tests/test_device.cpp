@@ -1,0 +1,115 @@
+// Tests for the HP linear ion-drift memristor device model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "memristor/device.hpp"
+
+namespace memlp::mem {
+namespace {
+
+TEST(DeviceParameters, DefaultsAreValid) {
+  DeviceParameters params;
+  EXPECT_NO_THROW(params.validate());
+  EXPECT_DOUBLE_EQ(params.g_min(), 1.0 / params.r_off_ohm);
+  EXPECT_DOUBLE_EQ(params.g_max(), 1.0 / params.r_on_ohm);
+  EXPECT_LT(params.g_min(), params.g_max());
+}
+
+TEST(DeviceParameters, RejectsInvalidConfigurations) {
+  DeviceParameters params;
+  params.r_on_ohm = -1;
+  EXPECT_THROW(params.validate(), ConfigError);
+
+  params = {};
+  params.r_on_ohm = params.r_off_ohm;  // no resistance window
+  EXPECT_THROW(params.validate(), ConfigError);
+
+  params = {};
+  params.v_write = 0.5;  // below threshold
+  EXPECT_THROW(params.validate(), ConfigError);
+
+  params = {};
+  params.pulse_width_s = 0;
+  EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(Device, FreshOffDeviceHasHighResistance) {
+  const Device device(DeviceParameters{}, 0.0);
+  EXPECT_DOUBLE_EQ(device.memristance(), DeviceParameters{}.r_off_ohm);
+}
+
+TEST(Device, FullyOnDeviceHasLowResistance) {
+  const Device device(DeviceParameters{}, 1.0);
+  EXPECT_DOUBLE_EQ(device.memristance(), DeviceParameters{}.r_on_ohm);
+}
+
+TEST(Device, SubThresholdPulseDoesNotSwitch) {
+  DeviceParameters params;
+  Device device(params, 0.5);
+  const double before = device.state();
+  device.apply_pulse(params.v_threshold * 0.9, 1e-6);
+  EXPECT_DOUBLE_EQ(device.state(), before);
+}
+
+TEST(Device, PositivePulseIncreasesConductance) {
+  DeviceParameters params;
+  Device device(params, 0.2);
+  const double g_before = device.conductance();
+  device.apply_pulse(params.v_write, params.pulse_width_s);
+  EXPECT_GT(device.conductance(), g_before);
+}
+
+TEST(Device, NegativePulseDecreasesConductance) {
+  DeviceParameters params;
+  Device device(params, 0.8);
+  const double g_before = device.conductance();
+  device.apply_pulse(-params.v_write, params.pulse_width_s);
+  EXPECT_LT(device.conductance(), g_before);
+}
+
+TEST(Device, StateSaturatesAtBounds) {
+  DeviceParameters params;
+  Device device(params, 0.99);
+  for (int i = 0; i < 100'000; ++i)
+    device.apply_pulse(params.v_write, params.pulse_width_s);
+  EXPECT_LE(device.state(), 1.0);
+  EXPECT_NEAR(device.memristance(), params.r_on_ohm, params.r_on_ohm * 0.01);
+}
+
+TEST(Device, PulseDissipatesEnergy) {
+  DeviceParameters params;
+  Device device(params, 0.5);
+  const double energy =
+      device.apply_pulse(params.v_write, params.pulse_width_s);
+  EXPECT_GT(energy, 0.0);
+  // Upper bound: all at R_ON for the whole pulse.
+  EXPECT_LT(energy, params.v_write * params.v_write / params.r_on_ohm *
+                        params.pulse_width_s * 1.01);
+}
+
+TEST(Device, ProgramToConductanceReachesTarget) {
+  DeviceParameters params;
+  Device device(params, 0.0);
+  const double target = 0.4 * params.g_max();
+  const std::size_t pulses = device.program_to_conductance(target, 0.01);
+  EXPECT_GT(pulses, 0u);
+  EXPECT_NEAR(device.conductance(), target, 0.011 * target);
+}
+
+TEST(Device, ProgramDownward) {
+  DeviceParameters params;
+  Device device(params, 1.0);
+  const double target = 0.1 * params.g_max();
+  device.program_to_conductance(target, 0.01);
+  EXPECT_NEAR(device.conductance(), target, 0.011 * target);
+}
+
+TEST(Device, ProgramRejectsOutOfWindowTarget) {
+  DeviceParameters params;
+  Device device(params, 0.0);
+  EXPECT_THROW(device.program_to_conductance(params.g_max() * 2.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace memlp::mem

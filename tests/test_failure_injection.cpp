@@ -1,0 +1,165 @@
+// Failure-injection tests: the solvers must degrade gracefully — report a
+// non-optimal status, never crash, never return silently wrong "optimal"
+// results — under hostile hardware and pathological problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/ls_pdip.hpp"
+#include "core/pdip.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/generator.hpp"
+#include "lp/result.hpp"
+#include "solvers/simplex.hpp"
+
+namespace memlp::core {
+namespace {
+
+lp::LinearProgram small_feasible(std::uint64_t seed) {
+  Rng rng(seed);
+  lp::GeneratorOptions options;
+  options.constraints = 12;
+  return lp::random_feasible(options, rng);
+}
+
+TEST(FailureInjection, ExtremeVariationNeverReturnsGarbageOptimal) {
+  const auto problem = small_feasible(1);
+  const auto reference = solvers::solve_simplex(problem);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+  XbarPdipOptions options;
+  options.hardware.crossbar.variation =
+      mem::VariationModel::uniform(0.60);  // far beyond the paper's 20%
+  options.seed = 3;
+  const auto outcome = solve_xbar_pdip(problem, options);
+  if (outcome.result.optimal()) {
+    // If the solver claims success, the answer must actually be defensible.
+    EXPECT_LT(lp::relative_error(outcome.result.objective,
+                                 reference.objective),
+              0.8);
+    EXPECT_TRUE(problem.satisfies_constraints(outcome.result.x, 2.0));
+  }  // NOLINT
+}
+
+TEST(FailureInjection, TwoBitIoDegradesGracefully) {
+  const auto problem = small_feasible(2);
+  XbarPdipOptions options;
+  options.hardware.crossbar.io_bits = 2;  // nearly unusable converter
+  options.seed = 4;
+  EXPECT_NO_THROW({
+    const auto outcome = solve_xbar_pdip(problem, options);
+    (void)outcome;
+  });
+}
+
+TEST(FailureInjection, BinaryConductanceLevels) {
+  const auto problem = small_feasible(3);
+  XbarPdipOptions options;
+  options.hardware.crossbar.conductance_levels = 2;  // binary devices
+  options.seed = 5;
+  const auto outcome = solve_xbar_pdip(problem, options);
+  // Binary writes cannot represent the KKT blocks; expect an honest
+  // failure, or — if it somehow passes the checks — a sane solution.
+  if (outcome.result.optimal()) {
+    EXPECT_TRUE(problem.satisfies_constraints(outcome.result.x, 2.0));
+  }
+}
+
+TEST(FailureInjection, RankDeficientRowsAreHandledOrRejected) {
+  // Two-sided rows (equality via two inequalities) make A rank-deficient in
+  // the Schur system of Algorithm 2; it must fail cleanly, and Algorithm 1
+  // must solve.
+  Rng rng(6);
+  const auto problem = lp::max_flow_routing(2, 2, rng);
+  const auto reference = solvers::solve_simplex(problem);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+
+  XbarPdipOptions xbar_options;
+  xbar_options.seed = 7;
+  const auto xbar = solve_xbar_pdip(problem, xbar_options);
+  ASSERT_EQ(xbar.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_LT(lp::relative_error(xbar.result.objective, reference.objective),
+            0.10);
+
+  LsPdipOptions ls_options;
+  ls_options.seed = 7;
+  const auto ls = solve_ls_pdip(problem, ls_options);
+  if (ls.result.optimal())
+    EXPECT_LT(lp::relative_error(ls.result.objective, reference.objective),
+              0.25);
+  else
+    EXPECT_NE(ls.result.status, lp::SolveStatus::kInfeasible)
+        << "a feasible LP must not be misclassified as infeasible";
+}
+
+TEST(FailureInjection, DegenerateSingleVariableProblems) {
+  // m = 1, n = 1 corner cases across all solvers.
+  lp::LinearProgram tiny;
+  tiny.a = Matrix{{2.0}};
+  tiny.b = {10.0};
+  tiny.c = {3.0};
+  EXPECT_NEAR(solvers::solve_simplex(tiny).objective, 15.0, 1e-9);
+  EXPECT_NEAR(solve_pdip(tiny).objective, 15.0, 1e-3);
+  XbarPdipOptions options;
+  options.seed = 8;
+  const auto outcome = solve_xbar_pdip(tiny, options);
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(outcome.result.objective, 15.0, 1.0);
+}
+
+TEST(FailureInjection, ZeroObjective) {
+  lp::LinearProgram flat;
+  flat.a = Matrix{{1.0, 0.5}, {0.5, 1.0}};
+  flat.b = {2.0, 2.0};
+  flat.c = {0.0, 0.0};
+  XbarPdipOptions options;
+  options.seed = 9;
+  const auto outcome = solve_xbar_pdip(flat, options);
+  if (outcome.result.optimal()) {
+    EXPECT_NEAR(outcome.result.objective, 0.0, 1e-6);
+  }
+}
+
+TEST(FailureInjection, TinyRhsValues) {
+  lp::LinearProgram small_b;
+  small_b.a = Matrix{{1.0, 0.3}, {0.4, 1.0}, {1.0, 1.0}};
+  small_b.b = {1e-5, 2e-5, 2.5e-5};  // normalization must absorb the scale
+  small_b.c = {1.0, 1.0};
+  const auto reference = solvers::solve_simplex(small_b);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+  XbarPdipOptions options;
+  options.seed = 10;
+  const auto outcome = solve_xbar_pdip(small_b, options);
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_LT(lp::relative_error(outcome.result.objective, reference.objective),
+            0.10);
+}
+
+TEST(FailureInjection, RetryExhaustionReportsFailureNotOptimal) {
+  const auto problem = small_feasible(11);
+  XbarPdipOptions options;
+  options.hardware.crossbar.variation = mem::VariationModel::uniform(0.50);
+  options.max_retries = 0;
+  options.acceptance_merit = 1e-9;  // impossible bar: must not be "optimal"
+  options.pdip.max_iterations = 30;
+  options.seed = 12;
+  const auto outcome = solve_xbar_pdip(problem, options);
+  EXPECT_NE(outcome.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(outcome.stats.attempts, 1u);
+}
+
+TEST(FailureInjection, LsSolverSameContracts) {
+  const auto problem = small_feasible(13);
+  LsPdipOptions options;
+  options.hardware.crossbar.variation = mem::VariationModel::uniform(0.50);
+  options.seed = 14;
+  EXPECT_NO_THROW({
+    const auto outcome = solve_ls_pdip(problem, options);
+    if (outcome.result.optimal()) {
+      EXPECT_TRUE(problem.satisfies_constraints(outcome.result.x, 2.0));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace memlp::core

@@ -1,0 +1,112 @@
+// Tests for the stationary iterative solvers (Gauss–Seidel, Jacobi).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp {
+namespace {
+
+Matrix diagonally_dominant(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      m(i, j) = rng.uniform(-1.0, 1.0);
+      off_sum += std::abs(m(i, j));
+    }
+    m(i, i) = off_sum + rng.uniform(0.5, 1.5);
+  }
+  return m;
+}
+
+TEST(GaussSeidel, SolvesDominantSystem) {
+  Rng rng(1);
+  const Matrix a = diagonally_dominant(12, rng);
+  Vec b(12);
+  for (double& v : b) v = rng.normal();
+  const auto result = gauss_seidel(a, b);
+  EXPECT_TRUE(result.converged);
+  const Vec expected = lu_solve(a, b);
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_NEAR(result.x[i], expected[i], 1e-7);
+}
+
+TEST(Jacobi, SolvesDominantSystem) {
+  Rng rng(2);
+  const Matrix a = diagonally_dominant(10, rng);
+  Vec b(10);
+  for (double& v : b) v = rng.normal();
+  const auto result = jacobi(a, b);
+  EXPECT_TRUE(result.converged);
+  const Vec expected = lu_solve(a, b);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(result.x[i], expected[i], 1e-7);
+}
+
+TEST(GaussSeidel, ConvergesFasterThanJacobi) {
+  Rng rng(3);
+  const Matrix a = diagonally_dominant(20, rng);
+  Vec b(20);
+  for (double& v : b) v = rng.normal();
+  const auto gs = gauss_seidel(a, b);
+  const auto jc = jacobi(a, b);
+  ASSERT_TRUE(gs.converged);
+  ASSERT_TRUE(jc.converged);
+  EXPECT_LE(gs.sweeps, jc.sweeps);
+}
+
+TEST(GaussSeidel, ReportsNonConvergence) {
+  // Strongly off-diagonal system: both stationary methods diverge.
+  const Matrix a{{1, 10}, {10, 1}};
+  IterativeOptions options;
+  options.max_sweeps = 50;
+  const auto result = gauss_seidel(a, Vec{1, 1}, options);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(Iterative, RespectsSweepLimit) {
+  Rng rng(4);
+  const Matrix a = diagonally_dominant(8, rng);
+  Vec b(8, 1.0);
+  IterativeOptions options;
+  options.max_sweeps = 2;
+  options.tolerance = 1e-15;
+  const auto result = jacobi(a, b, options);
+  EXPECT_LE(result.sweeps, 2u);
+}
+
+TEST(Iterative, DominanceCheck) {
+  Rng rng(5);
+  EXPECT_TRUE(strictly_diagonally_dominant(diagonally_dominant(6, rng)));
+  EXPECT_FALSE(strictly_diagonally_dominant(Matrix{{1, 2}, {0, 1}}));
+  EXPECT_FALSE(strictly_diagonally_dominant(Matrix(2, 3)));
+}
+
+class IterativeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IterativeSweep, BothMethodsAgreeWithLu) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = GetParam();
+  const Matrix a = diagonally_dominant(n, rng);
+  Vec b(n);
+  for (double& v : b) v = rng.uniform(-2.0, 2.0);
+  const Vec expected = lu_solve(a, b);
+  const auto gs = gauss_seidel(a, b);
+  const auto jc = jacobi(a, b);
+  ASSERT_TRUE(gs.converged);
+  ASSERT_TRUE(jc.converged);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(gs.x[i], expected[i], 1e-6);
+    EXPECT_NEAR(jc.x[i], expected[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IterativeSweep,
+                         ::testing::Values(2, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace memlp

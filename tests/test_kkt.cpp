@@ -1,0 +1,178 @@
+// Tests for the shared PDIP pieces: Eq. (12) assembly, Eq. (8) µ,
+// Eq. (11) θ.
+#include <gtest/gtest.h>
+
+#include "core/kkt.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp::core {
+namespace {
+
+lp::LinearProgram tiny() {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 2}, {3, 4}, {5, 6}};  // m=3, n=2
+  problem.b = {7, 8, 9};
+  problem.c = {1, 1};
+  return problem;
+}
+
+TEST(PdipState, OnesInitialization) {
+  const PdipState state = PdipState::ones(2, 3);
+  EXPECT_EQ(state.x, (Vec{1, 1}));
+  EXPECT_EQ(state.y, (Vec{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(state.gap(), 5.0);  // zᵀx + yᵀw = 2 + 3
+  EXPECT_DOUBLE_EQ(state.mu(0.5), 0.5 * 5.0 / 5.0);
+}
+
+TEST(PdipState, ClampFloor) {
+  PdipState state = PdipState::ones(2, 2);
+  state.x[0] = -1.0;
+  state.w[1] = 1e-30;
+  state.clamp_floor(1e-10);
+  EXPECT_DOUBLE_EQ(state.x[0], 1e-10);
+  EXPECT_DOUBLE_EQ(state.w[1], 1e-10);
+  EXPECT_DOUBLE_EQ(state.x[1], 1.0);
+}
+
+TEST(Kkt, LayoutOffsets) {
+  const KktLayout layout{2, 3};  // n=2, m=3
+  EXPECT_EQ(layout.dim(), 10u);
+  EXPECT_EQ(layout.col_x(), 0u);
+  EXPECT_EQ(layout.col_y(), 2u);
+  EXPECT_EQ(layout.col_w(), 5u);
+  EXPECT_EQ(layout.col_z(), 8u);
+  EXPECT_EQ(layout.row_primal(), 0u);
+  EXPECT_EQ(layout.row_dual(), 3u);
+  EXPECT_EQ(layout.row_xz(), 5u);
+  EXPECT_EQ(layout.row_yw(), 7u);
+}
+
+TEST(Kkt, AssembleMatchesEq12BlockByBlock) {
+  const auto problem = tiny();
+  PdipState state = PdipState::ones(2, 3);
+  state.x = {2, 3};
+  state.z = {5, 7};
+  state.y = {1, 2, 3};
+  state.w = {4, 5, 6};
+  const Matrix kkt = assemble_kkt(problem, state);
+  const KktLayout layout{2, 3};
+  ASSERT_EQ(kkt.rows(), 10u);
+  // Block (1,1) = A.
+  EXPECT_DOUBLE_EQ(kkt(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(kkt(2, 1), 6.0);
+  // Block (1,3) = I.
+  EXPECT_DOUBLE_EQ(kkt(0, layout.col_w() + 0), 1.0);
+  EXPECT_DOUBLE_EQ(kkt(1, layout.col_w() + 0), 0.0);
+  // Block (2,2) = Aᵀ.
+  EXPECT_DOUBLE_EQ(kkt(layout.row_dual() + 0, layout.col_y() + 2), 5.0);
+  // Block (2,4) = −I.
+  EXPECT_DOUBLE_EQ(kkt(layout.row_dual() + 1, layout.col_z() + 1), -1.0);
+  // Block (3,1) = Z, (3,4) = X.
+  EXPECT_DOUBLE_EQ(kkt(layout.row_xz() + 0, layout.col_x() + 0), 5.0);
+  EXPECT_DOUBLE_EQ(kkt(layout.row_xz() + 1, layout.col_z() + 1), 3.0);
+  // Block (4,2) = W, (4,3) = Y.
+  EXPECT_DOUBLE_EQ(kkt(layout.row_yw() + 2, layout.col_y() + 2), 6.0);
+  EXPECT_DOUBLE_EQ(kkt(layout.row_yw() + 1, layout.col_w() + 1), 2.0);
+}
+
+TEST(Kkt, UpdateDiagonalsOnlyTouchesStateBlocks) {
+  const auto problem = tiny();
+  PdipState state = PdipState::ones(2, 3);
+  Matrix kkt = assemble_kkt(problem, state);
+  const Matrix before = kkt;
+  state.x = {9, 9};
+  state.y = {9, 9, 9};
+  state.w = {9, 9, 9};
+  state.z = {9, 9};
+  update_kkt_diagonals(kkt, problem, state);
+  const KktLayout layout{2, 3};
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < kkt.rows(); ++i)
+    for (std::size_t j = 0; j < kkt.cols(); ++j)
+      if (kkt(i, j) != before(i, j)) ++changed;
+  EXPECT_EQ(changed, 2 * layout.dim() / 2);  // 2(n+m) diagonal cells
+}
+
+TEST(Kkt, RhsMatchesEq9) {
+  const auto problem = tiny();
+  const PdipState state = PdipState::ones(2, 3);
+  const double mu = 0.25;
+  const Vec rhs = kkt_rhs(problem, state, mu);
+  const KktLayout layout{2, 3};
+  // b − Ax − w with x = w = 1: b − rowsum(A) − 1.
+  EXPECT_DOUBLE_EQ(rhs[0], 7.0 - 3.0 - 1.0);
+  EXPECT_DOUBLE_EQ(rhs[2], 9.0 - 11.0 - 1.0);
+  // c − Aᵀy + z with y = z = 1.
+  EXPECT_DOUBLE_EQ(rhs[layout.row_dual() + 0], 1.0 - 9.0 + 1.0);
+  // µ − XZe = µ − 1.
+  EXPECT_DOUBLE_EQ(rhs[layout.row_xz() + 1], mu - 1.0);
+  EXPECT_DOUBLE_EQ(rhs[layout.row_yw() + 2], mu - 1.0);
+}
+
+TEST(Kkt, NewtonStepSolvesLinearizedSystem) {
+  // Solving the assembled system must reproduce Eq. (9) identities.
+  const auto problem = tiny();
+  const PdipState state = PdipState::ones(2, 3);
+  const Matrix kkt = assemble_kkt(problem, state);
+  const Vec rhs = kkt_rhs(problem, state, 0.1);
+  const Vec delta = lu_solve(kkt, rhs);
+  const KktLayout layout{2, 3};
+  const StepDirection step = split_step(layout, delta);
+  // Check Eq. (9a): A∆x + ∆w = rhs_primal.
+  const Vec adx = gemv(problem.a, step.dx);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(adx[i] + step.dw[i], rhs[i], 1e-10);
+  // Check Eq. (9c): Z∆x + X∆z = rhs_xz (X = Z = I here).
+  for (std::size_t j = 0; j < 2; ++j)
+    EXPECT_NEAR(step.dx[j] + step.dz[j], rhs[layout.row_xz() + j], 1e-10);
+}
+
+TEST(StepLength, FullStepWhenNothingBlocks) {
+  const PdipState state = PdipState::ones(2, 2);
+  StepDirection step;
+  step.dx = {1.0, 0.5};
+  step.dy = {0.0, 0.2};
+  step.dw = {0.3, 0.0};
+  step.dz = {0.1, 0.4};
+  EXPECT_DOUBLE_EQ(step_length(state, step, 0.9), 0.9);
+}
+
+TEST(StepLength, BlocksAtBoundary) {
+  const PdipState state = PdipState::ones(2, 2);
+  StepDirection step;
+  step.dx = {-2.0, 0.0};  // x_0 would hit zero at θ = 0.5
+  step.dy = {0.0, 0.0};
+  step.dw = {0.0, 0.0};
+  step.dz = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(step_length(state, step, 0.9), 0.9 * 0.5);
+}
+
+TEST(StepLength, WorstComponentWins) {
+  PdipState state = PdipState::ones(1, 1);
+  state.w = {0.1};
+  StepDirection step;
+  step.dx = {-0.5};
+  step.dy = {-0.5};
+  step.dw = {-0.4};  // ratio 4: the binding one
+  step.dz = {-0.5};
+  EXPECT_DOUBLE_EQ(step_length(state, step, 0.9), 0.9 * 0.25);
+}
+
+TEST(StepLength, AppliedStepKeepsStatePositive) {
+  PdipState state = PdipState::ones(3, 3);
+  StepDirection step;
+  step.dx = {-5.0, 1.0, -2.0};
+  step.dy = {0.5, -3.0, 0.0};
+  step.dw = {-1.0, -1.0, -1.0};
+  step.dz = {2.0, 2.0, -8.0};
+  const double theta = step_length(state, step, 0.95);
+  apply_step(state, step, theta);
+  for (double v : state.x) EXPECT_GT(v, 0.0);
+  for (double v : state.y) EXPECT_GT(v, 0.0);
+  for (double v : state.w) EXPECT_GT(v, 0.0);
+  for (double v : state.z) EXPECT_GT(v, 0.0);
+}
+
+}  // namespace
+}  // namespace memlp::core

@@ -1,0 +1,131 @@
+// Tests for the dense Matrix type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace memlp {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(0, 0), 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), ContractViolation);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_EQ(eye(0, 0), 1.0);
+  EXPECT_EQ(eye(0, 1), 0.0);
+  const Vec d{2, 3, 4};
+  const Matrix diag = Matrix::diagonal(d);
+  EXPECT_EQ(diag(1, 1), 3.0);
+  EXPECT_EQ(diag(2, 1), 0.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(m.at(0, 2), ContractViolation);
+}
+
+TEST(Matrix, BlockRoundTrip) {
+  Matrix m(4, 4);
+  Matrix block{{1, 2}, {3, 4}};
+  m.set_block(1, 2, block);
+  EXPECT_EQ(m(1, 2), 1.0);
+  EXPECT_EQ(m(2, 3), 4.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m.block(1, 2, 2, 2), block);
+}
+
+TEST(Matrix, BlockOutOfRangeThrows) {
+  Matrix m(3, 3);
+  EXPECT_THROW(m.block(2, 2, 2, 2), ContractViolation);
+  Matrix big(4, 4);
+  EXPECT_THROW(m.set_block(0, 0, big), ContractViolation);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(3);
+  Matrix m(5, 3);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = rng.normal();
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_EQ(t.transposed(), m);
+  EXPECT_EQ(t(2, 4), m(4, 2));
+}
+
+TEST(Matrix, Norms) {
+  Matrix m{{1, -2}, {-3, 0.5}};
+  EXPECT_DOUBLE_EQ(m.max_abs(), 3.0);
+  EXPECT_DOUBLE_EQ(m.inf_norm(), 3.5);  // row 1: |−3| + |0.5|
+  EXPECT_NEAR(m.frobenius_norm(), std::sqrt(1 + 4 + 9 + 0.25), 1e-12);
+}
+
+TEST(Matrix, NonnegativeDetection) {
+  EXPECT_TRUE((Matrix{{0, 1}, {2, 3}}).nonnegative());
+  EXPECT_FALSE((Matrix{{0, 1}, {-1e-30, 3}}).nonnegative());
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  EXPECT_EQ(a + b, (Matrix{{5, 5}, {5, 5}}));
+  EXPECT_EQ(a - b, (Matrix{{-3, -1}, {1, 3}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2, 4}, {6, 8}}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+}
+
+TEST(Matrix, ArithmeticShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a += b, ContractViolation);
+}
+
+TEST(Matrix, HadamardMatchesElementwise) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{2, 0.5}, {-1, 3}};
+  const Matrix h = a.hadamard(b);
+  EXPECT_EQ(h, (Matrix{{2, 1}, {-3, 12}}));
+}
+
+TEST(Matrix, RowSpanIsWritable) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_EQ(m(1, 2), 9.0);
+}
+
+}  // namespace
+}  // namespace memlp

@@ -1,0 +1,119 @@
+// Tests for the negative-coefficient elimination (Eq. 13 / 14a).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/negfree.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp::core {
+namespace {
+
+TEST(NegFree, NonNegativeMatrixNeedsNoCompensation) {
+  const Matrix b{{1, 2}, {0, 3}};
+  const NegativeFreeSystem sys(b);
+  EXPECT_EQ(sys.num_compensations(), 0u);
+  EXPECT_EQ(sys.dim(), 2u);
+  EXPECT_EQ(sys.matrix(), b);
+}
+
+TEST(NegFree, RequiresSquare) {
+  EXPECT_THROW(NegativeFreeSystem(Matrix(2, 3)), DimensionError);
+}
+
+TEST(NegFree, OneCompensationPerNegativeColumn) {
+  // Column 0 has two negatives; column 2 has one; column 1 none.
+  const Matrix b{{-1, 2, 3}, {-4, 5, -6}, {7, 8, 9}};
+  const NegativeFreeSystem sys(b);
+  EXPECT_EQ(sys.num_compensations(), 2u);
+  EXPECT_EQ(sys.dim(), 5u);
+  EXPECT_EQ(sys.compensated_column(0), 0u);
+  EXPECT_EQ(sys.compensated_column(1), 2u);
+  EXPECT_TRUE(sys.matrix().nonnegative());
+}
+
+TEST(NegFree, Eq13StructureMatchesPaper) {
+  // The paper's single-negative example: magnitudes move to the new column
+  // and the consistency row carries 1's at the variable and its companion.
+  const Matrix b{{2, -3}, {4, 5}};
+  const NegativeFreeSystem sys(b);
+  const Matrix& m = sys.matrix();
+  ASSERT_EQ(sys.dim(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);  // negative zeroed in place
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);  // |−3| in compensation column
+  EXPECT_DOUBLE_EQ(m(1, 1), 5.0);  // positives untouched
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 1.0);  // consistency row: s_1 + p = 0
+  EXPECT_DOUBLE_EQ(m(2, 2), 1.0);
+}
+
+TEST(NegFree, ExtendAppendsNegatedComponents) {
+  const Matrix b{{2, -3}, {4, 5}};
+  const NegativeFreeSystem sys(b);
+  const Vec extended = sys.extend(Vec{1.0, 7.0});
+  EXPECT_EQ(extended, (Vec{1.0, 7.0, -7.0}));
+  EXPECT_EQ(sys.restrict(extended), (Vec{1.0, 7.0}));
+  EXPECT_EQ(sys.extend_rhs(Vec{9.0, 8.0}), (Vec{9.0, 8.0, 0.0}));
+}
+
+TEST(NegFree, ProductMatchesOriginalOnBaseRows) {
+  Rng rng(1);
+  Matrix b(6, 6);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) b(i, j) = rng.normal();
+  const NegativeFreeSystem sys(b);
+  Vec s(6);
+  for (double& v : s) v = rng.uniform(-2.0, 2.0);
+  const Vec augmented_product = gemv(sys.matrix(), sys.extend(s));
+  const Vec original_product = gemv(b, s);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_NEAR(augmented_product[i], original_product[i], 1e-12);
+  // Consistency rows evaluate to zero on a consistent extension.
+  for (std::size_t l = 6; l < sys.dim(); ++l)
+    EXPECT_NEAR(augmented_product[l], 0.0, 1e-12);
+}
+
+// Central property (Eq. 13): solving the augmented non-negative system is
+// equivalent to solving the original system with negative coefficients.
+class NegFreeSolveSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NegFreeSolveSweep, AugmentedSolveMatchesOriginal) {
+  Rng rng(300 + GetParam());
+  const std::size_t n = GetParam();
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  for (std::size_t i = 0; i < n; ++i) b(i, i) += static_cast<double>(n) + 2.0;
+
+  const NegativeFreeSystem sys(b);
+  EXPECT_TRUE(sys.matrix().nonnegative());
+  Vec rhs(n);
+  for (double& v : rhs) v = rng.uniform(-3.0, 3.0);
+
+  const Vec expected = lu_solve(b, rhs);
+  const Vec augmented = lu_solve(sys.matrix(), sys.extend_rhs(rhs));
+  const Vec actual = sys.restrict(augmented);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(actual[i], expected[i], 1e-8 * (1.0 + std::abs(expected[i])));
+  // The compensation components equal the negated base components.
+  for (std::size_t l = 0; l < sys.num_compensations(); ++l)
+    EXPECT_NEAR(augmented[n + l], -actual[sys.compensated_column(l)], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NegFreeSolveSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 20, 40));
+
+TEST(NegFree, UpdateBaseCellWritesThrough) {
+  const Matrix b{{2, -3}, {4, 5}};
+  NegativeFreeSystem sys(b);
+  sys.update_base_cell(1, 0, 9.0);
+  EXPECT_DOUBLE_EQ(sys.matrix()(1, 0), 9.0);
+  EXPECT_THROW(sys.update_base_cell(0, 0, -1.0), ContractViolation);
+  EXPECT_THROW(sys.update_base_cell(5, 0, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace memlp::core

@@ -1,0 +1,132 @@
+// Tests for the BLAS-like free functions.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+Vec random_vec(std::size_t n, Rng& rng) {
+  Vec v(n);
+  for (double& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(Ops, GemvKnownValues) {
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Vec x{1, -1};
+  const Vec y = gemv(a, x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Ops, GemvDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Vec x(2);
+  EXPECT_THROW(gemv(a, x), ContractViolation);
+}
+
+TEST(Ops, GemvTransposedMatchesExplicitTranspose) {
+  Rng rng(1);
+  const Matrix a = random_matrix(7, 4, rng);
+  const Vec x = random_vec(7, rng);
+  const Vec expected = gemv(a.transposed(), x);
+  const Vec actual = gemv_transposed(a, x);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    EXPECT_NEAR(actual[i], expected[i], 1e-12);
+}
+
+TEST(Ops, GemmMatchesManual) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{0, 1}, {1, 0}};
+  EXPECT_EQ(gemm(a, b), (Matrix{{2, 1}, {4, 3}}));
+}
+
+TEST(Ops, GemmAssociativeWithVector) {
+  Rng rng(2);
+  const Matrix a = random_matrix(5, 6, rng);
+  const Matrix b = random_matrix(6, 4, rng);
+  const Vec x = random_vec(4, rng);
+  const Vec left = gemv(gemm(a, b), x);
+  const Vec right = gemv(a, gemv(b, x));
+  for (std::size_t i = 0; i < left.size(); ++i)
+    EXPECT_NEAR(left[i], right[i], 1e-10);
+}
+
+TEST(Ops, AxpyAndDot) {
+  Vec y{1, 2, 3};
+  const Vec x{1, 1, 1};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vec{3, 4, 5}));
+  EXPECT_DOUBLE_EQ(dot(x, y), 12.0);
+}
+
+TEST(Ops, AddSubScale) {
+  const Vec a{1, 2};
+  const Vec b{3, 5};
+  EXPECT_EQ(add(a, b), (Vec{4, 7}));
+  EXPECT_EQ(sub(b, a), (Vec{2, 3}));
+  EXPECT_EQ(scaled(a, -2.0), (Vec{-2, -4}));
+}
+
+TEST(Ops, Norms) {
+  const Vec v{3, -4};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vec{}), 0.0);
+}
+
+TEST(Ops, MaxElement) {
+  EXPECT_DOUBLE_EQ(max_element(Vec{-5, -2, -9}), -2.0);
+  EXPECT_THROW(max_element(Vec{}), ContractViolation);
+}
+
+TEST(Ops, Hadamard) {
+  EXPECT_EQ(hadamard(Vec{1, 2, 3}, Vec{2, 0, -1}), (Vec{2, 0, -3}));
+}
+
+TEST(Ops, ConcatAndSlice) {
+  const Vec a{1, 2};
+  const Vec b{3};
+  const Vec c{4, 5, 6};
+  const Vec joined = concat({a, b, c});
+  EXPECT_EQ(joined, (Vec{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(slice(joined, 2, 3), (Vec{3, 4, 5}));
+  EXPECT_THROW(slice(joined, 5, 3), ContractViolation);
+}
+
+// Property sweep: gemv linearity over random shapes.
+class GemvLinearity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemvLinearity, IsLinear) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + GetParam() % 17;
+  const std::size_t m = 1 + (GetParam() * 7) % 23;
+  const Matrix a = random_matrix(m, n, rng);
+  const Vec x = random_vec(n, rng);
+  const Vec y = random_vec(n, rng);
+  const double alpha = rng.normal();
+  const Vec lhs = gemv(a, add(x, scaled(y, alpha)));
+  Vec rhs = gemv(a, x);
+  axpy(alpha, gemv(a, y), rhs);
+  for (std::size_t i = 0; i < lhs.size(); ++i)
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-9 * (1.0 + std::abs(rhs[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GemvLinearity,
+                         ::testing::Range<std::size_t>(1, 21));
+
+}  // namespace
+}  // namespace memlp

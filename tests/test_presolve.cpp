@@ -1,0 +1,121 @@
+// Tests for the LP presolve reductions.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lp/generator.hpp"
+#include "lp/presolve.hpp"
+#include "lp/result.hpp"
+#include "solvers/simplex.hpp"
+
+namespace memlp::lp {
+namespace {
+
+TEST(Presolve, DropsRedundantZeroRow) {
+  LinearProgram problem;
+  problem.a = Matrix{{1, 2}, {0, 0}, {3, 1}};
+  problem.b = {4, 5, 6};  // 0 <= 5 is redundant
+  problem.c = {1, 1};
+  const auto result = presolve(problem);
+  ASSERT_EQ(result.outcome, PresolveResult::Outcome::kReduced);
+  EXPECT_EQ(result.reduced.num_constraints(), 2u);
+  EXPECT_EQ(result.removed_rows(problem), 1u);
+}
+
+TEST(Presolve, ZeroRowWithNegativeRhsIsInfeasible) {
+  LinearProgram problem;
+  problem.a = Matrix{{1, 2}, {0, 0}};
+  problem.b = {4, -1};  // 0 <= -1: contradiction
+  problem.c = {1, 1};
+  EXPECT_EQ(presolve(problem).outcome, PresolveResult::Outcome::kInfeasible);
+}
+
+TEST(Presolve, DuplicateRowsKeepTighterBound) {
+  LinearProgram problem;
+  problem.a = Matrix{{1, 1}, {1, 1}, {2, 0}};
+  problem.b = {10, 4, 6};  // x1+x2 <= 4 dominates <= 10
+  problem.c = {1, 1};
+  const auto result = presolve(problem);
+  ASSERT_EQ(result.outcome, PresolveResult::Outcome::kReduced);
+  EXPECT_EQ(result.reduced.num_constraints(), 2u);
+  // The kept duplicate carries b = 4.
+  bool found_tight = false;
+  for (double b : result.reduced.b)
+    if (b == 4.0) found_tight = true;
+  EXPECT_TRUE(found_tight);
+}
+
+TEST(Presolve, EmptyColumnWithPositiveProfitIsUnbounded) {
+  LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {2, 0}};
+  problem.b = {4, 6};
+  problem.c = {1, 3};  // x2 unconstrained with c2 > 0
+  EXPECT_EQ(presolve(problem).outcome, PresolveResult::Outcome::kUnbounded);
+}
+
+TEST(Presolve, EmptyColumnWithNonPositiveProfitIsDropped) {
+  LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {2, 0}};
+  problem.b = {4, 6};
+  problem.c = {1, -3};
+  const auto result = presolve(problem);
+  ASSERT_EQ(result.outcome, PresolveResult::Outcome::kReduced);
+  EXPECT_EQ(result.reduced.num_variables(), 1u);
+  // Restoration puts the dropped variable back at zero.
+  const Vec x = result.restore(Vec{2.0}, 2);
+  EXPECT_EQ(x, (Vec{2.0, 0.0}));
+}
+
+TEST(Presolve, CleanProblemIsUntouched) {
+  Rng rng(1);
+  GeneratorOptions options;
+  options.constraints = 16;
+  const auto problem = random_feasible(options, rng);
+  const auto result = presolve(problem);
+  ASSERT_EQ(result.outcome, PresolveResult::Outcome::kReduced);
+  EXPECT_EQ(result.reduced.a, problem.a);
+  EXPECT_EQ(result.removed_rows(problem), 0u);
+  EXPECT_EQ(result.removed_columns(problem), 0u);
+}
+
+// Property: presolve + solve + restore == direct solve.
+class PresolveEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PresolveEquivalence, ObjectiveIsPreserved) {
+  Rng rng(800 + GetParam());
+  GeneratorOptions options;
+  options.constraints = GetParam();
+  options.sparsity = 0.4;
+  LinearProgram problem = random_feasible(options, rng);
+  // Inject removable structure: a zero row, a duplicate row, a dead column.
+  const std::size_t m = problem.num_constraints();
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    problem.a(m - 1, j) = 0.0;                   // zero row
+    problem.a(m - 2, j) = problem.a(0, j);       // duplicate of row 0
+  }
+  problem.b[m - 1] = 1.0;
+  problem.b[m - 2] = problem.b[0] + 1.0;         // looser duplicate
+  const std::size_t dead = problem.num_variables() - 1;
+  for (std::size_t i = 0; i < m; ++i) problem.a(i, dead) = 0.0;
+  problem.c[dead] = -1.0;
+
+  const auto direct = solvers::solve_simplex(problem);
+  ASSERT_EQ(direct.status, SolveStatus::kOptimal);
+
+  const auto pre = presolve(problem);
+  ASSERT_EQ(pre.outcome, PresolveResult::Outcome::kReduced);
+  EXPECT_GE(pre.removed_rows(problem), 2u);
+  EXPECT_GE(pre.removed_columns(problem), 1u);
+  const auto reduced_solution = solvers::solve_simplex(pre.reduced);
+  ASSERT_EQ(reduced_solution.status, SolveStatus::kOptimal);
+  const Vec x =
+      pre.restore(reduced_solution.x, problem.num_variables());
+  EXPECT_NEAR(problem.objective(x), direct.objective,
+              1e-7 * (1.0 + std::abs(direct.objective)));
+  EXPECT_TRUE(problem.satisfies_constraints(x, 1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PresolveEquivalence,
+                         ::testing::Values(6, 12, 24, 48));
+
+}  // namespace
+}  // namespace memlp::lp

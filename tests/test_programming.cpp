@@ -1,0 +1,87 @@
+// Tests for the write-path level model, including its calibration against
+// the physical device model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "memristor/device.hpp"
+#include "memristor/programming.hpp"
+
+namespace memlp::mem {
+namespace {
+
+TEST(Programming, NeedsAtLeastTwoLevels) {
+  EXPECT_THROW(ProgrammingModel(DeviceParameters{}, 1), ConfigError);
+  EXPECT_NO_THROW(ProgrammingModel(DeviceParameters{}, 2));
+}
+
+TEST(Programming, EndpointsMapToWindowBounds) {
+  const DeviceParameters device;
+  const ProgrammingModel model(device, 256);
+  EXPECT_DOUBLE_EQ(model.conductance_of(0), device.g_min());
+  EXPECT_DOUBLE_EQ(model.conductance_of(255), device.g_max());
+  EXPECT_EQ(model.level_for(device.g_min()), 0u);
+  EXPECT_EQ(model.level_for(device.g_max()), 255u);
+}
+
+TEST(Programming, QuantizeIsIdempotent) {
+  const ProgrammingModel model(DeviceParameters{}, 64);
+  for (double g = model.g_min(); g <= model.g_max(); g += model.g_max() / 37)
+    EXPECT_DOUBLE_EQ(model.quantize(model.quantize(g)), model.quantize(g));
+}
+
+TEST(Programming, QuantizationErrorBoundedByHalfStep) {
+  const DeviceParameters device;
+  const ProgrammingModel model(device, 256);
+  const double step = (device.g_max() - device.g_min()) / 255.0;
+  for (double g = device.g_min(); g <= device.g_max(); g += step / 3.0)
+    EXPECT_LE(std::abs(model.quantize(g) - g), step / 2.0 + 1e-15);
+}
+
+TEST(Programming, OutOfWindowValuesClamp) {
+  const DeviceParameters device;
+  const ProgrammingModel model(device, 16);
+  EXPECT_DOUBLE_EQ(model.quantize(device.g_min() / 10.0), device.g_min());
+  EXPECT_DOUBLE_EQ(model.quantize(device.g_max() * 10.0), device.g_max());
+}
+
+TEST(Programming, PulsesAreLevelDistance) {
+  const DeviceParameters device;
+  const ProgrammingModel model(device, 256);
+  EXPECT_EQ(model.pulses_for(model.conductance_of(10),
+                             model.conductance_of(10)),
+            0u);
+  EXPECT_EQ(model.pulses_for(model.conductance_of(10),
+                             model.conductance_of(14)),
+            4u);
+  // Symmetric.
+  EXPECT_EQ(model.pulses_for(model.conductance_of(14),
+                             model.conductance_of(10)),
+            4u);
+}
+
+TEST(Programming, MoreLevelsMeansFinerSteps) {
+  const DeviceParameters device;
+  const ProgrammingModel coarse(device, 16);
+  const ProgrammingModel fine(device, 1024);
+  const double g = 0.37 * device.g_max();
+  EXPECT_LE(std::abs(fine.quantize(g) - g), std::abs(coarse.quantize(g) - g));
+}
+
+// Calibration: driving the physical device to each level's conductance
+// works, i.e. the level abstraction is realizable by pulse trains.
+TEST(Programming, LevelsAreRealizableOnDevice) {
+  const DeviceParameters params;
+  const ProgrammingModel model(params, 16);
+  for (std::size_t level = 0; level < 16; level += 3) {
+    Device device(params, 0.0);
+    const double target = model.conductance_of(level);
+    device.program_to_conductance(target, 0.02, 100'000);
+    EXPECT_NEAR(device.conductance(), target, 0.021 * target)
+        << "level " << level;
+  }
+}
+
+}  // namespace
+}  // namespace memlp::mem

@@ -1,0 +1,94 @@
+// Tests for the analog I/O quantizer (§4.1: 8-bit voltage precision).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "crossbar/quantizer.hpp"
+#include "linalg/ops.hpp"
+
+namespace memlp::xbar {
+namespace {
+
+TEST(Quantizer, ZeroBitsIsPassThrough) {
+  const Quantizer q(0);
+  EXPECT_FALSE(q.enabled());
+  Vec v{0.123456789, -3.14159, 42.0};
+  const Vec before = v;
+  q.quantize(v);
+  EXPECT_EQ(v, before);
+}
+
+TEST(Quantizer, RejectsAbsurdBitWidths) {
+  EXPECT_THROW(Quantizer(25), ConfigError);
+  EXPECT_NO_THROW(Quantizer(24));
+}
+
+TEST(Quantizer, EightBitErrorBound) {
+  const Quantizer q(8);
+  Rng rng(1);
+  Vec v(100);
+  for (double& x : v) x = rng.uniform(-5.0, 5.0);
+  const double full_scale = norm_inf(v);
+  const double step = full_scale / 127.0;
+  const Vec quantized = q.quantized(v);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_LE(std::abs(quantized[i] - v[i]), step / 2.0 + 1e-12);
+}
+
+TEST(Quantizer, PreservesFullScaleElement) {
+  const Quantizer q(8);
+  Vec v{1.0, -0.5, 0.25};
+  q.quantize(v);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);  // the max-abs element is a code point
+}
+
+TEST(Quantizer, IsIdempotent) {
+  const Quantizer q(6);
+  Rng rng(2);
+  Vec v(50);
+  for (double& x : v) x = rng.normal();
+  const Vec once = q.quantized(v);
+  const Vec twice = q.quantized(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Quantizer, ZeroVectorUnchanged) {
+  const Quantizer q(8);
+  Vec v(5, 0.0);
+  q.quantize(v);
+  for (double x : v) EXPECT_EQ(x, 0.0);
+}
+
+TEST(Quantizer, SymmetricAroundZero) {
+  const Quantizer q(8);
+  Vec v{2.0, -2.0, 0.7, -0.7};
+  q.quantize(v);
+  EXPECT_DOUBLE_EQ(v[0], -v[1]);
+  EXPECT_DOUBLE_EQ(v[2], -v[3]);
+}
+
+TEST(Quantizer, ScalarOverloadClampsToFullScale) {
+  const Quantizer q(4);
+  // A value above full scale clamps to the top code.
+  EXPECT_DOUBLE_EQ(q.quantize(100.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantize(-100.0, 1.0), -1.0);
+}
+
+TEST(Quantizer, MoreBitsLessError) {
+  Rng rng(3);
+  Vec v(200);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  double error8 = 0.0, error12 = 0.0;
+  const Vec q8 = Quantizer(8).quantized(v);
+  const Vec q12 = Quantizer(12).quantized(v);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    error8 += std::abs(q8[i] - v[i]);
+    error12 += std::abs(q12[i] - v[i]);
+  }
+  EXPECT_LT(error12, error8 / 8.0);
+}
+
+}  // namespace
+}  // namespace memlp::xbar

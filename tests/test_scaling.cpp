@@ -1,0 +1,114 @@
+// Tests for the analog problem normalization (core/scaling.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/scaling.hpp"
+#include "core/xbar_pdip.hpp"
+#include "linalg/ops.hpp"
+#include "lp/generator.hpp"
+#include "lp/result.hpp"
+#include "solvers/simplex.hpp"
+
+namespace memlp::core {
+namespace {
+
+lp::LinearProgram badly_scaled() {
+  // b ~ 1e3, c ~ 1e-2, A ~ 1: the raw data spans five decades.
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1.0, 0.5}, {0.25, 2.0}, {1.5, 1.0}};
+  problem.b = {4e3, 1.2e4, 1.8e4};
+  problem.c = {3e-2, 5e-2};
+  return problem;
+}
+
+TEST(Scaling, NormalizesDataToUnitRange) {
+  const ProblemScaling scaling(badly_scaled());
+  EXPECT_NEAR(scaling.scaled().a.max_abs(), 1.0, 1e-12);
+  EXPECT_NEAR(norm_inf(scaling.scaled().b), 1.0, 1e-12);
+  EXPECT_NEAR(norm_inf(scaling.scaled().c), 1.0, 1e-12);
+}
+
+TEST(Scaling, ScaledProblemIsEquivalent) {
+  const auto problem = badly_scaled();
+  const ProblemScaling scaling(problem);
+  // Solve both exactly; the unscaled objective must match.
+  const auto original = solvers::solve_simplex(problem);
+  ASSERT_EQ(original.status, lp::SolveStatus::kOptimal);
+  auto scaled_result = solvers::solve_simplex(scaling.scaled());
+  ASSERT_EQ(scaled_result.status, lp::SolveStatus::kOptimal);
+  scaling.unscale(scaled_result);
+  EXPECT_NEAR(scaled_result.objective, original.objective,
+              1e-9 * (1.0 + std::abs(original.objective)));
+  for (std::size_t j = 0; j < original.x.size(); ++j)
+    EXPECT_NEAR(scaled_result.x[j], original.x[j],
+                1e-7 * (1.0 + std::abs(original.x[j])));
+}
+
+TEST(Scaling, UnscaleRestoresAllCertificates) {
+  Rng rng(1);
+  lp::GeneratorOptions options;
+  options.constraints = 12;
+  options.coefficient_scale = 50.0;
+  const auto problem = lp::random_feasible(options, rng);
+  const ProblemScaling scaling(problem);
+
+  // Build a scaled-space state and unscale it; verify the residual
+  // identities transfer to original space.
+  const auto scaled_result = solvers::solve_simplex(scaling.scaled());
+  ASSERT_EQ(scaled_result.status, lp::SolveStatus::kOptimal);
+  lp::SolveResult result = scaled_result;
+  // Populate w from the scaled problem so unscale covers it.
+  const Vec ax = gemv(scaling.scaled().a, result.x);
+  result.w.resize(ax.size());
+  for (std::size_t i = 0; i < ax.size(); ++i)
+    result.w[i] = scaling.scaled().b[i] - ax[i];
+  scaling.unscale(result);
+  // Original-space primal feasibility: A·x + w = b.
+  EXPECT_LT(problem.primal_infeasibility(result.x, result.w),
+            1e-6 * (1.0 + norm_inf(problem.b)));
+}
+
+TEST(Scaling, IdentityOnAlreadyNormalizedData) {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1.0, 0.25}, {0.5, 0.75}};
+  problem.b = {1.0, 0.5};
+  problem.c = {1.0, 0.3};
+  const ProblemScaling scaling(problem);
+  EXPECT_EQ(scaling.scaled().a, problem.a);
+  EXPECT_EQ(scaling.scaled().b, problem.b);
+  EXPECT_EQ(scaling.scaled().c, problem.c);
+}
+
+TEST(Scaling, RejectsInvalidShapes) {
+  lp::LinearProgram bad;
+  bad.a = Matrix{{1.0}};
+  bad.b = {1.0, 2.0};
+  bad.c = {1.0};
+  EXPECT_THROW(ProblemScaling scaling(bad), DimensionError);
+}
+
+// The solvers must produce identical *original-unit* results whether the
+// caller pre-scales or not (normalization is internal and idempotent).
+TEST(Scaling, SolverInvariantUnderExternalRescaling) {
+  Rng rng(2);
+  lp::GeneratorOptions options;
+  options.constraints = 12;
+  const auto problem = lp::random_feasible(options, rng);
+  lp::LinearProgram rescaled = problem;
+  rescaled.a *= 1e3;   // same LP, different units: A·1e3 x' <= b with x' = x/1e3
+  rescaled.c = scaled(rescaled.c, 1e3);
+
+  XbarPdipOptions solver_options;
+  solver_options.seed = 5;
+  const auto original = solve_xbar_pdip(problem, solver_options);
+  const auto scaled_run = solve_xbar_pdip(rescaled, solver_options);
+  ASSERT_EQ(original.result.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(scaled_run.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(original.result.objective, scaled_run.result.objective,
+              1e-9 * (1.0 + std::abs(original.result.objective)));
+}
+
+}  // namespace
+}  // namespace memlp::core

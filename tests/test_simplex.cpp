@@ -1,0 +1,129 @@
+// Tests for the two-phase simplex reference solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/ops.hpp"
+#include "lp/problem.hpp"
+#include "solvers/simplex.hpp"
+
+namespace memlp::solvers {
+namespace {
+
+TEST(Simplex, TextbookProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 — optimum 36 at (2, 6).
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {0, 2}, {3, 2}};
+  problem.b = {4, 12, 18};
+  problem.c = {3, 5};
+  const auto result = solve_simplex(problem);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 36.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, SingleVariable) {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{2.0}};
+  problem.b = {10.0};
+  problem.c = {3.0};
+  const auto result = solve_simplex(problem);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 15.0, 1e-9);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // max x with only x − y <= 1: increase both without bound.
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, -1}};
+  problem.b = {1};
+  problem.c = {1, 0};
+  EXPECT_EQ(solve_simplex(problem).status, lp::SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and −x <= −2 (x >= 2).
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1}, {-1}};
+  problem.b = {1, -2};
+  problem.c = {1};
+  EXPECT_EQ(solve_simplex(problem).status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, NegativeRhsNeedsPhaseOne) {
+  // −x1 − x2 <= −2 (x1 + x2 >= 2), x1 <= 3, x2 <= 3; max x1 − x2 → (3, 0)?
+  // Constraint x1 + x2 >= 2 is satisfied at (3,0); optimum 3.
+  lp::LinearProgram problem;
+  problem.a = Matrix{{-1, -1}, {1, 0}, {0, 1}};
+  problem.b = {-2, 3, 3};
+  problem.c = {1, -1};
+  const auto result = solve_simplex(problem);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 3.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum.
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 1}, {1, 1}, {2, 2}, {1, 0}};
+  problem.b = {2, 2, 4, 1};
+  problem.c = {1, 1};
+  const auto result = solve_simplex(problem);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, ZeroObjectiveIsOptimalAtAnyFeasiblePoint) {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {0, 1}};
+  problem.b = {1, 1};
+  problem.c = {0, 0};
+  const auto result = solve_simplex(problem);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, DualSolutionSatisfiesStrongDuality) {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {0, 2}, {3, 2}};
+  problem.b = {4, 12, 18};
+  problem.c = {3, 5};
+  const auto result = solve_simplex(problem);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  // bᵀy equals the primal optimum, and y is dual-feasible: Aᵀy >= c.
+  EXPECT_NEAR(dot(problem.b, result.y), result.objective, 1e-8);
+  const Vec aty = gemv_transposed(problem.a, result.y);
+  for (std::size_t j = 0; j < problem.num_variables(); ++j)
+    EXPECT_GE(aty[j], problem.c[j] - 1e-8);
+}
+
+TEST(Simplex, SolutionIsPrimalFeasible) {
+  Rng rng(3);
+  lp::LinearProgram problem;
+  problem.a = Matrix(6, 4);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      problem.a(i, j) = rng.uniform(0.0, 1.0);
+  problem.b.assign(6, 5.0);
+  problem.c.assign(4, 1.0);
+  const auto result = solve_simplex(problem);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+  EXPECT_TRUE(problem.satisfies_constraints(result.x, 1.0 + 1e-9));
+}
+
+TEST(Simplex, ReportsPivotsAndWallTime) {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {0, 2}, {3, 2}};
+  problem.b = {4, 12, 18};
+  problem.c = {3, 5};
+  const auto result = solve_simplex(problem);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace memlp::solvers

@@ -1,0 +1,89 @@
+// Property sweeps of the crossbar PDIP solver across the workload parameter
+// grid: sign mix × sparsity × size. Each cell asserts the full contract —
+// the solver either matches the exact optimum within the analog tolerance
+// or reports an honest non-optimal status.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/generator.hpp"
+#include "lp/result.hpp"
+#include "solvers/simplex.hpp"
+
+namespace memlp::core {
+namespace {
+
+using GridParam = std::tuple<std::size_t, double, double>;  // m, neg, sparse
+
+class SolverGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(SolverGrid, MatchesExactOptimumOrFailsHonestly) {
+  const auto [m, negative_fraction, sparsity] = GetParam();
+  Rng rng(1000 + m * 7 +
+          static_cast<std::uint64_t>(negative_fraction * 100) * 13 +
+          static_cast<std::uint64_t>(sparsity * 100) * 17);
+  lp::GeneratorOptions generator;
+  generator.constraints = m;
+  generator.negative_fraction = negative_fraction;
+  generator.sparsity = sparsity;
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto reference = solvers::solve_simplex(problem);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+
+  XbarPdipOptions options;
+  options.seed = 2000 + m;
+  const auto outcome = solve_xbar_pdip(problem, options);
+  if (outcome.result.optimal()) {
+    EXPECT_LT(lp::relative_error(outcome.result.objective,
+                                 reference.objective),
+              0.12)
+        << "m=" << m << " neg=" << negative_fraction << " sp=" << sparsity;
+    // Certificates are sane: non-negative primal/dual iterates.
+    for (double v : outcome.result.x) EXPECT_GE(v, 0.0);
+    for (double v : outcome.result.y) EXPECT_GE(v, 0.0);
+  } else {
+    // Must not claim infeasibility/unboundedness of a feasible bounded LP.
+    EXPECT_TRUE(outcome.result.status == lp::SolveStatus::kNumericalFailure ||
+                outcome.result.status == lp::SolveStatus::kIterationLimit)
+        << lp::to_string(outcome.result.status);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolverGrid,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 24),
+                       ::testing::Values(0.0, 0.3, 0.6),
+                       ::testing::Values(0.0, 0.5)));
+
+// Determinism across the grid: identical seeds, identical outcomes.
+class SolverDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverDeterminism, BitIdenticalRuns) {
+  Rng rng(3000 + GetParam());
+  lp::GeneratorOptions generator;
+  generator.constraints = 16;
+  generator.negative_fraction = 0.4;
+  const auto problem = lp::random_feasible(generator, rng);
+  XbarPdipOptions options;
+  options.hardware.crossbar.variation = mem::VariationModel::uniform(0.15);
+  options.seed = 4000 + GetParam();
+  const auto a = solve_xbar_pdip(problem, options);
+  const auto b = solve_xbar_pdip(problem, options);
+  EXPECT_EQ(a.result.status, b.result.status);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  EXPECT_EQ(a.stats.backend.xbar.write_pulses,
+            b.stats.backend.xbar.write_pulses);
+  if (a.result.optimal()) {
+    ASSERT_EQ(a.result.x.size(), b.result.x.size());
+    for (std::size_t j = 0; j < a.result.x.size(); ++j)
+      EXPECT_DOUBLE_EQ(a.result.x[j], b.result.x[j]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDeterminism, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace memlp::core

@@ -1,0 +1,147 @@
+// Tests for the CSR sparse matrix, the LDLT factorization, and the
+// normal-equations PDIP variant they back.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/pdip.hpp"
+#include "linalg/ldlt.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/sparse.hpp"
+#include "lp/generator.hpp"
+#include "lp/result.hpp"
+#include "solvers/simplex.hpp"
+
+namespace memlp {
+namespace {
+
+TEST(Csr, FromDenseRoundTrip) {
+  const Matrix dense{{1, 0, 2}, {0, 0, 0}, {-3, 4, 0}};
+  const CsrMatrix csr = CsrMatrix::from_dense(dense);
+  EXPECT_EQ(csr.nnz(), 4u);
+  EXPECT_EQ(csr.to_dense(), dense);
+  EXPECT_DOUBLE_EQ(csr.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(csr.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(csr.at(2, 0), -3.0);
+}
+
+TEST(Csr, ThresholdDropsSmallEntries) {
+  const Matrix dense{{1.0, 1e-15}, {1e-15, 2.0}};
+  const CsrMatrix csr = CsrMatrix::from_dense(dense, 1e-12);
+  EXPECT_EQ(csr.nnz(), 2u);
+}
+
+TEST(Csr, FromTripletsSumsDuplicates) {
+  const CsrMatrix csr = CsrMatrix::from_triplets(
+      2, 3, {{0, 1, 2.0}, {0, 1, 3.0}, {1, 2, -1.0}, {1, 0, 4.0}});
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(csr.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(csr.at(1, 0), 4.0);
+  std::vector<CsrMatrix::Triplet> out_of_range{{2, 0, 1.0}};
+  EXPECT_THROW((void)CsrMatrix::from_triplets(2, 2, out_of_range),
+               DimensionError);
+}
+
+TEST(Csr, DensityAccounting) {
+  EXPECT_DOUBLE_EQ(CsrMatrix().density(), 0.0);
+  const CsrMatrix csr =
+      CsrMatrix::from_dense(Matrix{{1, 0}, {0, 1}});
+  EXPECT_DOUBLE_EQ(csr.density(), 0.5);
+}
+
+class CsrMvmSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrMvmSweep, MatchesDenseAcrossSparsity) {
+  const double sparsity = GetParam();
+  Rng rng(static_cast<std::uint64_t>(sparsity * 100) + 5);
+  Matrix dense(17, 11);
+  for (std::size_t i = 0; i < dense.rows(); ++i)
+    for (std::size_t j = 0; j < dense.cols(); ++j)
+      if (rng.uniform() > sparsity) dense(i, j) = rng.normal();
+  const CsrMatrix csr = CsrMatrix::from_dense(dense);
+  Vec x(11);
+  for (double& v : x) v = rng.normal();
+  Vec xt(17);
+  for (double& v : xt) v = rng.normal();
+  const Vec y_sparse = csr.multiply(x);
+  const Vec y_dense = gemv(dense, x);
+  const Vec yt_sparse = csr.multiply_transposed(xt);
+  const Vec yt_dense = gemv_transposed(dense, xt);
+  for (std::size_t i = 0; i < y_dense.size(); ++i)
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-12);
+  for (std::size_t j = 0; j < yt_dense.size(); ++j)
+    EXPECT_NEAR(yt_sparse[j], yt_dense[j], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CsrMvmSweep,
+                         ::testing::Values(0.0, 0.3, 0.7, 0.95, 1.0));
+
+TEST(Ldlt, SolvesSpdSystem) {
+  // A = Bᵀ·B + I is SPD.
+  Rng rng(1);
+  Matrix b(6, 6);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j) b(i, j) = rng.normal();
+  Matrix a = gemm(b.transposed(), b);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) += 1.0;
+  const LdltFactorization ldlt(a);
+  ASSERT_FALSE(ldlt.failed());
+  Vec rhs(6);
+  for (double& v : rhs) v = rng.normal();
+  const Vec x = ldlt.solve(rhs);
+  const Vec expected = lu_solve(a, rhs);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], expected[i], 1e-8);
+}
+
+TEST(Ldlt, FailsOnIndefiniteInput) {
+  const Matrix indefinite{{0.0, 1.0}, {1.0, 0.0}};
+  const LdltFactorization ldlt(indefinite);
+  EXPECT_TRUE(ldlt.failed());
+}
+
+TEST(Ldlt, RequiresSquare) {
+  EXPECT_THROW(LdltFactorization(Matrix(2, 3)), DimensionError);
+}
+
+class NormalEquationsSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NormalEquationsSweep, MatchesFullKktVariant) {
+  Rng rng(700 + GetParam());
+  lp::GeneratorOptions generator;
+  generator.constraints = GetParam();
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto reference = solvers::solve_simplex(problem);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+
+  core::PdipOptions normal;
+  normal.newton = core::NewtonSystem::kNormalEquations;
+  const auto via_normal = core::solve_pdip(problem, normal);
+  ASSERT_EQ(via_normal.status, lp::SolveStatus::kOptimal);
+  EXPECT_LT(lp::relative_error(via_normal.objective, reference.objective),
+            1e-4);
+
+  const auto via_kkt = core::solve_pdip(problem);
+  ASSERT_EQ(via_kkt.status, lp::SolveStatus::kOptimal);
+  EXPECT_LT(lp::relative_error(via_normal.objective, via_kkt.objective),
+            1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalEquationsSweep,
+                         ::testing::Values(4, 12, 24, 48));
+
+TEST(NormalEquations, DetectsInfeasibility) {
+  Rng rng(2);
+  lp::GeneratorOptions generator;
+  generator.constraints = 12;
+  const auto problem = lp::random_infeasible(generator, rng);
+  core::PdipOptions options;
+  options.newton = core::NewtonSystem::kNormalEquations;
+  EXPECT_EQ(core::solve_pdip(problem, options).status,
+            lp::SolveStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace memlp

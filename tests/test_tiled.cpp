@@ -1,0 +1,183 @@
+// Tests for the tiled (NoC-coordinated) crossbar matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+#include "noc/tiled.hpp"
+
+namespace memlp::noc {
+namespace {
+
+TiledConfig ideal_tiled(std::size_t tile_dim,
+                        TopologyKind kind = TopologyKind::kHierarchical) {
+  TiledConfig config;
+  config.tile_dim = tile_dim;
+  config.topology = kind;
+  config.xbar.variation = mem::VariationModel::none();
+  config.xbar.conductance_levels = 1 << 20;
+  config.xbar.io_bits = 0;
+  return config;
+}
+
+Matrix random_nonneg(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(0.0, 2.0);
+  return m;
+}
+
+TEST(Tiled, PartitionsIntoExpectedTileCount) {
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(1));
+  tiled.program(Matrix(10, 7, 1.0));
+  // rows: ceil(10/4)=3 blocks, cols: ceil(7/4)=2 blocks.
+  EXPECT_EQ(tiled.num_tiles(), 6u);
+  EXPECT_EQ(tiled.rows(), 10u);
+  EXPECT_EQ(tiled.cols(), 7u);
+}
+
+TEST(Tiled, AssembledEffectiveMatchesIdeal) {
+  Rng rng(2);
+  const Matrix a = random_nonneg(9, 11, rng);
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(3));
+  tiled.program(a);
+  const Matrix effective = tiled.assemble_effective();
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      EXPECT_NEAR(effective(i, j), a(i, j), 1e-5 * (1 + a(i, j)));
+}
+
+TEST(Tiled, MultiplyMatchesDenseMvm) {
+  Rng rng(4);
+  const Matrix a = random_nonneg(13, 9, rng);
+  TiledCrossbarMatrix tiled(ideal_tiled(5), Rng(5));
+  tiled.program(a);
+  Vec x(9);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  const Vec y = tiled.multiply(x);
+  const Vec expected = gemv(tiled.assemble_effective(), x);
+  ASSERT_EQ(y.size(), 13u);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], expected[i], 1e-10);
+}
+
+TEST(Tiled, MultiplyTransposedMatchesDense) {
+  Rng rng(6);
+  const Matrix a = random_nonneg(8, 14, rng);
+  TiledCrossbarMatrix tiled(ideal_tiled(6), Rng(7));
+  tiled.program(a);
+  Vec x(8);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  const Vec y = tiled.multiply_transposed(x);
+  const Vec expected = gemv_transposed(tiled.assemble_effective(), x);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], expected[i], 1e-10);
+}
+
+TEST(Tiled, CompositeSolveMatchesDenseSolve) {
+  Rng rng(8);
+  Matrix a = random_nonneg(10, 10, rng);
+  for (std::size_t i = 0; i < 10; ++i) a(i, i) += 10.0;
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(9));
+  tiled.program(a);
+  Vec b(10);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto x = tiled.solve(b);
+  ASSERT_TRUE(x.has_value());
+  const Vec expected = lu_solve(tiled.assemble_effective(), b);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR((*x)[i], expected[i], 1e-9);
+  EXPECT_EQ(tiled.noc_stats().global_settles, 1u);
+}
+
+TEST(Tiled, UpdateBlockDispatchesAcrossTileBoundaries) {
+  Rng rng(10);
+  const Matrix a = random_nonneg(8, 8, rng);
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(11));
+  tiled.program(a);
+  // A block straddling all four tiles.
+  Matrix block(4, 4, 1.7);
+  tiled.update_block(2, 2, block);
+  const Matrix effective = tiled.assemble_effective();
+  for (std::size_t i = 2; i < 6; ++i)
+    for (std::size_t j = 2; j < 6; ++j)
+      EXPECT_NEAR(effective(i, j), 1.7, 1e-4);
+  // Untouched corner survives.
+  EXPECT_NEAR(effective(0, 0), a(0, 0), 1e-4 * (1 + a(0, 0)));
+}
+
+TEST(Tiled, BlockJacobiSolvesDominantSystem) {
+  Rng rng(12);
+  const std::size_t n = 12;
+  Matrix a = random_nonneg(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 4.0 * static_cast<double>(n);
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(13));
+  tiled.program(a);
+  Vec b(n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto result = tiled.solve_block_jacobi(b);
+  EXPECT_TRUE(result.converged);
+  const Vec expected = lu_solve(tiled.assemble_effective(), b);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(result.x[i], expected[i], 1e-6);
+}
+
+TEST(Tiled, BlockJacobiRequiresSquareGrid) {
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(14));
+  tiled.program(Matrix(8, 8, 1.0));
+  EXPECT_NO_THROW((void)tiled.solve_block_jacobi(Vec(8, 1.0)));
+  TiledCrossbarMatrix rect(ideal_tiled(5), Rng(15));
+  rect.program(Matrix(8, 6, 1.0));
+  EXPECT_THROW((void)rect.solve_block_jacobi(Vec(8, 1.0)),
+               ContractViolation);
+}
+
+TEST(Tiled, TransfersAreCharged) {
+  Rng rng(16);
+  const Matrix a = random_nonneg(8, 8, rng);
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(17));
+  tiled.program(a);
+  tiled.reset_stats();
+  (void)tiled.multiply(Vec(8, 1.0));
+  const auto& stats = tiled.noc_stats();
+  EXPECT_GT(stats.transfers, 0u);
+  EXPECT_GT(stats.value_hops, 0u);
+  EXPECT_EQ(stats.tile_settles, 4u);  // 2x2 grid of tiles
+}
+
+TEST(Tiled, MeshAndHierarchyAgreeFunctionally) {
+  Rng rng(18);
+  const Matrix a = random_nonneg(12, 12, rng);
+  Vec x(12);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+  TiledCrossbarMatrix hier(ideal_tiled(4, TopologyKind::kHierarchical),
+                           Rng(19));
+  TiledCrossbarMatrix mesh(ideal_tiled(4, TopologyKind::kMesh), Rng(19));
+  hier.program(a);
+  mesh.program(a);
+  const Vec yh = hier.multiply(x);
+  const Vec ym = mesh.multiply(x);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(yh[i], ym[i], 1e-9);
+}
+
+TEST(Tiled, RejectsNegativeAndZeroTileDim) {
+  EXPECT_THROW(TiledCrossbarMatrix(TiledConfig{0, TopologyKind::kMesh, {}},
+                                   Rng(20)),
+               ConfigError);
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(21));
+  EXPECT_THROW(tiled.program(Matrix{{-1.0}}), ContractViolation);
+}
+
+TEST(Tiled, CrossbarStatsAggregateOverTiles) {
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(22));
+  tiled.program(Matrix(8, 8, 1.0));
+  const auto stats = tiled.crossbar_stats();
+  EXPECT_EQ(stats.full_programs, 4u);
+  EXPECT_EQ(stats.cells_written, 64u);
+}
+
+}  // namespace
+}  // namespace memlp::noc

@@ -1,0 +1,103 @@
+// Tests for the analog NoC topologies (Fig. 3).
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "noc/topology.hpp"
+
+namespace memlp::noc {
+namespace {
+
+TEST(Hierarchical, SingleTileHasDepthZero) {
+  const HierarchicalTopology topo(1);
+  EXPECT_EQ(topo.depth(), 0u);
+  EXPECT_EQ(topo.hops_to_root(0), 0u);
+  EXPECT_EQ(topo.hops(0, 0), 0u);
+  EXPECT_GE(topo.num_arbiters(), 1u);
+}
+
+TEST(Hierarchical, FourTilesShareOneArbiter) {
+  const HierarchicalTopology topo(4);
+  EXPECT_EQ(topo.depth(), 1u);
+  EXPECT_EQ(topo.num_arbiters(), 1u);
+  EXPECT_EQ(topo.hops(0, 3), 2u);  // up to the arbiter and down
+  EXPECT_EQ(topo.hops_to_root(2), 1u);
+}
+
+TEST(Hierarchical, SixteenTilesFormTwoLevels) {
+  const HierarchicalTopology topo(16);
+  EXPECT_EQ(topo.depth(), 2u);
+  EXPECT_EQ(topo.num_arbiters(), 1u + 4u);
+  // Same quad: distance 2; different quads: distance 4.
+  EXPECT_EQ(topo.hops(0, 1), 2u);
+  EXPECT_EQ(topo.hops(0, 5), 4u);
+}
+
+TEST(Hierarchical, HopsAreSymmetricAndZeroOnSelf) {
+  const HierarchicalTopology topo(13);
+  for (std::size_t a = 0; a < 13; ++a) {
+    EXPECT_EQ(topo.hops(a, a), 0u);
+    for (std::size_t b = 0; b < 13; ++b)
+      EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
+  }
+}
+
+TEST(Mesh, SideIsCeilSqrt) {
+  EXPECT_EQ(MeshTopology(1).side(), 1u);
+  EXPECT_EQ(MeshTopology(4).side(), 2u);
+  EXPECT_EQ(MeshTopology(5).side(), 3u);
+  EXPECT_EQ(MeshTopology(16).side(), 4u);
+}
+
+TEST(Mesh, XyRoutingDistances) {
+  const MeshTopology topo(9);  // 3x3
+  EXPECT_EQ(topo.hops(0, 0), 0u);
+  EXPECT_EQ(topo.hops(0, 2), 2u);  // same row
+  EXPECT_EQ(topo.hops(0, 8), 4u);  // opposite corner
+  EXPECT_EQ(topo.hops(4, 1), 1u);  // centre to edge
+}
+
+TEST(Mesh, HopsSatisfyTriangleInequality) {
+  const MeshTopology topo(12);
+  for (std::size_t a = 0; a < 12; ++a)
+    for (std::size_t b = 0; b < 12; ++b)
+      for (std::size_t c = 0; c < 12; ++c)
+        EXPECT_LE(topo.hops(a, c), topo.hops(a, b) + topo.hops(b, c));
+}
+
+TEST(Mesh, OneRouterPerNode) {
+  EXPECT_EQ(MeshTopology(7).num_arbiters(), 7u);
+}
+
+TEST(Topology, FactoryDispatches) {
+  const auto hier = make_topology(TopologyKind::kHierarchical, 8);
+  const auto mesh = make_topology(TopologyKind::kMesh, 8);
+  EXPECT_EQ(hier->kind(), TopologyKind::kHierarchical);
+  EXPECT_EQ(mesh->kind(), TopologyKind::kMesh);
+  EXPECT_EQ(hier->num_tiles(), 8u);
+  EXPECT_EQ(mesh->num_tiles(), 8u);
+}
+
+TEST(Topology, OutOfRangeTileThrows) {
+  const MeshTopology topo(4);
+  EXPECT_THROW((void)topo.hops(0, 4), ContractViolation);
+  const HierarchicalTopology hier(4);
+  EXPECT_THROW((void)hier.hops_to_root(4), ContractViolation);
+}
+
+// The hierarchy pays logarithmic distance, the mesh pays sqrt: for large
+// tile counts the hierarchy's worst-case hop count is smaller.
+TEST(Topology, HierarchyScalesBetterThanMeshWorstCase) {
+  const std::size_t tiles = 64;
+  const HierarchicalTopology hier(tiles);
+  const MeshTopology mesh(tiles);
+  std::size_t worst_hier = 0, worst_mesh = 0;
+  for (std::size_t a = 0; a < tiles; ++a)
+    for (std::size_t b = 0; b < tiles; ++b) {
+      worst_hier = std::max(worst_hier, hier.hops(a, b));
+      worst_mesh = std::max(worst_mesh, mesh.hops(a, b));
+    }
+  EXPECT_LT(worst_hier, worst_mesh);
+}
+
+}  // namespace
+}  // namespace memlp::noc

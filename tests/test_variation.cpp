@@ -1,0 +1,94 @@
+// Tests for the Eq. (18) process-variation model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "memristor/variation.hpp"
+
+namespace memlp::mem {
+namespace {
+
+TEST(Variation, NoneIsIdentity) {
+  Rng rng(1);
+  const auto model = VariationModel::none();
+  EXPECT_DOUBLE_EQ(model.perturb(3.5, rng), 3.5);
+  Matrix m{{1, 2}, {3, 4}};
+  const Matrix before = m;
+  model.perturb(m, rng);
+  EXPECT_EQ(m, before);
+}
+
+TEST(Variation, UniformStaysWithinBounds) {
+  Rng rng(2);
+  const auto model = VariationModel::uniform(0.2);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = model.perturb(10.0, rng);
+    EXPECT_GE(v, 8.0);
+    EXPECT_LE(v, 12.0);
+  }
+}
+
+TEST(Variation, UniformIsCenteredOnNominal) {
+  Rng rng(3);
+  const auto model = VariationModel::uniform(0.1);
+  double sum = 0.0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) sum += model.perturb(1.0, rng);
+  EXPECT_NEAR(sum / trials, 1.0, 0.002);
+}
+
+TEST(Variation, MatrixPerturbationIsElementwiseBounded) {
+  Rng rng(4);
+  const auto model = VariationModel::uniform(0.15);
+  Matrix m(20, 20, 2.0);
+  model.perturb(m, rng);
+  bool any_changed = false;
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 20; ++j) {
+      EXPECT_GE(m(i, j), 2.0 * 0.85);
+      EXPECT_LE(m(i, j), 2.0 * 1.15);
+      if (m(i, j) != 2.0) any_changed = true;
+    }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(Variation, DrawsDifferPerWrite) {
+  // §4.3: "process variation differs from each time of writing".
+  Rng rng(5);
+  const auto model = VariationModel::uniform(0.1);
+  const double a = model.perturb(1.0, rng);
+  const double b = model.perturb(1.0, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(Variation, LogNormalSpreadTracksMagnitude) {
+  Rng rng(6);
+  const VariationModel model(VariationKind::kLogNormal, 0.15);
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) {
+    const double v = model.perturb(1.0, rng);
+    EXPECT_GT(v, 0.0);  // multiplicative: never flips sign
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / trials;
+  const double stddev = std::sqrt(sum_sq / trials - mean * mean);
+  EXPECT_NEAR(stddev, 0.05, 0.005);  // sigma = magnitude / 3
+}
+
+TEST(Variation, RejectsInvalidMagnitude) {
+  EXPECT_THROW(VariationModel::uniform(-0.1), ConfigError);
+  EXPECT_THROW(VariationModel::uniform(1.0), ConfigError);
+  EXPECT_THROW(VariationModel(VariationKind::kNone, 0.1), ConfigError);
+}
+
+TEST(Variation, ZeroValueStaysZero) {
+  Rng rng(7);
+  const auto model = VariationModel::uniform(0.2);
+  EXPECT_DOUBLE_EQ(model.perturb(0.0, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace memlp::mem

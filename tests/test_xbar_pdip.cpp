@@ -1,0 +1,227 @@
+// Tests for the crossbar PDIP solver (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/generator.hpp"
+#include "lp/result.hpp"
+#include "solvers/simplex.hpp"
+
+namespace memlp::core {
+namespace {
+
+XbarPdipOptions ideal_hardware() {
+  XbarPdipOptions options;
+  options.hardware.crossbar.variation = mem::VariationModel::none();
+  options.hardware.crossbar.conductance_levels = 1 << 20;
+  options.hardware.crossbar.io_bits = 0;
+  return options;
+}
+
+XbarPdipOptions paper_hardware(double variation) {
+  XbarPdipOptions options;  // 256 levels, 8-bit I/O — the paper's setup
+  if (variation > 0.0)
+    options.hardware.crossbar.variation =
+        mem::VariationModel::uniform(variation);
+  else
+    options.hardware.crossbar.variation = mem::VariationModel::none();
+  return options;
+}
+
+lp::LinearProgram textbook() {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {0, 2}, {3, 2}};
+  problem.b = {4, 12, 18};
+  problem.c = {3, 5};
+  return problem;
+}
+
+TEST(XbarPdip, IdealHardwareMatchesExactOptimum) {
+  const auto outcome = solve_xbar_pdip(textbook(), ideal_hardware());
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_LT(lp::relative_error(outcome.result.objective, 36.0), 1e-3);
+}
+
+TEST(XbarPdip, ReportsSystemStructure) {
+  const auto problem = textbook();  // m=3, n=2, A all non-negative
+  const auto outcome = solve_xbar_pdip(problem, ideal_hardware());
+  // Base KKT dim 2(n+m) = 10; −I block forces n=2 compensations.
+  EXPECT_EQ(outcome.stats.compensations, 2u);
+  EXPECT_EQ(outcome.stats.system_dim, 12u);
+}
+
+TEST(XbarPdip, NegativeCoefficientsHandled) {
+  Rng rng(1);
+  lp::GeneratorOptions generator;
+  generator.constraints = 12;
+  generator.negative_fraction = 0.4;
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto reference = solvers::solve_simplex(problem);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+  const auto outcome = solve_xbar_pdip(problem, ideal_hardware());
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_GT(outcome.stats.compensations, problem.num_variables());
+  EXPECT_LT(lp::relative_error(outcome.result.objective, reference.objective),
+            1e-2);
+}
+
+TEST(XbarPdip, PaperPrecisionStaysAccurate) {
+  Rng rng(2);
+  lp::GeneratorOptions generator;
+  generator.constraints = 16;
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto reference = solvers::solve_simplex(problem);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+  const auto outcome = solve_xbar_pdip(problem, paper_hardware(0.0));
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+  // 8-bit I/O and 256-level writes floor the accuracy at the few-percent
+  // level the paper reports (§4.3).
+  EXPECT_LT(lp::relative_error(outcome.result.objective, reference.objective),
+            0.05);
+}
+
+class XbarVariationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(XbarVariationSweep, AccuracyWithinPaperRange) {
+  const double variation = GetParam() / 100.0;
+  Rng rng(3);
+  lp::GeneratorOptions generator;
+  generator.constraints = 24;
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto reference = solvers::solve_simplex(problem);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+  auto options = paper_hardware(variation);
+  options.seed = 77;
+  const auto outcome = solve_xbar_pdip(problem, options);
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal)
+      << "variation " << variation;
+  // The paper reports 0.2%–9.9% relative error up to 20% variation; leave
+  // margin for small problems (accuracy improves with size, Fig. 5).
+  EXPECT_LT(lp::relative_error(outcome.result.objective, reference.objective),
+            0.15)
+      << "variation " << variation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, XbarVariationSweep,
+                         ::testing::Values(0, 5, 10, 20));
+
+TEST(XbarPdip, DetectsInfeasibility) {
+  Rng rng(4);
+  lp::GeneratorOptions generator;
+  generator.constraints = 12;
+  const auto problem = lp::random_infeasible(generator, rng);
+  const auto outcome = solve_xbar_pdip(problem, paper_hardware(0.10));
+  EXPECT_EQ(outcome.result.status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(XbarPdip, DetectsUnbounded) {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1.0, -1.0}};
+  problem.b = {1.0};
+  problem.c = {1.0, 0.0};
+  const auto outcome = solve_xbar_pdip(problem, ideal_hardware());
+  EXPECT_EQ(outcome.result.status, lp::SolveStatus::kUnbounded);
+}
+
+TEST(XbarPdip, PerIterationWritesAreOrderN) {
+  Rng rng(5);
+  lp::GeneratorOptions generator;
+  generator.constraints = 24;
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto outcome = solve_xbar_pdip(problem, paper_hardware(0.0));
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+  const auto iterative =
+      outcome.stats.backend.since(outcome.stats.programming);
+  const std::size_t n_plus_m =
+      problem.num_variables() + problem.num_constraints();
+  // §3.5: O(N) cells per iteration — at most the 2(n+m) diagonal cells.
+  EXPECT_LE(iterative.xbar.cells_written,
+            outcome.stats.iterations * 2 * n_plus_m);
+  EXPECT_GT(iterative.xbar.cells_written, 0u);
+  // One MVM and one solve settle per iteration.
+  EXPECT_LE(iterative.xbar.mvm_ops, outcome.stats.iterations);
+  EXPECT_LE(iterative.xbar.solve_ops, outcome.stats.iterations);
+}
+
+TEST(XbarPdip, ProgrammingStatsAreSeparated) {
+  const auto outcome = solve_xbar_pdip(textbook(), paper_hardware(0.0));
+  // The initial program writes every occupied cell (structural zeros of the
+  // block-sparse KKT matrix stay at the erased level for free, §3.5), which
+  // is still far more than one iteration's 2(n+m) diagonal rewrites.
+  const std::size_t dim = outcome.stats.system_dim;
+  EXPECT_GE(outcome.stats.programming.xbar.cells_written, 2 * dim);
+  EXPECT_LT(outcome.stats.programming.xbar.cells_written, dim * dim);
+  EXPECT_GE(outcome.stats.backend.xbar.cells_written,
+            outcome.stats.programming.xbar.cells_written);
+}
+
+TEST(XbarPdip, DeterministicForFixedSeed) {
+  Rng rng(6);
+  lp::GeneratorOptions generator;
+  generator.constraints = 12;
+  const auto problem = lp::random_feasible(generator, rng);
+  auto options = paper_hardware(0.10);
+  options.seed = 123;
+  const auto first = solve_xbar_pdip(problem, options);
+  const auto second = solve_xbar_pdip(problem, options);
+  EXPECT_EQ(first.result.status, second.result.status);
+  EXPECT_DOUBLE_EQ(first.result.objective, second.result.objective);
+  EXPECT_EQ(first.stats.iterations, second.stats.iterations);
+}
+
+TEST(XbarPdip, SolutionPassesAlphaCheck) {
+  Rng rng(7);
+  lp::GeneratorOptions generator;
+  generator.constraints = 16;
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto outcome = solve_xbar_pdip(problem, paper_hardware(0.10));
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+  // The accepted solution satisfies the true constraints up to the
+  // representational error of 10%-variation hardware (α = 1 + 1.5·var).
+  EXPECT_TRUE(problem.satisfies_constraints(outcome.result.x, 1.15));
+}
+
+TEST(XbarPdip, NocBackendEngagesForLargeSystems) {
+  Rng rng(8);
+  lp::GeneratorOptions generator;
+  generator.constraints = 12;
+  const auto problem = lp::random_feasible(generator, rng);
+  auto options = ideal_hardware();
+  options.hardware.force_noc = true;
+  options.hardware.tile_dim = 16;
+  const auto outcome = solve_xbar_pdip(problem, options);
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_GT(outcome.stats.backend.num_tiles, 1u);
+  EXPECT_GT(outcome.stats.backend.noc.value_hops, 0u);
+}
+
+
+TEST(XbarPdip, MehrotraExtensionSavesIterations) {
+  Rng rng(9);
+  lp::GeneratorOptions generator;
+  generator.constraints = 24;
+  const auto problem = lp::random_feasible(generator, rng);
+  const auto reference = solvers::solve_simplex(problem);
+  ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
+
+  auto plain = paper_hardware(0.05);
+  plain.seed = 77;
+  const auto base = solve_xbar_pdip(problem, plain);
+  ASSERT_EQ(base.result.status, lp::SolveStatus::kOptimal);
+
+  auto mehrotra = plain;
+  mehrotra.pdip.predictor_corrector = true;
+  const auto pc = solve_xbar_pdip(problem, mehrotra);
+  ASSERT_EQ(pc.result.status, lp::SolveStatus::kOptimal);
+  EXPECT_LT(lp::relative_error(pc.result.objective, reference.objective),
+            0.10);
+  // Fewer iterations at the price of extra settles per iteration.
+  EXPECT_LT(pc.stats.iterations, base.stats.iterations);
+  const auto iterative_pc = pc.stats.backend.since(pc.stats.programming);
+  EXPECT_GT(iterative_pc.xbar.solve_ops, pc.stats.iterations);
+}
+
+}  // namespace
+}  // namespace memlp::core

@@ -1,0 +1,116 @@
+// Tests for the Yakopcic generalized memristor model ([23]), including the
+// calibration checks backing the perf::HardwareModel constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "memristor/yakopcic.hpp"
+#include "perf/hardware_model.hpp"
+
+namespace memlp::mem {
+namespace {
+
+TEST(Yakopcic, ParameterValidation) {
+  YakopcicParameters params;
+  EXPECT_NO_THROW(params.validate());
+  params.a1 = -1;
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = {};
+  params.x_off = 0.5;
+  params.x_on = 0.4;
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = {};
+  params.eta = 0.5;
+  EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(Yakopcic, SinhIvCurve) {
+  const YakopcicDevice device(YakopcicParameters{}, 0.5);
+  // Odd symmetry with equal branch factors.
+  EXPECT_NEAR(device.current(0.5), -device.current(-0.5), 1e-15);
+  // Superlinear: I(2V) > 2·I(V).
+  EXPECT_GT(device.current(1.0), 2.0 * device.current(0.5));
+  // Current scales with the state variable.
+  const YakopcicDevice low(YakopcicParameters{}, 0.1);
+  EXPECT_GT(device.current(0.5), low.current(0.5));
+}
+
+TEST(Yakopcic, SubThresholdReadsAreNonDestructive) {
+  YakopcicDevice device(YakopcicParameters{}, 0.5);
+  const double before = device.state();
+  for (int i = 0; i < 1000; ++i) device.apply_pulse(0.9, 1e-6);
+  EXPECT_DOUBLE_EQ(device.state(), before);
+  for (int i = 0; i < 1000; ++i) device.apply_pulse(-0.9, 1e-6);
+  EXPECT_DOUBLE_EQ(device.state(), before);
+}
+
+TEST(Yakopcic, SetAndResetMoveTheState) {
+  YakopcicDevice device(YakopcicParameters{}, 0.5);
+  device.apply_pulse(1.5, 1e-6);
+  EXPECT_GT(device.state(), 0.5);
+  const double high = device.state();
+  device.apply_pulse(-1.5, 1e-6);
+  EXPECT_LT(device.state(), high);
+}
+
+TEST(Yakopcic, StateStaysWithinWindow) {
+  YakopcicParameters params;
+  YakopcicDevice device(params, 0.5);
+  for (int i = 0; i < 100000; ++i) device.apply_pulse(2.0, 1e-6);
+  EXPECT_LE(device.state(), params.x_on);
+  EXPECT_GT(device.state(), params.x_on - 0.05);  // approaches the bound
+  for (int i = 0; i < 100000; ++i) device.apply_pulse(-2.0, 1e-6);
+  EXPECT_GE(device.state(), params.x_off);
+}
+
+TEST(Yakopcic, WindowSlowsNearBoundaries) {
+  YakopcicDevice near_top(YakopcicParameters{}, 0.95);
+  YakopcicDevice middle(YakopcicParameters{}, 0.5);
+  const double top_before = near_top.state();
+  const double mid_before = middle.state();
+  near_top.apply_pulse(1.5, 1e-7);
+  middle.apply_pulse(1.5, 1e-7);
+  EXPECT_LT(near_top.state() - top_before, middle.state() - mid_before);
+}
+
+TEST(Yakopcic, PulsesDissipateEnergy) {
+  YakopcicDevice device(YakopcicParameters{}, 0.5);
+  EXPECT_GT(device.apply_pulse(1.5, 1e-8), 0.0);
+  EXPECT_GT(device.apply_pulse(-1.5, 1e-8), 0.0);
+}
+
+TEST(Yakopcic, ProgramToStateConverges) {
+  YakopcicDevice device(YakopcicParameters{}, 0.1);
+  const std::size_t pulses = device.program_to_state(0.7, 0.01);
+  EXPECT_GT(pulses, 0u);
+  EXPECT_NEAR(device.state(), 0.7, 0.011 * 0.7);
+  // And back down.
+  device.program_to_state(0.2, 0.01);
+  EXPECT_NEAR(device.state(), 0.2, 0.011 * 0.2);
+}
+
+TEST(Yakopcic, ProgramRejectsOutOfWindowTarget) {
+  YakopcicDevice device(YakopcicParameters{}, 0.1);
+  EXPECT_THROW(device.program_to_state(1.5), ContractViolation);
+}
+
+// Calibration: the HardwareModel's per-write constants must be within the
+// regime this device model implies — a program-and-verify write (a handful
+// of short pulses) lands in the hundreds-of-nanoseconds to microsecond
+// range, and per-pulse energy in the pJ–nJ range.
+TEST(Yakopcic, HardwareModelConstantsAreInDeviceRegime) {
+  YakopcicDevice device(YakopcicParameters{}, 0.3);
+  const double pulse_width = 50e-9;
+  const double energy = device.apply_pulse(1.6, pulse_width);
+  const perf::HardwareCostConstants constants;
+  // Per-pulse energy: the model constant bounds the device-level energy
+  // (it also covers driver/verify overhead).
+  EXPECT_GT(constants.write_pulse_j, energy * 0.001);
+  // A write (overhead + pulses) takes longer than a single pulse.
+  EXPECT_GT(constants.write_cell_s, pulse_width);
+  // And the analog settle is faster than a write.
+  EXPECT_LT(constants.settle_s, constants.write_cell_s);
+}
+
+}  // namespace
+}  // namespace memlp::mem

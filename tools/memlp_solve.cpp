@@ -1,0 +1,169 @@
+// memlp_solve — command-line LP solver over the memlp text format.
+//
+//   memlp_solve [options] <problem.lp | ->
+//
+//   --solver simplex|pdip|xbar|ls   solver to use (default xbar)
+//   --variation <fraction>          process-variation level (default 0.10)
+//   --seed <n>                      hardware seed (default 42)
+//   --tile-dim <n>                  force the NoC with this tile size
+//   --quiet                         print only the objective value
+//
+// Reads the problem from a file (or stdin with "-"), solves it, prints the
+// status, objective, solution vector, and — for the crossbar solvers — the
+// hardware operation record and latency/energy estimates.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/ls_pdip.hpp"
+#include "core/pdip.hpp"
+#include "core/xbar_pdip.hpp"
+#include "lp/text_format.hpp"
+#include "perf/hardware_model.hpp"
+#include "solvers/simplex.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: memlp_solve [--solver simplex|pdip|xbar|ls] "
+               "[--variation f] [--seed n] [--tile-dim n] [--quiet] "
+               "<problem.lp | ->\n");
+}
+
+void print_result(const memlp::lp::SolveResult& result, bool quiet) {
+  if (quiet) {
+    std::printf("%.10g\n", result.objective);
+    return;
+  }
+  std::printf("status:     %s\n", memlp::lp::to_string(result.status).c_str());
+  if (!result.optimal()) return;
+  std::printf("objective:  %.10g\n", result.objective);
+  std::printf("x:         ");
+  for (double v : result.x) std::printf(" %.6g", v);
+  std::printf("\niterations: %zu\n", result.iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string solver = "xbar";
+  double variation = 0.10;
+  std::uint64_t seed = 42;
+  std::size_t tile_dim = 0;
+  bool quiet = false;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--solver") {
+      solver = next();
+    } else if (arg == "--variation") {
+      variation = std::stod(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--tile-dim") {
+      tile_dim = std::stoull(next());
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  memlp::lp::LinearProgram problem;
+  try {
+    if (path == "-") {
+      std::stringstream buffer;
+      buffer << std::cin.rdbuf();
+      problem = memlp::lp::from_text(buffer.str());
+    } else {
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+      }
+      problem = memlp::lp::read_text(file);
+    }
+  } catch (const memlp::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  if (!quiet)
+    std::printf("problem:    %zu constraints, %zu variables\n",
+                problem.num_constraints(), problem.num_variables());
+
+  const auto variation_model =
+      variation > 0.0 ? memlp::mem::VariationModel::uniform(variation)
+                      : memlp::mem::VariationModel::none();
+
+  if (solver == "simplex") {
+    print_result(memlp::solvers::solve_simplex(problem), quiet);
+    return 0;
+  }
+  if (solver == "pdip") {
+    print_result(memlp::core::solve_pdip(problem), quiet);
+    return 0;
+  }
+
+  const memlp::perf::HardwareModel hardware;
+  if (solver == "xbar") {
+    memlp::core::XbarPdipOptions options;
+    options.hardware.crossbar.variation = variation_model;
+    options.seed = seed;
+    if (tile_dim > 0) {
+      options.hardware.force_noc = true;
+      options.hardware.tile_dim = tile_dim;
+    }
+    const auto outcome = memlp::core::solve_xbar_pdip(problem, options);
+    print_result(outcome.result, quiet);
+    if (!quiet && outcome.result.optimal()) {
+      const auto cost = hardware.estimate(outcome.stats);
+      std::printf("hardware:   %zux%zu system, %zu cells written, "
+                  "%zu settles, est. %.3f ms / %.3f mJ\n",
+                  outcome.stats.system_dim, outcome.stats.system_dim,
+                  outcome.stats.backend.xbar.cells_written,
+                  outcome.stats.backend.xbar.mvm_ops +
+                      outcome.stats.backend.xbar.solve_ops,
+                  cost.latency_s * 1e3, cost.energy_j * 1e3);
+    }
+    return outcome.result.optimal() ? 0 : 1;
+  }
+  if (solver == "ls") {
+    memlp::core::LsPdipOptions options;
+    options.hardware.crossbar.variation = variation_model;
+    options.seed = seed;
+    if (tile_dim > 0) {
+      options.hardware.force_noc = true;
+      options.hardware.tile_dim = tile_dim;
+    }
+    const auto outcome = memlp::core::solve_ls_pdip(problem, options);
+    print_result(outcome.result, quiet);
+    return outcome.result.optimal() ? 0 : 1;
+  }
+  std::fprintf(stderr, "unknown solver '%s'\n", solver.c_str());
+  usage();
+  return 2;
+}
