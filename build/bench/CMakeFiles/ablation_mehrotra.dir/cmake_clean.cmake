@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mehrotra.dir/ablation_mehrotra.cpp.o"
+  "CMakeFiles/ablation_mehrotra.dir/ablation_mehrotra.cpp.o.d"
+  "ablation_mehrotra"
+  "ablation_mehrotra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mehrotra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_theta.dir/ablation_theta.cpp.o"
+  "CMakeFiles/ablation_theta.dir/ablation_theta.cpp.o.d"
+  "ablation_theta"
+  "ablation_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

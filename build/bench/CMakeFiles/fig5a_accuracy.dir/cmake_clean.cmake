@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_accuracy.dir/fig5a_accuracy.cpp.o"
+  "CMakeFiles/fig5a_accuracy.dir/fig5a_accuracy.cpp.o.d"
+  "fig5a_accuracy"
+  "fig5a_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_accuracy_ls.dir/fig5b_accuracy_ls.cpp.o"
+  "CMakeFiles/fig5b_accuracy_ls.dir/fig5b_accuracy_ls.cpp.o.d"
+  "fig5b_accuracy_ls"
+  "fig5b_accuracy_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_accuracy_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

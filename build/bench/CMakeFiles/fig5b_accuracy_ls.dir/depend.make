@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5b_accuracy_ls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_latency.dir/fig6a_latency.cpp.o"
+  "CMakeFiles/fig6a_latency.dir/fig6a_latency.cpp.o.d"
+  "fig6a_latency"
+  "fig6a_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_latency_ls.dir/fig6b_latency_ls.cpp.o"
+  "CMakeFiles/fig6b_latency_ls.dir/fig6b_latency_ls.cpp.o.d"
+  "fig6b_latency_ls"
+  "fig6b_latency_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_latency_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_energy.dir/fig7a_energy.cpp.o"
+  "CMakeFiles/fig7a_energy.dir/fig7a_energy.cpp.o.d"
+  "fig7a_energy"
+  "fig7a_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

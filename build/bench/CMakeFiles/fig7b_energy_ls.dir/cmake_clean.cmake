@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_energy_ls.dir/fig7b_energy_ls.cpp.o"
+  "CMakeFiles/fig7b_energy_ls.dir/fig7b_energy_ls.cpp.o.d"
+  "fig7b_energy_ls"
+  "fig7b_energy_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_energy_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

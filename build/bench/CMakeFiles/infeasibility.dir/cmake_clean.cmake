@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infeasibility.dir/infeasibility.cpp.o"
+  "CMakeFiles/infeasibility.dir/infeasibility.cpp.o.d"
+  "infeasibility"
+  "infeasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infeasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for infeasibility.
+# This may be replaced when dependencies are built.

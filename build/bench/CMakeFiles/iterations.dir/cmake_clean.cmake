@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterations.dir/iterations.cpp.o"
+  "CMakeFiles/iterations.dir/iterations.cpp.o.d"
+  "iterations"
+  "iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

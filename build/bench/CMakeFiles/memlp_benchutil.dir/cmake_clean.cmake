@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_benchutil.dir/bench_util.cpp.o"
+  "CMakeFiles/memlp_benchutil.dir/bench_util.cpp.o.d"
+  "libmemlp_benchutil.a"
+  "libmemlp_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

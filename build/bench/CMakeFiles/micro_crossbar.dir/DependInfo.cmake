@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_crossbar.cpp" "bench/CMakeFiles/micro_crossbar.dir/micro_crossbar.cpp.o" "gcc" "bench/CMakeFiles/micro_crossbar.dir/micro_crossbar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crossbar/CMakeFiles/memlp_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/memristor/CMakeFiles/memlp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/memlp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_crossbar.dir/micro_crossbar.cpp.o"
+  "CMakeFiles/micro_crossbar.dir/micro_crossbar.cpp.o.d"
+  "micro_crossbar"
+  "micro_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

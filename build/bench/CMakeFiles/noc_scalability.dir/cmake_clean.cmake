@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_scalability.dir/noc_scalability.cpp.o"
+  "CMakeFiles/noc_scalability.dir/noc_scalability.cpp.o.d"
+  "noc_scalability"
+  "noc_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_reuse.dir/session_reuse.cpp.o"
+  "CMakeFiles/session_reuse.dir/session_reuse.cpp.o.d"
+  "session_reuse"
+  "session_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

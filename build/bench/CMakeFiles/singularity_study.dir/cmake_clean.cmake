@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singularity_study.dir/singularity_study.cpp.o"
+  "CMakeFiles/singularity_study.dir/singularity_study.cpp.o.d"
+  "singularity_study"
+  "singularity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singularity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_tolerance.dir/variation_tolerance.cpp.o"
+  "CMakeFiles/variation_tolerance.dir/variation_tolerance.cpp.o.d"
+  "variation_tolerance"
+  "variation_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

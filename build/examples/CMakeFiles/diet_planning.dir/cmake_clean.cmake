@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diet_planning.dir/diet_planning.cpp.o"
+  "CMakeFiles/diet_planning.dir/diet_planning.cpp.o.d"
+  "diet_planning"
+  "diet_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diet_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

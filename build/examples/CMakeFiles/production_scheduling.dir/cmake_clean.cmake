@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_scheduling.dir/production_scheduling.cpp.o"
+  "CMakeFiles/production_scheduling.dir/production_scheduling.cpp.o.d"
+  "production_scheduling"
+  "production_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_maxflow.dir/routing_maxflow.cpp.o"
+  "CMakeFiles/routing_maxflow.dir/routing_maxflow.cpp.o.d"
+  "routing_maxflow"
+  "routing_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

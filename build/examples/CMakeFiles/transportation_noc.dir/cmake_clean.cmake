@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transportation_noc.dir/transportation_noc.cpp.o"
+  "CMakeFiles/transportation_noc.dir/transportation_noc.cpp.o.d"
+  "transportation_noc"
+  "transportation_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transportation_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

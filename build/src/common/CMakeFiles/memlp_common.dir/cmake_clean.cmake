@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_common.dir/csv.cpp.o"
+  "CMakeFiles/memlp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/memlp_common.dir/env.cpp.o"
+  "CMakeFiles/memlp_common.dir/env.cpp.o.d"
+  "CMakeFiles/memlp_common.dir/rng.cpp.o"
+  "CMakeFiles/memlp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/memlp_common.dir/table.cpp.o"
+  "CMakeFiles/memlp_common.dir/table.cpp.o.d"
+  "libmemlp_common.a"
+  "libmemlp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

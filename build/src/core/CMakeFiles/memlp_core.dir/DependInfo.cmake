@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/memlp_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/memlp_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/kkt.cpp" "src/core/CMakeFiles/memlp_core.dir/kkt.cpp.o" "gcc" "src/core/CMakeFiles/memlp_core.dir/kkt.cpp.o.d"
+  "/root/repo/src/core/ls_pdip.cpp" "src/core/CMakeFiles/memlp_core.dir/ls_pdip.cpp.o" "gcc" "src/core/CMakeFiles/memlp_core.dir/ls_pdip.cpp.o.d"
+  "/root/repo/src/core/negfree.cpp" "src/core/CMakeFiles/memlp_core.dir/negfree.cpp.o" "gcc" "src/core/CMakeFiles/memlp_core.dir/negfree.cpp.o.d"
+  "/root/repo/src/core/pdip.cpp" "src/core/CMakeFiles/memlp_core.dir/pdip.cpp.o" "gcc" "src/core/CMakeFiles/memlp_core.dir/pdip.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/core/CMakeFiles/memlp_core.dir/scaling.cpp.o" "gcc" "src/core/CMakeFiles/memlp_core.dir/scaling.cpp.o.d"
+  "/root/repo/src/core/xbar_pdip.cpp" "src/core/CMakeFiles/memlp_core.dir/xbar_pdip.cpp.o" "gcc" "src/core/CMakeFiles/memlp_core.dir/xbar_pdip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/memlp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/memristor/CMakeFiles/memlp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crossbar/CMakeFiles/memlp_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/memlp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/memlp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

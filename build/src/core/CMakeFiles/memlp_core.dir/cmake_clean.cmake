@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_core.dir/backend.cpp.o"
+  "CMakeFiles/memlp_core.dir/backend.cpp.o.d"
+  "CMakeFiles/memlp_core.dir/kkt.cpp.o"
+  "CMakeFiles/memlp_core.dir/kkt.cpp.o.d"
+  "CMakeFiles/memlp_core.dir/ls_pdip.cpp.o"
+  "CMakeFiles/memlp_core.dir/ls_pdip.cpp.o.d"
+  "CMakeFiles/memlp_core.dir/negfree.cpp.o"
+  "CMakeFiles/memlp_core.dir/negfree.cpp.o.d"
+  "CMakeFiles/memlp_core.dir/pdip.cpp.o"
+  "CMakeFiles/memlp_core.dir/pdip.cpp.o.d"
+  "CMakeFiles/memlp_core.dir/scaling.cpp.o"
+  "CMakeFiles/memlp_core.dir/scaling.cpp.o.d"
+  "CMakeFiles/memlp_core.dir/xbar_pdip.cpp.o"
+  "CMakeFiles/memlp_core.dir/xbar_pdip.cpp.o.d"
+  "libmemlp_core.a"
+  "libmemlp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crossbar/amplifier.cpp" "src/crossbar/CMakeFiles/memlp_xbar.dir/amplifier.cpp.o" "gcc" "src/crossbar/CMakeFiles/memlp_xbar.dir/amplifier.cpp.o.d"
+  "/root/repo/src/crossbar/crossbar.cpp" "src/crossbar/CMakeFiles/memlp_xbar.dir/crossbar.cpp.o" "gcc" "src/crossbar/CMakeFiles/memlp_xbar.dir/crossbar.cpp.o.d"
+  "/root/repo/src/crossbar/quantizer.cpp" "src/crossbar/CMakeFiles/memlp_xbar.dir/quantizer.cpp.o" "gcc" "src/crossbar/CMakeFiles/memlp_xbar.dir/quantizer.cpp.o.d"
+  "/root/repo/src/crossbar/write_scheme.cpp" "src/crossbar/CMakeFiles/memlp_xbar.dir/write_scheme.cpp.o" "gcc" "src/crossbar/CMakeFiles/memlp_xbar.dir/write_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/memlp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/memristor/CMakeFiles/memlp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_xbar.dir/amplifier.cpp.o"
+  "CMakeFiles/memlp_xbar.dir/amplifier.cpp.o.d"
+  "CMakeFiles/memlp_xbar.dir/crossbar.cpp.o"
+  "CMakeFiles/memlp_xbar.dir/crossbar.cpp.o.d"
+  "CMakeFiles/memlp_xbar.dir/quantizer.cpp.o"
+  "CMakeFiles/memlp_xbar.dir/quantizer.cpp.o.d"
+  "CMakeFiles/memlp_xbar.dir/write_scheme.cpp.o"
+  "CMakeFiles/memlp_xbar.dir/write_scheme.cpp.o.d"
+  "libmemlp_xbar.a"
+  "libmemlp_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

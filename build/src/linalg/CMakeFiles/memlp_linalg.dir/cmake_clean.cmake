@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_linalg.dir/iterative.cpp.o"
+  "CMakeFiles/memlp_linalg.dir/iterative.cpp.o.d"
+  "CMakeFiles/memlp_linalg.dir/ldlt.cpp.o"
+  "CMakeFiles/memlp_linalg.dir/ldlt.cpp.o.d"
+  "CMakeFiles/memlp_linalg.dir/lu.cpp.o"
+  "CMakeFiles/memlp_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/memlp_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/memlp_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/memlp_linalg.dir/ops.cpp.o"
+  "CMakeFiles/memlp_linalg.dir/ops.cpp.o.d"
+  "CMakeFiles/memlp_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/memlp_linalg.dir/sparse.cpp.o.d"
+  "libmemlp_linalg.a"
+  "libmemlp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemlp_linalg.a"
+)

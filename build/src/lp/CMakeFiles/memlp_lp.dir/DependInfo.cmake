@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/generator.cpp" "src/lp/CMakeFiles/memlp_lp.dir/generator.cpp.o" "gcc" "src/lp/CMakeFiles/memlp_lp.dir/generator.cpp.o.d"
+  "/root/repo/src/lp/presolve.cpp" "src/lp/CMakeFiles/memlp_lp.dir/presolve.cpp.o" "gcc" "src/lp/CMakeFiles/memlp_lp.dir/presolve.cpp.o.d"
+  "/root/repo/src/lp/problem.cpp" "src/lp/CMakeFiles/memlp_lp.dir/problem.cpp.o" "gcc" "src/lp/CMakeFiles/memlp_lp.dir/problem.cpp.o.d"
+  "/root/repo/src/lp/text_format.cpp" "src/lp/CMakeFiles/memlp_lp.dir/text_format.cpp.o" "gcc" "src/lp/CMakeFiles/memlp_lp.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/memlp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

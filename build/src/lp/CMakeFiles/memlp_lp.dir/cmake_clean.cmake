@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_lp.dir/generator.cpp.o"
+  "CMakeFiles/memlp_lp.dir/generator.cpp.o.d"
+  "CMakeFiles/memlp_lp.dir/presolve.cpp.o"
+  "CMakeFiles/memlp_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/memlp_lp.dir/problem.cpp.o"
+  "CMakeFiles/memlp_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/memlp_lp.dir/text_format.cpp.o"
+  "CMakeFiles/memlp_lp.dir/text_format.cpp.o.d"
+  "libmemlp_lp.a"
+  "libmemlp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memristor/device.cpp" "src/memristor/CMakeFiles/memlp_mem.dir/device.cpp.o" "gcc" "src/memristor/CMakeFiles/memlp_mem.dir/device.cpp.o.d"
+  "/root/repo/src/memristor/programming.cpp" "src/memristor/CMakeFiles/memlp_mem.dir/programming.cpp.o" "gcc" "src/memristor/CMakeFiles/memlp_mem.dir/programming.cpp.o.d"
+  "/root/repo/src/memristor/variation.cpp" "src/memristor/CMakeFiles/memlp_mem.dir/variation.cpp.o" "gcc" "src/memristor/CMakeFiles/memlp_mem.dir/variation.cpp.o.d"
+  "/root/repo/src/memristor/yakopcic.cpp" "src/memristor/CMakeFiles/memlp_mem.dir/yakopcic.cpp.o" "gcc" "src/memristor/CMakeFiles/memlp_mem.dir/yakopcic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/memlp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

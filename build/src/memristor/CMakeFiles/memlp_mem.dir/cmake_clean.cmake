@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_mem.dir/device.cpp.o"
+  "CMakeFiles/memlp_mem.dir/device.cpp.o.d"
+  "CMakeFiles/memlp_mem.dir/programming.cpp.o"
+  "CMakeFiles/memlp_mem.dir/programming.cpp.o.d"
+  "CMakeFiles/memlp_mem.dir/variation.cpp.o"
+  "CMakeFiles/memlp_mem.dir/variation.cpp.o.d"
+  "CMakeFiles/memlp_mem.dir/yakopcic.cpp.o"
+  "CMakeFiles/memlp_mem.dir/yakopcic.cpp.o.d"
+  "libmemlp_mem.a"
+  "libmemlp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

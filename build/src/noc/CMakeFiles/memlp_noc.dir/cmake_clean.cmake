@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_noc.dir/tiled.cpp.o"
+  "CMakeFiles/memlp_noc.dir/tiled.cpp.o.d"
+  "CMakeFiles/memlp_noc.dir/topology.cpp.o"
+  "CMakeFiles/memlp_noc.dir/topology.cpp.o.d"
+  "libmemlp_noc.a"
+  "libmemlp_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_perf.dir/hardware_model.cpp.o"
+  "CMakeFiles/memlp_perf.dir/hardware_model.cpp.o.d"
+  "libmemlp_perf.a"
+  "libmemlp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/simplex.cpp" "src/solvers/CMakeFiles/memlp_solvers.dir/simplex.cpp.o" "gcc" "src/solvers/CMakeFiles/memlp_solvers.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/memlp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/memlp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_solvers.dir/simplex.cpp.o"
+  "CMakeFiles/memlp_solvers.dir/simplex.cpp.o.d"
+  "libmemlp_solvers.a"
+  "libmemlp_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

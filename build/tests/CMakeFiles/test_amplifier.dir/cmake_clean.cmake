@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amplifier.dir/test_amplifier.cpp.o"
+  "CMakeFiles/test_amplifier.dir/test_amplifier.cpp.o.d"
+  "test_amplifier"
+  "test_amplifier.pdb"
+  "test_amplifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amplifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/test_generator.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/test_generator.dir/test_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/memlp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/memlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/memlp_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/memlp_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crossbar/CMakeFiles/memlp_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/memristor/CMakeFiles/memlp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/memlp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/memlp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

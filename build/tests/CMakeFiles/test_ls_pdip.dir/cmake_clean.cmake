@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ls_pdip.dir/test_ls_pdip.cpp.o"
+  "CMakeFiles/test_ls_pdip.dir/test_ls_pdip.cpp.o.d"
+  "test_ls_pdip"
+  "test_ls_pdip.pdb"
+  "test_ls_pdip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ls_pdip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

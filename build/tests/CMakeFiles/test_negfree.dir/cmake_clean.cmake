@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negfree.dir/test_negfree.cpp.o"
+  "CMakeFiles/test_negfree.dir/test_negfree.cpp.o.d"
+  "test_negfree"
+  "test_negfree.pdb"
+  "test_negfree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

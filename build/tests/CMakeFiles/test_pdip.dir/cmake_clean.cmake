@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdip.dir/test_pdip.cpp.o"
+  "CMakeFiles/test_pdip.dir/test_pdip.cpp.o.d"
+  "test_pdip"
+  "test_pdip.pdb"
+  "test_pdip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_programming.dir/test_programming.cpp.o"
+  "CMakeFiles/test_programming.dir/test_programming.cpp.o.d"
+  "test_programming"
+  "test_programming.pdb"
+  "test_programming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

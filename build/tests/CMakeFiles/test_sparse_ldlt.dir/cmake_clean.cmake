@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_ldlt.dir/test_sparse_ldlt.cpp.o"
+  "CMakeFiles/test_sparse_ldlt.dir/test_sparse_ldlt.cpp.o.d"
+  "test_sparse_ldlt"
+  "test_sparse_ldlt.pdb"
+  "test_sparse_ldlt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_ldlt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbar_pdip.dir/test_xbar_pdip.cpp.o"
+  "CMakeFiles/test_xbar_pdip.dir/test_xbar_pdip.cpp.o.d"
+  "test_xbar_pdip"
+  "test_xbar_pdip.pdb"
+  "test_xbar_pdip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbar_pdip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yakopcic.dir/test_yakopcic.cpp.o"
+  "CMakeFiles/test_yakopcic.dir/test_yakopcic.cpp.o.d"
+  "test_yakopcic"
+  "test_yakopcic.pdb"
+  "test_yakopcic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yakopcic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

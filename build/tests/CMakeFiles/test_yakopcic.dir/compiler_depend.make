@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_yakopcic.
+# This may be replaced when dependencies are built.

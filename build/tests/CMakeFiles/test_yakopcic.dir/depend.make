@@ -1,0 +1,2 @@
+# Empty dependencies file for test_yakopcic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_gen.dir/memlp_gen.cpp.o"
+  "CMakeFiles/memlp_gen.dir/memlp_gen.cpp.o.d"
+  "memlp_gen"
+  "memlp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

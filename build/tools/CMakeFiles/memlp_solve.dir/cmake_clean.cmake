@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlp_solve.dir/memlp_solve.cpp.o"
+  "CMakeFiles/memlp_solve.dir/memlp_solve.cpp.o.d"
+  "memlp_solve"
+  "memlp_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlp_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
