@@ -66,6 +66,12 @@ lp::LinearProgram infeasible_problem(const SweepConfig& config, std::size_t m,
   return lp::random_infeasible(options, rng);
 }
 
+bool export_table_artifacts(const TextTable& table, const std::string& stem) {
+  const bool csv_ok = table.write_csv(stem + ".csv");
+  const bool json_ok = table.write_json(stem + ".json");
+  return csv_ok && json_ok;
+}
+
 double mean(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
   return std::accumulate(values.begin(), values.end(), 0.0) /

@@ -43,6 +43,13 @@ lp::LinearProgram feasible_problem(const SweepConfig& config, std::size_t m,
 lp::LinearProgram infeasible_problem(const SweepConfig& config, std::size_t m,
                                      std::size_t trial);
 
+/// Writes `table` as machine-readable run artifacts: <stem>.csv and
+/// <stem>.json side by side (the JSON mirrors TextTable::write_json's
+/// schema, for downstream figure tooling). Returns true when both writes
+/// succeeded. Harnesses that print() with MEMLP_CSV_DIR set get the same
+/// pair automatically; this is the explicit-path variant.
+bool export_table_artifacts(const TextTable& table, const std::string& stem);
+
 /// Mean of a sample vector (0 for empty).
 double mean(const std::vector<double>& values);
 

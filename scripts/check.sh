@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-merge gate: sanitized build + full tier-1 test suite.
+#
+# Configures a dedicated build tree with -DMEMLP_SANITIZE=ON (ASan + UBSan),
+# builds everything, and runs ctest. Any sanitizer report fails the
+# corresponding test, so a clean run means the suite is memory- and
+# UB-clean. Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${MEMLP_CHECK_BUILD_DIR:-build-check}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DMEMLP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"

@@ -1,0 +1,27 @@
+// Minimal JSON emission helpers.
+//
+// Shared by the observability layer (JSONL trace sinks, metrics snapshots)
+// and the bench artifact writer (TextTable::write_json). Emission only — the
+// repo never needs to *parse* JSON outside of tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace memlp {
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+/// `s` as a quoted JSON string.
+std::string json_string(std::string_view s);
+
+/// A double as a JSON token. Non-finite values (which JSON cannot represent)
+/// become `null`; round-trippable precision otherwise.
+std::string json_number(double value);
+
+/// An integer as a JSON token.
+std::string json_number(std::int64_t value);
+
+}  // namespace memlp

@@ -10,6 +10,7 @@
 #include "common/contracts.hpp"
 #include "common/csv.hpp"
 #include "common/env.hpp"
+#include "common/json.hpp"
 
 namespace memlp {
 
@@ -80,12 +81,49 @@ std::string slugify(const std::string& title) {
 void TextTable::print() const {
   std::fputs(str().c_str(), stdout);
   const char* dir = std::getenv("MEMLP_CSV_DIR");
-  if (dir != nullptr && *dir != 0)
-    (void)write_csv(std::string(dir) + "/" + slugify(title_) + ".csv");
+  if (dir != nullptr && *dir != 0) {
+    const std::string stem = std::string(dir) + "/" + slugify(title_);
+    (void)write_csv(stem + ".csv");
+    (void)write_json(stem + ".json");
+  }
 }
 
 bool TextTable::write_csv(const std::string& path) const {
   return memlp::write_csv(path, header_, rows_);
+}
+
+namespace {
+
+std::string cell_to_json(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double value = std::strtod(cell.c_str(), &end);
+    if (end != nullptr && *end == 0) return json_number(value);
+  }
+  return json_string(cell);
+}
+
+}  // namespace
+
+bool TextTable::write_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::string out = "{\"title\":" + json_string(title_) + ",\"columns\":[";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out += (c ? "," : "") + json_string(header_[c]);
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r ? ",{" : "{";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      out += (c ? "," : "") + json_string(header_[c]) + ":" +
+             cell_to_json(rows_[r][c]);
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  std::fputs(out.c_str(), file);
+  std::fclose(file);
+  return true;
 }
 
 }  // namespace memlp

@@ -31,11 +31,26 @@ class TextTable {
   [[nodiscard]] std::string str() const;
 
   /// Renders and writes to stdout. When MEMLP_CSV_DIR is set, also writes
-  /// <dir>/<slug-of-title>.csv (best-effort).
+  /// <dir>/<slug-of-title>.csv and <dir>/<slug-of-title>.json (best-effort).
   void print() const;
 
   /// Writes the table as CSV to `path`; returns false on I/O failure.
   bool write_csv(const std::string& path) const;
+
+  /// Writes the table as a JSON artifact to `path`:
+  ///   {"title": ..., "columns": [...], "rows": [{column: value, ...}, ...]}
+  /// Cells that parse fully as numbers become JSON numbers, everything else
+  /// stays a string. Returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
 
  private:
   std::string title_;

@@ -1,8 +1,10 @@
 #include "core/backend.hpp"
 
 #include <sstream>
+#include <string>
 
 #include "common/contracts.hpp"
+#include "obs/trace.hpp"
 
 namespace memlp::core {
 namespace {
@@ -88,6 +90,28 @@ class TiledNocBackend final : public AnalogBackend {
 };
 
 }  // namespace
+
+void annotate_backend_stats(obs::PhaseSpan& span, const BackendStats& delta) {
+  if (!span.active()) return;
+  span.note("xbar.full_programs", delta.xbar.full_programs);
+  span.note("xbar.cells_written", delta.xbar.cells_written);
+  span.note("xbar.write_pulses", delta.xbar.write_pulses);
+  span.note("xbar.mvm_ops", delta.xbar.mvm_ops);
+  span.note("xbar.solve_ops", delta.xbar.solve_ops);
+  for (std::size_t k = 0; k < xbar::CrossbarStats::kPulseHistogramBuckets; ++k)
+    if (delta.xbar.pulse_histogram[k] != 0)
+      span.note("xbar.pulse_hist.b" + std::to_string(k),
+                delta.xbar.pulse_histogram[k]);
+  span.note("amps.element_ops", delta.amps.element_ops);
+  span.note("amps.vector_ops", delta.amps.vector_ops);
+  span.note("num_tiles", delta.num_tiles);
+  if (delta.num_tiles > 1) {
+    span.note("noc.transfers", delta.noc.transfers);
+    span.note("noc.value_hops", delta.noc.value_hops);
+    span.note("noc.global_settles", delta.noc.global_settles);
+    span.note("noc.tile_settles", delta.noc.tile_settles);
+  }
+}
 
 std::unique_ptr<AnalogBackend> make_backend(const BackendOptions& options,
                                             std::size_t dim, Rng rng) {

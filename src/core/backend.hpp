@@ -15,6 +15,10 @@
 #include "crossbar/crossbar.hpp"
 #include "noc/tiled.hpp"
 
+namespace memlp::obs {
+class PhaseSpan;
+}
+
 namespace memlp::core {
 
 /// Merged operation counters from a backend (inputs to the cost model).
@@ -72,6 +76,12 @@ class AnalogBackend {
   /// of 16 tiles", ...).
   [[nodiscard]] virtual std::string describe() const = 0;
 };
+
+/// Annotates a trace phase span with a BackendStats counter delta: crossbar
+/// programming/read ops (plus the non-empty pulse-histogram buckets),
+/// amplifier ops, and — when more than one tile is involved — NoC traffic.
+/// No-op when the span has no sink attached.
+void annotate_backend_stats(obs::PhaseSpan& span, const BackendStats& delta);
 
 /// Chooses single-crossbar vs NoC-tiled execution for a `dim`-sized system:
 /// the NoC engages when force_noc is set or the system exceeds either the

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <limits>
 
 #include "common/contracts.hpp"
-#include "common/env.hpp"
 #include "core/negfree.hpp"
 #include "core/scaling.hpp"
 #include "linalg/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace memlp::core {
 namespace {
@@ -80,7 +80,8 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
                           NegativeFreeSystem& negfree1,
                           AnalogBackend& backend1, AnalogBackend& backend2,
                           xbar::AmplifierBank& amps,
-                          BackendStats& programming) {
+                          BackendStats& programming, obs::TraceSink* sink,
+                          std::size_t attempt_index) {
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
   const bool schur = options.m1_mode == M1Mode::kSchurDiagonal;
@@ -93,16 +94,40 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
     write_corner_diagonals(problem, state, capped_x(state, options.ratio_cap),
                            capped_y(state, options.ratio_cap), negfree1,
                            backend1, /*also_backend=*/false);
-  const BackendStats before1 = backend1.stats();
-  backend1.program(negfree1.matrix(),
-                   options.full_scale_headroom * negfree1.matrix().max_abs());
-  programming += backend1.stats().since(before1);
-  // M2 = diag([x; y]) changes every iteration; program with headroom so the
-  // per-iteration writes stay cell-local.
-  const BackendStats before2 = backend2.stats();
-  const Matrix m2 = Matrix::diagonal(concat({state.x, state.y}));
-  backend2.program(m2, options.full_scale_headroom * m2.max_abs());
-  programming += backend2.stats().since(before2);
+  {
+    obs::PhaseSpan span(sink, "ls", "programming");
+    span.note("attempt", attempt_index);
+    const BackendStats before1 = backend1.stats();
+    backend1.program(negfree1.matrix(),
+                     options.full_scale_headroom * negfree1.matrix().max_abs());
+    BackendStats programmed = backend1.stats().since(before1);
+    // M2 = diag([x; y]) changes every iteration; program with headroom so
+    // the per-iteration writes stay cell-local.
+    const BackendStats before2 = backend2.stats();
+    const Matrix m2 = Matrix::diagonal(concat({state.x, state.y}));
+    backend2.program(m2, options.full_scale_headroom * m2.max_abs());
+    programmed += backend2.stats().since(before2);
+    programming += programmed;
+    annotate_backend_stats(span, programmed);
+  }
+
+  // Covers the whole attempt loop via RAII (annotated on every exit path);
+  // both arrays plus the amplifier bank contribute to the counter delta.
+  obs::PhaseSpan iteration_span(sink, "ls", "iterations");
+  if (iteration_span.active()) {
+    iteration_span.note("attempt", attempt_index);
+    const BackendStats before_it1 = backend1.stats();
+    const BackendStats before_it2 = backend2.stats();
+    const xbar::AmplifierStats amps_before = amps.stats();
+    iteration_span.on_close([&backend1, &backend2, &amps, &attempt, before_it1,
+                             before_it2, amps_before](obs::PhaseSpan& span) {
+      span.note("iterations", attempt.iterations);
+      BackendStats delta = backend1.stats().since(before_it1);
+      delta += backend2.stats().since(before_it2);
+      delta.amps += amps.stats().since(amps_before);
+      annotate_backend_stats(span, delta);
+    });
+  }
 
   const double b_scale = 1.0 + norm_inf(problem.b);
   const double c_scale = 1.0 + norm_inf(problem.c);
@@ -214,16 +239,29 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
       best_x_norm = std::max(norm_inf(state.x), 1e-3);
       best_y_norm = std::max(norm_inf(state.y), 1e-3);
     }
-    if (env_bool("MEMLP_TRACE", false))
-      std::fprintf(stderr,
-                   "ls_pdip it=%zu merit=%.3e pinf=%.3e dinf=%.3e gap=%.3e "
-                   "|x|=%.3e |y|=%.3e\n",
-                   iteration, merit, primal_inf, dual_inf, gap,
-                   norm_inf(state.x), norm_inf(state.y));
+    // One `iteration` record per loop entry, emitted at whichever exit the
+    // iteration takes; the step length is the constant θ of §3.4.
+    obs::IterationRecord rec;
+    if (sink != nullptr) {
+      rec.solver = "ls";
+      rec.iteration = iteration;
+      rec.attempt = attempt_index;
+      rec.mu = mu;
+      rec.primal_inf = primal_inf;
+      rec.dual_inf = dual_inf;
+      rec.gap = gap;
+      rec.objective = objective;
+      rec.merit = merit;
+      rec.alpha_p = rec.alpha_d = options.theta;
+    }
+    const auto emit_iteration = [&] {
+      if (sink != nullptr) sink->emit(rec.to_event());
+    };
     if (primal_inf <= options.pdip.eps_primal * b_scale &&
         dual_inf <= options.pdip.eps_dual * c_scale &&
         gap <= options.pdip.eps_gap * (1.0 + std::abs(objective))) {
       attempt.outcome = AttemptOutcome::kConverged;
+      emit_iteration();
       return attempt;
     }
     const double x_norm_now = norm_inf(state.x);
@@ -241,17 +279,20 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
           (x_norm_now > 100.0 * best_x_norm &&
            y_norm_now > 100.0 * best_y_norm)) {
         attempt.outcome = AttemptOutcome::kHardwareFailure;
+        emit_iteration();
         return attempt;
       }
       attempt.outcome = *diverged == lp::SolveStatus::kInfeasible
                             ? AttemptOutcome::kInfeasible
                             : AttemptOutcome::kUnbounded;
+      emit_iteration();
       return attempt;
     }
     previous_x_norm = std::max(x_norm_now, 1.0);
     previous_y_norm = std::max(y_norm_now, 1.0);
     if (iteration - best_iteration > options.stall_window) {
       attempt.outcome = classify_exit(AttemptOutcome::kStalled);
+      emit_iteration();
       return attempt;
     }
 
@@ -259,10 +300,8 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
     const auto ds1_aug =
         backend1.solve(r1, AnalogBackend::IoBoundary::kOutputOnly);
     if (!ds1_aug) {
-      if (env_bool("MEMLP_TRACE", false))
-        std::fprintf(stderr, "ls_pdip: M1 solve failed at it=%zu\n",
-                     iteration);
       attempt.outcome = classify_exit(AttemptOutcome::kHardwareFailure);
+      emit_iteration();
       return attempt;
     }
     const Vec ds1 = negfree1.restrict(*ds1_aug);
@@ -322,10 +361,8 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
       const auto ds2 =
           backend2.solve(r2, AnalogBackend::IoBoundary::kOutputOnly);
       if (!ds2) {
-        if (env_bool("MEMLP_TRACE", false))
-          std::fprintf(stderr, "ls_pdip: M2 solve failed at it=%zu\n",
-                       iteration);
         attempt.outcome = AttemptOutcome::kHardwareFailure;
+        emit_iteration();
         return attempt;
       }
       dz = slice(*ds2, 0, n);
@@ -338,6 +375,7 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
     axpy(options.theta, dz, state.z);
     axpy(options.theta, dw, state.w);
     state.clamp_floor(options.state_floor);
+    emit_iteration();
   }
   attempt.outcome = classify_exit(AttemptOutcome::kIterationLimit);
   return attempt;
@@ -415,6 +453,9 @@ XbarSolveOutcome solve_ls_pdip(const lp::LinearProgram& original,
   MEMLP_EXPECT(options.ratio_cap > 1.0);
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
+  obs::TraceSink* sink = options.pdip.trace != nullptr
+                             ? options.pdip.trace
+                             : obs::default_trace_sink();
 
   Rng rng(options.seed);
   const bool schur = options.m1_mode == M1Mode::kSchurDiagonal;
@@ -452,7 +493,7 @@ XbarSolveOutcome solve_ls_pdip(const lp::LinearProgram& original,
     out.stats.attempts = attempt_index + 1;
     const AttemptResult attempt =
         run_attempt(problem, options, negfree1, *backend1, *backend2, amps,
-                    out.stats.programming);
+                    out.stats.programming, sink, attempt_index + 1);
     out.stats.iterations += attempt.iterations;
 
     // A divergence verdict is only credible when the attempt never came
@@ -502,6 +543,32 @@ XbarSolveOutcome solve_ls_pdip(const lp::LinearProgram& original,
   out.stats.backend = merged;
   out.stats.amps = amps.stats();
   scaling.unscale(out.result);
+
+  if (sink != nullptr) {
+    obs::SolveSummary summary;
+    summary.solver = "ls";
+    summary.status = lp::to_string(out.result.status);
+    summary.iterations = out.stats.iterations;
+    summary.objective = out.result.objective;
+    obs::Event event = summary.to_event();
+    event.with("attempts", out.stats.attempts)
+        .with("system_dim", out.stats.system_dim)
+        .with("compensations", out.stats.compensations)
+        .with("programming.full_programs", out.stats.programming.xbar.full_programs)
+        .with("programming.cells_written", out.stats.programming.xbar.cells_written)
+        .with("programming.write_pulses", out.stats.programming.xbar.write_pulses)
+        .with("backend.cells_written", out.stats.backend.xbar.cells_written)
+        .with("backend.mvm_ops", out.stats.backend.xbar.mvm_ops)
+        .with("backend.solve_ops", out.stats.backend.xbar.solve_ops)
+        .with("backend.num_tiles", out.stats.backend.num_tiles);
+    sink->emit(event);
+    sink->flush();
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("ls.solves").add();
+  registry.counter("ls.iterations").add(out.stats.iterations);
+  registry.counter("ls.attempts").add(out.stats.attempts);
+  if (out.result.optimal()) registry.counter("ls.optimal").add();
   return out;
 }
 

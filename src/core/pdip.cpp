@@ -9,6 +9,8 @@
 #include "linalg/ldlt.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace memlp::core {
 namespace {
@@ -56,6 +58,11 @@ class NormalEquationsSolver {
   }
 
   [[nodiscard]] bool usable() const { return !ldlt_->failed(); }
+
+  /// Conditioning proxy of the factored Schur complement (tracing).
+  [[nodiscard]] double condition_estimate() const {
+    return ldlt_->condition_proxy();
+  }
 
   [[nodiscard]] std::optional<StepDirection> step(
       double mu, std::span<const double> corr1,
@@ -146,6 +153,18 @@ double gap_after(const PdipState& state, const StepDirection& step,
   return gap;
 }
 
+/// ‖A‖₁ (max column absolute sum) — pairs with LuFactorization's Hager
+/// ‖A⁻¹‖₁ estimate for a condition-number estimate. Traced path only.
+double matrix_norm_1(const Matrix& a) {
+  double best = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) sum += std::abs(a(i, j));
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
 }  // namespace
 
 lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
@@ -161,6 +180,9 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
   const double size =
       static_cast<double>(layout.n + layout.m);
 
+  obs::TraceSink* sink =
+      options.trace != nullptr ? options.trace : obs::default_trace_sink();
+
   lp::SolveResult result;
   result.status = lp::SolveStatus::kIterationLimit;
   for (std::size_t iteration = 1; iteration <= options.max_iterations;
@@ -172,10 +194,26 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
     const double dual_inf = problem.dual_infeasibility(state.y, state.z);
     const double gap = state.gap();
     const double objective = problem.objective(state.x);
+    // Exactly one `iteration` event per loop entry; step lengths and the
+    // condition estimate are filled in once known.
+    obs::IterationRecord rec;
+    if (sink != nullptr) {
+      rec.solver = "pdip";
+      rec.iteration = iteration;
+      rec.mu = options.delta * gap / size;  // Eq. (8)
+      rec.primal_inf = primal_inf;
+      rec.dual_inf = dual_inf;
+      rec.gap = gap;
+      rec.objective = objective;
+    }
+    const auto emit_iteration = [&] {
+      if (sink != nullptr) sink->emit(rec.to_event());
+    };
     if (primal_inf <= options.eps_primal * b_scale &&
         dual_inf <= options.eps_dual * c_scale &&
         gap <= options.eps_gap * (1.0 + std::abs(objective))) {
       result.status = lp::SolveStatus::kOptimal;
+      emit_iteration();
       break;
     }
     // Divergence ⇒ infeasibility (§3.1): an unbounded dual iterate signals a
@@ -184,6 +222,7 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
     if (const auto diverged = classify_divergence(
             state, options.divergence_bound, options.divergence_bound)) {
       result.status = *diverged;
+      emit_iteration();
       break;
     }
 
@@ -197,6 +236,17 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
       update_kkt_diagonals(kkt, problem, state);
       lu.emplace(kkt);
       if (lu->singular()) lu.reset();
+    }
+    if (sink != nullptr) {
+      // Newton-system condition estimate, traced path only: Hager's ‖A⁻¹‖₁
+      // estimate × ‖A‖₁ for the full KKT LU, the D-diagonal spread for the
+      // normal-equations LDLᵀ.
+      if (normal) {
+        rec.condition = normal->condition_estimate();
+      } else if (lu) {
+        if (const auto inv_norm = lu->inverse_norm_estimate())
+          rec.condition = *inv_norm * matrix_norm_1(kkt);
+      }
     }
     const auto solve_newton =
         [&](double mu, std::span<const double> corr1,
@@ -233,9 +283,13 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
       result.status =
           classify_relative_divergence(state, b_scale, c_scale)
               .value_or(lp::SolveStatus::kNumericalFailure);
+      emit_iteration();
       break;
     }
     const double theta = step_length(state, *step, options.step_ratio);
+    rec.alpha_p = theta;
+    rec.alpha_d = theta;
+    emit_iteration();
     apply_step(state, *step, theta);
   }
 
@@ -245,6 +299,21 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
   result.z = state.z;
   result.objective = problem.objective(state.x);
   result.wall_seconds = timer.seconds();
+
+  if (sink != nullptr) {
+    obs::SolveSummary summary;
+    summary.solver = "pdip";
+    summary.status = lp::to_string(result.status);
+    summary.iterations = result.iterations;
+    summary.objective = result.objective;
+    summary.wall_seconds = result.wall_seconds;
+    sink->emit(summary.to_event());
+    sink->flush();
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("pdip.solves").add();
+  registry.counter("pdip.iterations").add(result.iterations);
+  if (result.optimal()) registry.counter("pdip.optimal").add();
   return result;
 }
 

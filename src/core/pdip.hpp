@@ -13,6 +13,10 @@
 #include "lp/problem.hpp"
 #include "lp/result.hpp"
 
+namespace memlp::obs {
+class TraceSink;
+}
+
 namespace memlp::core {
 
 /// How the software baseline solves the per-iteration Newton system.
@@ -46,6 +50,13 @@ struct PdipOptions {
   std::size_t max_iterations = 200;
   /// Divergence bound for the infeasibility test (max |x_i|, |y_j|).
   double divergence_bound = 1e8;
+  /// Structured trace destination (see obs/trace.hpp): one `iteration`
+  /// event per PDIP iteration plus a final `solve_summary`. nullptr (the
+  /// default) falls back to the process-wide MEMLP_TRACE sink; with neither
+  /// set, instrumentation is skipped entirely. The crossbar solvers
+  /// (XbarPdipOptions / LsPdipOptions) inherit this field through their
+  /// embedded PdipOptions.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Solves the LP with the software PDIP method. `wall_seconds` is measured.

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 
 #include "common/contracts.hpp"
-#include "common/env.hpp"
 #include "core/kkt.hpp"
 #include "core/negfree.hpp"
 #include "core/scaling.hpp"
 #include "linalg/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace memlp::core {
 namespace {
@@ -62,7 +62,8 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
                           const KktLayout& layout,
                           NegativeFreeSystem& negfree, AnalogBackend& backend,
                           xbar::AmplifierBank& amps, bool array_holds_m,
-                          BackendStats& programming) {
+                          BackendStats& programming, obs::TraceSink* sink,
+                          std::size_t attempt_index) {
   AttemptResult attempt;
   PdipState state = PdipState::ones(layout.n, layout.m);
   const double full_scale =
@@ -80,9 +81,32 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
   } else {
     write_diagonal_blocks(layout, state, negfree, backend,
                           /*also_backend=*/false, write_floor);
+    obs::PhaseSpan span(sink, "xbar", "programming");
+    span.note("attempt", attempt_index);
     const BackendStats before_program = backend.stats();
     backend.program(negfree.matrix(), full_scale);
-    programming += backend.stats().since(before_program);
+    const BackendStats programmed = backend.stats().since(before_program);
+    programming += programmed;
+    annotate_backend_stats(span, programmed);
+  }
+
+  // The per-attempt iteration phase closes on every exit path below (RAII),
+  // annotated with the backend traffic it generated — against `programming`
+  // this is the paper's O(N)-per-iteration vs O(N²)-per-program split.
+  obs::PhaseSpan iteration_span(sink, "xbar", "iterations");
+  if (iteration_span.active()) {
+    iteration_span.note("attempt", attempt_index);
+    const BackendStats before_iterations = backend.stats();
+    const xbar::AmplifierStats amps_before = amps.stats();
+    iteration_span.on_close([&backend, &amps, &attempt, before_iterations,
+                             amps_before](obs::PhaseSpan& span) {
+      span.note("iterations", attempt.iterations);
+      // The amplifier bank sits outside the backend on single-crossbar
+      // runs; merge its delta so the phase covers all analog traffic.
+      BackendStats delta = backend.stats().since(before_iterations);
+      delta.amps += amps.stats().since(amps_before);
+      annotate_backend_stats(span, delta);
+    });
   }
 
   const double b_scale = 1.0 + norm_inf(problem.b);
@@ -179,16 +203,28 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
       best_x_norm = std::max(norm_inf(state.x), 1e-3);
       best_y_norm = std::max(norm_inf(state.y), 1e-3);
     }
-    if (env_bool("MEMLP_TRACE", false))
-      std::fprintf(stderr,
-                   "xbar_pdip it=%zu merit=%.3e pinf=%.3e dinf=%.3e "
-                   "gap=%.3e |x|=%.3e |y|=%.3e\n",
-                   iteration, merit, primal_inf, dual_inf, gap,
-                   norm_inf(state.x), norm_inf(state.y));
+    // One `iteration` record per loop entry, emitted at whichever exit the
+    // iteration takes (step lengths are only known on the stepping path).
+    obs::IterationRecord rec;
+    if (sink != nullptr) {
+      rec.solver = "xbar";
+      rec.iteration = iteration;
+      rec.attempt = attempt_index;
+      rec.mu = mu;
+      rec.primal_inf = primal_inf;
+      rec.dual_inf = dual_inf;
+      rec.gap = gap;
+      rec.objective = objective;
+      rec.merit = merit;
+    }
+    const auto emit_iteration = [&] {
+      if (sink != nullptr) sink->emit(rec.to_event());
+    };
     if (primal_inf <= options.pdip.eps_primal * b_scale &&
         dual_inf <= options.pdip.eps_dual * c_scale &&
         gap <= options.pdip.eps_gap * (1.0 + std::abs(objective))) {
       attempt.outcome = AttemptOutcome::kConverged;
+      emit_iteration();
       return attempt;
     }
     const double x_norm_now = norm_inf(state.x);
@@ -206,17 +242,20 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
           (x_norm_now > 100.0 * best_x_norm &&
            y_norm_now > 100.0 * best_y_norm)) {
         attempt.outcome = AttemptOutcome::kHardwareFailure;
+        emit_iteration();
         return attempt;
       }
       attempt.outcome = *diverged == lp::SolveStatus::kInfeasible
                             ? AttemptOutcome::kInfeasible
                             : AttemptOutcome::kUnbounded;
+      emit_iteration();
       return attempt;
     }
     previous_x_norm = std::max(x_norm_now, 1.0);
     previous_y_norm = std::max(y_norm_now, 1.0);
     if (iteration - best_iteration > options.stall_window) {
       attempt.outcome = classify_exit(AttemptOutcome::kStalled);
+      emit_iteration();
       return attempt;
     }
 
@@ -231,6 +270,7 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
       // A diverging iterate drives the (varied) system singular well before
       // the hard bound — classify before falling back to a hardware retry.
       attempt.outcome = classify_exit(AttemptOutcome::kHardwareFailure);
+      emit_iteration();
       return attempt;
     }
     if (options.pdip.predictor_corrector) {
@@ -275,12 +315,15 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
     // blocking every step — the frozen signature of a diverged iterate under
     // analog noise.
     frozen_steps = theta < 1e-7 ? frozen_steps + 1 : 0;
+    rec.alpha_p = rec.alpha_d = theta;
     if (frozen_steps >= 5) {
       attempt.outcome = classify_exit(AttemptOutcome::kStalled);
+      emit_iteration();
       return attempt;
     }
     apply_step(state, step, theta);
     state.clamp_floor(options.state_floor);
+    emit_iteration();
   }
   attempt.outcome = classify_exit(AttemptOutcome::kIterationLimit);
   return attempt;
@@ -305,6 +348,9 @@ XbarSolveOutcome solve_with_context(const lp::LinearProgram& original,
   const lp::LinearProgram& problem = scaling.scaled();
   MEMLP_EXPECT(options.alpha >= 1.0);
   const KktLayout layout{problem.num_variables(), problem.num_constraints()};
+  obs::TraceSink* sink = options.pdip.trace != nullptr
+                             ? options.pdip.trace
+                             : obs::default_trace_sink();
 
   // Context reuse: the array's structural blocks depend only on (scaled) A.
   const bool same_a = context.negfree.has_value() &&
@@ -348,7 +394,8 @@ XbarSolveOutcome solve_with_context(const lp::LinearProgram& original,
     const bool reuse_array = attempt_index == 0 && context.array_programmed;
     const AttemptResult attempt =
         run_attempt(problem, options, layout, negfree, backend, amps,
-                    reuse_array, out.stats.programming);
+                    reuse_array, out.stats.programming, sink,
+                    attempt_index + 1);
     context.array_programmed = true;
     out.stats.iterations += attempt.iterations;
 
@@ -400,6 +447,32 @@ XbarSolveOutcome solve_with_context(const lp::LinearProgram& original,
   out.stats.backend = backend.stats();
   out.stats.amps = amps.stats();
   scaling.unscale(out.result);
+
+  if (sink != nullptr) {
+    obs::SolveSummary summary;
+    summary.solver = "xbar";
+    summary.status = lp::to_string(out.result.status);
+    summary.iterations = out.stats.iterations;
+    summary.objective = out.result.objective;
+    obs::Event event = summary.to_event();
+    event.with("attempts", out.stats.attempts)
+        .with("system_dim", out.stats.system_dim)
+        .with("compensations", out.stats.compensations)
+        .with("programming.full_programs", out.stats.programming.xbar.full_programs)
+        .with("programming.cells_written", out.stats.programming.xbar.cells_written)
+        .with("programming.write_pulses", out.stats.programming.xbar.write_pulses)
+        .with("backend.cells_written", out.stats.backend.xbar.cells_written)
+        .with("backend.mvm_ops", out.stats.backend.xbar.mvm_ops)
+        .with("backend.solve_ops", out.stats.backend.xbar.solve_ops)
+        .with("backend.num_tiles", out.stats.backend.num_tiles);
+    sink->emit(event);
+    sink->flush();
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("xbar.solves").add();
+  registry.counter("xbar.iterations").add(out.stats.iterations);
+  registry.counter("xbar.attempts").add(out.stats.attempts);
+  if (out.result.optimal()) registry.counter("xbar.optimal").add();
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "crossbar/crossbar.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/contracts.hpp"
@@ -27,12 +28,26 @@ void CrossbarConfig::validate() const {
         "crossbar: per-cell gain ranging assumes a compensated readout");
 }
 
+std::size_t CrossbarStats::pulse_bucket(std::size_t pulses) noexcept {
+  // 0 → 0; otherwise bit_width gives k for pulses in [2^(k-1), 2^k).
+  return std::min<std::size_t>(std::bit_width(pulses),
+                               kPulseHistogramBuckets - 1);
+}
+
+void CrossbarStats::record_write(std::size_t pulses) noexcept {
+  ++cells_written;
+  write_pulses += pulses;
+  ++pulse_histogram[pulse_bucket(pulses)];
+}
+
 CrossbarStats& CrossbarStats::operator+=(const CrossbarStats& other) noexcept {
   full_programs += other.full_programs;
   cells_written += other.cells_written;
   write_pulses += other.write_pulses;
   mvm_ops += other.mvm_ops;
   solve_ops += other.solve_ops;
+  for (std::size_t k = 0; k < kPulseHistogramBuckets; ++k)
+    pulse_histogram[k] += other.pulse_histogram[k];
   return *this;
 }
 
@@ -43,6 +58,8 @@ CrossbarStats CrossbarStats::since(const CrossbarStats& earlier) const noexcept 
   d.write_pulses = write_pulses - earlier.write_pulses;
   d.mvm_ops = mvm_ops - earlier.mvm_ops;
   d.solve_ops = solve_ops - earlier.solve_ops;
+  for (std::size_t k = 0; k < kPulseHistogramBuckets; ++k)
+    d.pulse_histogram[k] = pulse_histogram[k] - earlier.pulse_histogram[k];
   return d;
 }
 
@@ -140,11 +157,10 @@ void Crossbar::write_cell(std::size_t r, std::size_t c, double value,
       quantized = std::ldexp(std::round(mantissa * steps) / steps, exponent);
     }
     if (!force && quantized == level_g_(r, c)) return;  // keeps its draw
-    ++stats_.cells_written;
     // One pulse per mantissa bit of the gain-ranged write.
-    stats_.write_pulses += static_cast<std::size_t>(
+    stats_.record_write(static_cast<std::size_t>(
         std::max(1.0, std::log2(static_cast<double>(
-                          config_.conductance_levels))));
+                          config_.conductance_levels)))));
     level_g_(r, c) = quantized;
     const double value_eff = config_.variation.perturb(quantized, rng_);
     effective_(r, c) = value_eff;
@@ -164,8 +180,7 @@ void Crossbar::write_cell(std::size_t r, std::size_t c, double value,
     effective_(r, c) = logical_from_conductance(effective_g_(r, c), r, c);
     return;
   }
-  ++stats_.cells_written;
-  stats_.write_pulses += programming_.pulses_for(g_old, g_prog);
+  stats_.record_write(programming_.pulses_for(g_old, g_prog));
   level_g_(r, c) = g_prog;
   const double g_eff =
       std::max(config_.variation.perturb(g_prog, rng_), 1e-300);

@@ -31,6 +31,7 @@
 // CrossbarStats, which perf::HardwareModel converts to time and energy.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <optional>
 
@@ -93,11 +94,26 @@ struct CrossbarConfig {
 
 /// Write/read operation counters (inputs to the hardware cost model).
 struct CrossbarStats {
+  /// Pulse-count histogram buckets: bucket 0 counts 0-pulse writes (a forced
+  /// rewrite landing on the cell's current level), bucket k ≥ 1 counts
+  /// writes needing [2^(k-1), 2^k) pulses; the last bucket is open-ended.
+  static constexpr std::size_t kPulseHistogramBuckets = 12;
+
   std::size_t full_programs = 0;   ///< program() calls.
   std::size_t cells_written = 0;   ///< crosspoints whose level changed.
   std::size_t write_pulses = 0;    ///< total pulses across those cells.
   std::size_t mvm_ops = 0;         ///< analog multiply settles.
   std::size_t solve_ops = 0;       ///< analog solve settles.
+  /// Per-cell-write pulse distribution across the write scheme (§3.3): the
+  /// shape separates cheap level-neighbor updates (the O(N) per-iteration
+  /// diagonal rewrites) from expensive full-range programming writes.
+  std::array<std::size_t, kPulseHistogramBuckets> pulse_histogram{};
+
+  /// Histogram bucket index for one write of `pulses` pulses.
+  [[nodiscard]] static std::size_t pulse_bucket(std::size_t pulses) noexcept;
+
+  /// Accounts one cell write of `pulses` pulses (counters + histogram).
+  void record_write(std::size_t pulses) noexcept;
 
   CrossbarStats& operator+=(const CrossbarStats& other) noexcept;
 

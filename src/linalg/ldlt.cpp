@@ -1,6 +1,8 @@
 #include "linalg/ldlt.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
@@ -28,6 +30,20 @@ LdltFactorization::LdltFactorization(const Matrix& a) {
       l_(i, j) = lij / dj;
     }
   }
+}
+
+double LdltFactorization::condition_proxy() const noexcept {
+  if (failed_ || d_.empty())
+    return std::numeric_limits<double>::infinity();
+  double lo = std::abs(d_[0]);
+  double hi = lo;
+  for (double d : d_) {
+    const double a = std::abs(d);
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  if (lo <= 0.0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
 }
 
 Vec LdltFactorization::solve(std::span<const double> b) const {

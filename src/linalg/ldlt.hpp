@@ -26,6 +26,11 @@ class LdltFactorization {
   /// Solves A·x = b. Requires !failed().
   [[nodiscard]] Vec solve(std::span<const double> b) const;
 
+  /// Crude conditioning proxy: max|d_i| / min|d_i| over the D diagonal (the
+  /// exact condition number of D, a lower-bound flavor for A). +inf when the
+  /// factorization failed. Cheap — used by solver tracing.
+  [[nodiscard]] double condition_proxy() const noexcept;
+
   [[nodiscard]] std::size_t size() const noexcept { return l_.rows(); }
 
  private:

@@ -1,0 +1,74 @@
+#include "obs/metrics.hpp"
+
+#include "common/json.hpp"
+#include "obs/trace.hpp"
+
+namespace memlp::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counter_values()) {
+    if (!first) out += ",";
+    first = false;
+    out += json_string(name) + ":" +
+           json_number(static_cast<std::int64_t>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauge_values()) {
+    if (!first) out += ",";
+    first = false;
+    out += json_string(name) + ":" + json_number(value);
+  }
+  out += "}}";
+  return out;
+}
+
+Event MetricsRegistry::snapshot_event() const {
+  Event event("metrics");
+  for (const auto& [name, value] : counter_values()) event.with(name, value);
+  for (const auto& [name, value] : gauge_values()) event.with(name, value);
+  return event;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace memlp::obs

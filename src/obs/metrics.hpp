@@ -1,0 +1,84 @@
+// memlp::obs — thread-safe metrics registry.
+//
+// A process-wide registry of named counters and gauges, updated by the
+// solvers at solve granularity (one lookup-free atomic add per metric per
+// solve — never inside per-iteration hot paths). `snapshot()` exports the
+// current values for machine consumption; memlp_solve appends it to the
+// trace stream as a final `metrics` event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace memlp::obs {
+
+class Event;
+
+/// Monotonically increasing counter. add() is lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. set() is lock-free.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Named counters/gauges with stable addresses: the reference returned by
+/// counter()/gauge() stays valid for the registry's lifetime, so callers may
+/// cache it and update lock-free afterwards.
+class MetricsRegistry {
+ public:
+  /// Returns (creating on first use) the counter named `name`.
+  Counter& counter(const std::string& name);
+
+  /// Returns (creating on first use) the gauge named `name`.
+  Gauge& gauge(const std::string& name);
+
+  /// Current values, name-sorted.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
+  [[nodiscard]] std::map<std::string, double> gauge_values() const;
+
+  /// JSON export: {"counters":{...},"gauges":{...}}.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// The snapshot as a flat `metrics` trace event (counters then gauges).
+  [[nodiscard]] Event snapshot_event() const;
+
+  /// Zeroes every registered metric (tests).
+  void reset();
+
+  /// The process-wide registry.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace memlp::obs

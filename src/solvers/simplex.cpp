@@ -8,6 +8,8 @@
 #include "common/contracts.hpp"
 #include "common/stopwatch.hpp"
 #include "linalg/ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace memlp::solvers {
 namespace {
@@ -78,6 +80,18 @@ class Tableau {
   }
 
   [[nodiscard]] std::size_t pivots() const noexcept { return pivots_; }
+
+  /// Pivots whose leaving row had rhs ≈ 0 — the basis changed but the
+  /// objective did not move (degeneracy/cycling pressure indicator).
+  [[nodiscard]] std::size_t degenerate_pivots() const noexcept {
+    return degenerate_pivots_;
+  }
+
+  /// Pivots spent in Phase 1 (feasibility search), incl. driving artificials
+  /// out of the basis.
+  [[nodiscard]] std::size_t phase1_pivots() const noexcept {
+    return phase1_pivots_;
+  }
 
  private:
   void load_phase1_costs() {
@@ -188,6 +202,8 @@ class Tableau {
 
   void pivot(std::size_t row, std::size_t col) {
     ++pivots_;
+    if (phase1_) ++phase1_pivots_;
+    if (std::abs(body_(row, cols_)) <= 1e-11) ++degenerate_pivots_;
     const double pivot_value = body_(row, col);
     MEMLP_ASSERT(std::abs(pivot_value) > 1e-12);
     const double inv = 1.0 / pivot_value;
@@ -211,6 +227,8 @@ class Tableau {
   Matrix body_;
   std::vector<std::size_t> basis_;
   std::size_t pivots_ = 0;
+  std::size_t degenerate_pivots_ = 0;
+  std::size_t phase1_pivots_ = 0;
   bool phase1_ = false;
 };
 
@@ -230,6 +248,29 @@ lp::SolveResult solve_simplex(const lp::LinearProgram& problem,
     result.objective = problem.objective(result.x);
   }
   result.wall_seconds = timer.seconds();
+
+  obs::TraceSink* sink = options.trace != nullptr ? options.trace
+                                                  : obs::default_trace_sink();
+  if (sink != nullptr) {
+    obs::SolveSummary summary;
+    summary.solver = "simplex";
+    summary.status = lp::to_string(result.status);
+    summary.iterations = result.iterations;
+    summary.objective = result.objective;
+    summary.wall_seconds = result.wall_seconds;
+    obs::Event event = summary.to_event();
+    event.with("pivots", tableau.pivots())
+        .with("degenerate_pivots", tableau.degenerate_pivots())
+        .with("phase1_pivots", tableau.phase1_pivots());
+    sink->emit(event);
+    sink->flush();
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("simplex.solves").add();
+  registry.counter("simplex.pivots").add(tableau.pivots());
+  registry.counter("simplex.degenerate_pivots")
+      .add(tableau.degenerate_pivots());
+  if (result.optimal()) registry.counter("simplex.optimal").add();
   return result;
 }
 

@@ -12,6 +12,10 @@
 #include "lp/problem.hpp"
 #include "lp/result.hpp"
 
+namespace memlp::obs {
+class TraceSink;
+}
+
 namespace memlp::solvers {
 
 /// Options for the simplex solver.
@@ -23,6 +27,10 @@ struct SimplexOptions {
   /// Switch from Dantzig to Bland pricing after this multiple of (m + n)
   /// pivots (anti-cycling).
   std::size_t bland_after_factor = 10;
+  /// Structured trace destination (see obs/trace.hpp): a `solve_summary`
+  /// event with pivot/degeneracy counters. nullptr falls back to the
+  /// process-wide MEMLP_TRACE sink.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Solves the LP exactly. The result's `y` holds the dual solution

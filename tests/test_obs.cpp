@@ -1,0 +1,415 @@
+// Tests for memlp::obs — trace sinks, typed records, and the metrics
+// registry — plus integration checks that the solvers' instrumentation
+// matches what the solvers report through their results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "core/pdip.hpp"
+#include "core/xbar_pdip.hpp"
+#include "crossbar/crossbar.hpp"
+#include "linalg/matrix.hpp"
+#include "lp/problem.hpp"
+#include "lp/result.hpp"
+#include "memristor/variation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace memlp::obs {
+namespace {
+
+// --- minimal JSON parser (flat objects only) --------------------------------
+//
+// The JSONL sink emits one flat object per line: string keys, values that
+// are strings, numbers, or booleans. This parser is deliberately strict —
+// any structural surprise fails the round-trip test.
+
+bool decode_json_string(const std::string& s, std::size_t& i,
+                        std::string* out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out->clear();
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i++];
+    if (c == '\\') {
+      if (i >= s.size()) return false;
+      const char escape = s[i++];
+      switch (escape) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case 'n': c = '\n'; break;
+        case 'r': c = '\r'; break;
+        case 't': c = '\t'; break;
+        case 'u': {
+          if (i + 4 > s.size()) return false;
+          c = static_cast<char>(std::stoi(s.substr(i, 4), nullptr, 16));
+          i += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    *out += c;
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+/// Parses `line` into key → value, where string values are decoded and
+/// number/boolean values keep their raw token text.
+bool parse_flat_json(const std::string& line,
+                     std::map<std::string, std::string>* out) {
+  out->clear();
+  std::size_t i = 0;
+  if (line.empty() || line[i] != '{') return false;
+  ++i;
+  if (i < line.size() && line[i] == '}') return true;
+  while (i < line.size()) {
+    std::string key;
+    if (!decode_json_string(line, i, &key)) return false;
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!decode_json_string(line, i, &value)) return false;
+    } else {
+      while (i < line.size() && line[i] != ',' && line[i] != '}')
+        value += line[i++];
+      if (value.empty()) return false;
+    }
+    (*out)[key] = value;
+    if (i >= line.size()) return false;
+    if (line[i] == '}') return i == line.size() - 1;
+    if (line[i] != ',') return false;
+    ++i;
+  }
+  return false;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// --- Event / record formatting ----------------------------------------------
+
+TEST(Event, ToJsonEscapesAndTypes) {
+  Event event("demo");
+  event.with("text", "a \"b\"\nc")
+      .with("count", std::size_t{42})
+      .with("ratio", 0.5)
+      .with("flag", true);
+  std::map<std::string, std::string> fields;
+  ASSERT_TRUE(parse_flat_json(event.to_json(), &fields)) << event.to_json();
+  EXPECT_EQ(fields["type"], "demo");
+  EXPECT_EQ(fields["text"], "a \"b\"\nc");
+  EXPECT_EQ(fields["count"], "42");
+  EXPECT_EQ(fields["flag"], "true");
+  EXPECT_DOUBLE_EQ(std::stod(fields["ratio"]), 0.5);
+}
+
+TEST(Event, NumberLookupWidensIntegers) {
+  Event event("demo");
+  event.with("i", 7).with("d", 2.5).with("s", "nope");
+  EXPECT_DOUBLE_EQ(event.number("i"), 7.0);
+  EXPECT_DOUBLE_EQ(event.number("d"), 2.5);
+  EXPECT_DOUBLE_EQ(event.number("s", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(event.number("missing", -1.0), -1.0);
+  EXPECT_EQ(event.find("missing"), nullptr);
+}
+
+TEST(IterationRecord, OmitsUnsetFields) {
+  IterationRecord record;
+  record.solver = "pdip";
+  record.iteration = 3;
+  record.mu = 0.25;
+  const Event event = record.to_event();
+  EXPECT_NE(event.find("mu"), nullptr);
+  EXPECT_EQ(event.find("gap"), nullptr);
+  EXPECT_EQ(event.find("attempt"), nullptr);  // 0 = not applicable
+  EXPECT_EQ(event.find("condition"), nullptr);
+}
+
+// --- sinks ------------------------------------------------------------------
+
+TEST(JsonlSink, RoundTripsEveryLine) {
+  const std::string path = temp_path("trace_roundtrip.jsonl");
+  {
+    JsonlTraceSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    for (int i = 0; i < 10; ++i) {
+      Event event("tick");
+      event.with("index", i).with("label", "it\"em\n" + std::to_string(i));
+      sink.emit(event);
+    }
+    sink.flush();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int parsed = 0;
+  double previous_ts = -1.0;
+  while (std::getline(in, line)) {
+    std::map<std::string, std::string> fields;
+    ASSERT_TRUE(parse_flat_json(line, &fields)) << line;
+    EXPECT_EQ(fields["type"], "tick");
+    EXPECT_EQ(fields["seq"], std::to_string(parsed));
+    EXPECT_EQ(fields["index"], std::to_string(parsed));
+    EXPECT_EQ(fields["label"], "it\"em\n" + std::to_string(parsed));
+    const double ts = std::stod(fields.at("ts"));
+    EXPECT_GE(ts, previous_ts);
+    previous_ts = ts;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 10);
+  std::remove(path.c_str());
+}
+
+TEST(CsvSink, EmitsLongFormat) {
+  const std::string path = temp_path("trace.csv");
+  {
+    CsvTraceSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    Event event("sample");
+    event.with("a", 1).with("b", "two");
+    sink.emit(event);
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // header + one row per field
+  EXPECT_EQ(lines[0], "seq,ts,type,key,value");
+  EXPECT_NE(lines[1].find("sample,a,1"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[2].find("sample,b,two"), std::string::npos) << lines[2];
+  std::remove(path.c_str());
+}
+
+TEST(OpenTraceSink, SelectsFormatBySuffix) {
+  const std::string csv = temp_path("by_suffix.csv");
+  const std::string jsonl = temp_path("by_suffix.jsonl");
+  auto csv_sink = open_trace_sink(csv);
+  auto jsonl_sink = open_trace_sink(jsonl);
+  ASSERT_NE(csv_sink, nullptr);
+  ASSERT_NE(jsonl_sink, nullptr);
+  EXPECT_NE(dynamic_cast<CsvTraceSink*>(csv_sink.get()), nullptr);
+  EXPECT_NE(dynamic_cast<JsonlTraceSink*>(jsonl_sink.get()), nullptr);
+  EXPECT_EQ(open_trace_sink("/nonexistent-dir-xyz/trace.jsonl"), nullptr);
+  csv_sink.reset();
+  jsonl_sink.reset();
+  std::remove(csv.c_str());
+  std::remove(jsonl.c_str());
+}
+
+TEST(TeeSink, FansOutToBothSinks) {
+  MemoryTraceSink first;
+  MemoryTraceSink second;
+  TeeTraceSink tee(&first, &second);
+  tee.emit(Event("ping"));
+  EXPECT_EQ(first.events().size(), 1u);
+  EXPECT_EQ(second.events().size(), 1u);
+}
+
+TEST(PhaseSpan, EmitsAnnotatedPhaseEvent) {
+  MemoryTraceSink sink;
+  {
+    PhaseSpan span(&sink, "test", "warmup");
+    ASSERT_TRUE(span.active());
+    span.note("cells", 12);
+    span.on_close([](PhaseSpan& s) { s.note("hooked", true); });
+  }
+  const auto events = sink.events_of("phase");
+  ASSERT_EQ(events.size(), 1u);
+  const Event& event = events[0];
+  EXPECT_EQ(event.number("cells"), 12.0);
+  ASSERT_NE(event.find("phase"), nullptr);
+  EXPECT_NE(event.find("hooked"), nullptr);
+  EXPECT_GE(event.number("wall_seconds", -1.0), 0.0);
+}
+
+TEST(PhaseSpan, InertWithoutSink) {
+  PhaseSpan span(nullptr, "test", "noop");
+  EXPECT_FALSE(span.active());
+  span.note("ignored", 1);
+  span.on_close([](PhaseSpan&) { FAIL() << "hook ran without a sink"; });
+  span.close();
+}
+
+// --- metrics registry -------------------------------------------------------
+
+TEST(MetricsRegistry, CountsExactlyUnderContention) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&registry, t] {
+      // Half the threads hammer a shared counter, the rest also create
+      // per-thread names to exercise the lookup lock.
+      auto& shared = registry.counter("shared");
+      const std::string own = "thread." + std::to_string(t);
+      for (int i = 0; i < kIncrements; ++i) {
+        shared.add();
+        registry.counter(own).add();
+        registry.gauge("last_thread").set(static_cast<double>(t));
+      }
+    });
+  for (auto& worker : workers) worker.join();
+
+  const auto counters = registry.counter_values();
+  EXPECT_EQ(counters.at("shared"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(counters.at("thread." + std::to_string(t)),
+              static_cast<std::uint64_t>(kIncrements));
+  const double last = registry.gauge_values().at("last_thread");
+  EXPECT_GE(last, 0.0);
+  EXPECT_LT(last, kThreads);
+}
+
+TEST(MetricsRegistry, SnapshotExports) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.level").set(1.5);
+
+  // The flat `metrics` event round-trips through the JSONL format.
+  std::map<std::string, std::string> fields;
+  const Event event = registry.snapshot_event();
+  ASSERT_TRUE(parse_flat_json(event.to_json(), &fields)) << event.to_json();
+  EXPECT_EQ(fields.at("type"), "metrics");
+  EXPECT_EQ(fields.at("a.count"), "3");
+  EXPECT_DOUBLE_EQ(std::stod(fields.at("b.level")), 1.5);
+
+  // The nested JSON export names both sections.
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"counters\":{\"a.count\":3}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauges\":{\"b.level\":1.5}"), std::string::npos)
+      << json;
+
+  registry.reset();
+  EXPECT_EQ(registry.counter_values().at("a.count"), 0u);
+}
+
+// --- crossbar pulse histogram ----------------------------------------------
+
+TEST(CrossbarStats, PulseHistogramBuckets) {
+  using Stats = xbar::CrossbarStats;
+  EXPECT_EQ(Stats::pulse_bucket(0), 0u);
+  EXPECT_EQ(Stats::pulse_bucket(1), 1u);
+  EXPECT_EQ(Stats::pulse_bucket(2), 2u);
+  EXPECT_EQ(Stats::pulse_bucket(3), 2u);
+  EXPECT_EQ(Stats::pulse_bucket(4), 3u);
+  EXPECT_EQ(Stats::pulse_bucket(1u << 20), Stats::kPulseHistogramBuckets - 1);
+
+  Stats stats;
+  stats.record_write(0);
+  stats.record_write(1);
+  stats.record_write(200);
+  EXPECT_EQ(stats.cells_written, 3u);
+  EXPECT_EQ(stats.write_pulses, 201u);
+  std::size_t histogram_total = 0;
+  for (std::size_t count : stats.pulse_histogram) histogram_total += count;
+  EXPECT_EQ(histogram_total, stats.cells_written);
+
+  Stats other = stats;
+  other.record_write(5);
+  const Stats delta = other.since(stats);
+  EXPECT_EQ(delta.cells_written, 1u);
+  EXPECT_EQ(delta.pulse_histogram[xbar::CrossbarStats::pulse_bucket(5)], 1u);
+}
+
+// --- solver integration -----------------------------------------------------
+
+lp::LinearProgram textbook_problem() {
+  lp::LinearProgram problem;
+  problem.a = Matrix{{1, 0}, {0, 2}, {3, 2}};
+  problem.b = {4, 12, 18};
+  problem.c = {3, 5};
+  return problem;
+}
+
+TEST(SolverTrace, PdipEmitsOneRecordPerIterationWithDecreasingMu) {
+  MemoryTraceSink sink;
+  core::PdipOptions options;
+  options.trace = &sink;
+  const auto result = core::solve_pdip(textbook_problem(), options);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+
+  const auto iterations = sink.events_of("iteration");
+  ASSERT_EQ(iterations.size(), result.iterations);
+  double previous_mu = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    const Event& event = iterations[i];
+    EXPECT_EQ(event.number("iteration"), static_cast<double>(i + 1));
+    const double mu = event.number("mu", -1.0);
+    ASSERT_GT(mu, 0.0);
+    EXPECT_LT(mu, previous_mu);
+    previous_mu = mu;
+    EXPECT_GE(event.number("primal_inf", -1.0), 0.0);
+    EXPECT_GE(event.number("dual_inf", -1.0), 0.0);
+  }
+
+  const auto summaries = sink.events_of("solve_summary");
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].number("iterations"),
+            static_cast<double>(result.iterations));
+  ASSERT_NE(summaries[0].find("status"), nullptr);
+  EXPECT_EQ(std::get<std::string>(summaries[0].find("status")->value),
+            "optimal");
+}
+
+TEST(SolverTrace, XbarPhaseDeltasMatchSolveStats) {
+  MemoryTraceSink sink;
+  core::XbarPdipOptions options;
+  options.pdip.trace = &sink;
+  options.seed = 7;
+  options.hardware.crossbar.variation = mem::VariationModel::uniform(0.05);
+  const auto outcome = core::solve_xbar_pdip(textbook_problem(), options);
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+
+  EXPECT_EQ(sink.events_of("iteration").size(), outcome.stats.iterations);
+
+  const auto phases = sink.events_of("phase");
+  ASSERT_GE(phases.size(), 2u);  // programming + iterations per attempt
+  std::size_t programming_cells = 0;
+  std::size_t total_cells = 0;
+  bool saw_programming = false;
+  bool saw_iterations = false;
+  for (const Event& event : phases) {
+    ASSERT_NE(event.find("phase"), nullptr);
+    const auto& name = std::get<std::string>(event.find("phase")->value);
+    const auto cells =
+        static_cast<std::size_t>(event.number("xbar.cells_written"));
+    total_cells += cells;
+    if (name == "programming") {
+      saw_programming = true;
+      programming_cells += cells;
+    } else if (name == "iterations") {
+      saw_iterations = true;
+    }
+  }
+  EXPECT_TRUE(saw_programming);
+  EXPECT_TRUE(saw_iterations);
+  EXPECT_EQ(programming_cells, outcome.stats.programming.xbar.cells_written);
+  EXPECT_EQ(total_cells, outcome.stats.backend.xbar.cells_written);
+
+  const auto summaries = sink.events_of("solve_summary");
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].number("attempts"),
+            static_cast<double>(outcome.stats.attempts));
+  EXPECT_EQ(summaries[0].number("system_dim"),
+            static_cast<double>(outcome.stats.system_dim));
+}
+
+}  // namespace
+}  // namespace memlp::obs

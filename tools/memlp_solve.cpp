@@ -6,15 +6,20 @@
 //   --variation <fraction>          process-variation level (default 0.10)
 //   --seed <n>                      hardware seed (default 42)
 //   --tile-dim <n>                  force the NoC with this tile size
+//   --trace <path>                  structured trace (JSONL; *.csv → CSV,
+//                                   "-" → JSONL on stderr)
+//   --convergence                   print the per-iteration convergence table
 //   --quiet                         print only the objective value
 //
 // Reads the problem from a file (or stdin with "-"), solves it, prints the
 // status, objective, solution vector, and — for the crossbar solvers — the
-// hardware operation record and latency/energy estimates.
+// hardware operation record and latency/energy estimates. Exits 0 only when
+// the solve reached a verified optimum (2 on usage/parse errors).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -22,6 +27,7 @@
 #include "core/pdip.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/text_format.hpp"
+#include "obs/trace.hpp"
 #include "perf/hardware_model.hpp"
 #include "solvers/simplex.hpp"
 
@@ -30,13 +36,19 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: memlp_solve [--solver simplex|pdip|xbar|ls] "
-               "[--variation f] [--seed n] [--tile-dim n] [--quiet] "
-               "<problem.lp | ->\n");
+               "[--variation f] [--seed n] [--tile-dim n] [--trace path] "
+               "[--convergence] [--quiet] <problem.lp | ->\n");
 }
 
 void print_result(const memlp::lp::SolveResult& result, bool quiet) {
   if (quiet) {
-    std::printf("%.10g\n", result.objective);
+    // A non-optimal solve has no objective worth printing; report the
+    // status on stderr and let the exit code speak.
+    if (!result.optimal())
+      std::fprintf(stderr, "status: %s\n",
+                   memlp::lp::to_string(result.status).c_str());
+    else
+      std::printf("%.10g\n", result.objective);
     return;
   }
   std::printf("status:     %s\n", memlp::lp::to_string(result.status).c_str());
@@ -45,6 +57,31 @@ void print_result(const memlp::lp::SolveResult& result, bool quiet) {
   std::printf("x:         ");
   for (double v : result.x) std::printf(" %.6g", v);
   std::printf("\niterations: %zu\n", result.iterations);
+  if (result.wall_seconds > 0.0)
+    std::printf("wall:       %.6f s\n", result.wall_seconds);
+}
+
+void print_convergence(const memlp::obs::MemoryTraceSink& sink) {
+  const auto records = sink.events_of("iteration");
+  if (records.empty()) {
+    std::printf(
+        "convergence: no per-iteration records (this solver only emits a "
+        "solve summary)\n");
+    return;
+  }
+  std::printf("%5s %4s %12s %12s %12s %12s %9s\n", "it", "att", "mu",
+              "primal_inf", "dual_inf", "gap", "alpha");
+  for (const auto& event : records) {
+    const double attempt = event.number("attempt", 0.0);
+    std::printf("%5.0f %4.0f %12.4e %12.4e %12.4e %12.4e",
+                event.number("iteration"), attempt, event.number("mu"),
+                event.number("primal_inf"), event.number("dual_inf"),
+                event.number("gap"));
+    if (event.find("alpha_p") != nullptr)
+      std::printf(" %9.3e\n", event.number("alpha_p"));
+    else
+      std::printf(" %9s\n", "-");
+  }
 }
 
 }  // namespace
@@ -55,6 +92,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::size_t tile_dim = 0;
   bool quiet = false;
+  bool convergence = false;
+  std::string trace_spec;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +113,10 @@ int main(int argc, char** argv) {
       seed = std::stoull(next());
     } else if (arg == "--tile-dim") {
       tile_dim = std::stoull(next());
+    } else if (arg == "--trace") {
+      trace_spec = next();
+    } else if (arg == "--convergence") {
+      convergence = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -90,6 +133,32 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     usage();
     return 2;
+  }
+
+  // Assemble the trace destination: a file/stream sink from --trace, an
+  // in-memory sink for --convergence, or a tee when both are requested.
+  std::unique_ptr<memlp::obs::TraceSink> file_sink;
+  std::unique_ptr<memlp::obs::MemoryTraceSink> memory_sink;
+  std::unique_ptr<memlp::obs::TeeTraceSink> tee_sink;
+  memlp::obs::TraceSink* sink = nullptr;
+  if (!trace_spec.empty()) {
+    file_sink = memlp::obs::open_trace_sink(trace_spec);
+    if (file_sink == nullptr) {
+      std::fprintf(stderr, "cannot open trace destination %s\n",
+                   trace_spec.c_str());
+      return 2;
+    }
+    sink = file_sink.get();
+  }
+  if (convergence) {
+    memory_sink = std::make_unique<memlp::obs::MemoryTraceSink>();
+    if (sink != nullptr) {
+      tee_sink = std::make_unique<memlp::obs::TeeTraceSink>(
+          file_sink.get(), memory_sink.get());
+      sink = tee_sink.get();
+    } else {
+      sink = memory_sink.get();
+    }
   }
 
   memlp::lp::LinearProgram problem;
@@ -119,27 +188,31 @@ int main(int argc, char** argv) {
       variation > 0.0 ? memlp::mem::VariationModel::uniform(variation)
                       : memlp::mem::VariationModel::none();
 
-  if (solver == "simplex") {
-    print_result(memlp::solvers::solve_simplex(problem), quiet);
-    return 0;
-  }
-  if (solver == "pdip") {
-    print_result(memlp::core::solve_pdip(problem), quiet);
-    return 0;
-  }
-
   const memlp::perf::HardwareModel hardware;
-  if (solver == "xbar") {
+  memlp::lp::SolveResult result;
+  if (solver == "simplex") {
+    memlp::solvers::SimplexOptions options;
+    options.trace = sink;
+    result = memlp::solvers::solve_simplex(problem, options);
+    print_result(result, quiet);
+  } else if (solver == "pdip") {
+    memlp::core::PdipOptions options;
+    options.trace = sink;
+    result = memlp::core::solve_pdip(problem, options);
+    print_result(result, quiet);
+  } else if (solver == "xbar") {
     memlp::core::XbarPdipOptions options;
     options.hardware.crossbar.variation = variation_model;
     options.seed = seed;
+    options.pdip.trace = sink;
     if (tile_dim > 0) {
       options.hardware.force_noc = true;
       options.hardware.tile_dim = tile_dim;
     }
     const auto outcome = memlp::core::solve_xbar_pdip(problem, options);
-    print_result(outcome.result, quiet);
-    if (!quiet && outcome.result.optimal()) {
+    result = outcome.result;
+    print_result(result, quiet);
+    if (!quiet && result.optimal()) {
       const auto cost = hardware.estimate(outcome.stats);
       std::printf("hardware:   %zux%zu system, %zu cells written, "
                   "%zu settles, est. %.3f ms / %.3f mJ\n",
@@ -149,21 +222,25 @@ int main(int argc, char** argv) {
                       outcome.stats.backend.xbar.solve_ops,
                   cost.latency_s * 1e3, cost.energy_j * 1e3);
     }
-    return outcome.result.optimal() ? 0 : 1;
-  }
-  if (solver == "ls") {
+  } else if (solver == "ls") {
     memlp::core::LsPdipOptions options;
     options.hardware.crossbar.variation = variation_model;
     options.seed = seed;
+    options.pdip.trace = sink;
     if (tile_dim > 0) {
       options.hardware.force_noc = true;
       options.hardware.tile_dim = tile_dim;
     }
     const auto outcome = memlp::core::solve_ls_pdip(problem, options);
-    print_result(outcome.result, quiet);
-    return outcome.result.optimal() ? 0 : 1;
+    result = outcome.result;
+    print_result(result, quiet);
+  } else {
+    std::fprintf(stderr, "unknown solver '%s'\n", solver.c_str());
+    usage();
+    return 2;
   }
-  std::fprintf(stderr, "unknown solver '%s'\n", solver.c_str());
-  usage();
-  return 2;
+
+  if (convergence) print_convergence(*memory_sink);
+  if (file_sink != nullptr) file_sink->flush();
+  return result.optimal() ? 0 : 1;
 }
