@@ -5,10 +5,15 @@
 // Number of constraints varies from 4 to 1024." The paper reports 0.2%–9.9%
 // relative error across 0–20% process variation, decreasing with problem
 // size. The exact reference here is the two-phase simplex solver.
+//
+// The per-trial crossbar solves are independent (per-trial seeds), so each
+// (m, variation) cell fans out through solve_batch; MEMLP_THREADS controls
+// the worker count and the results are identical at any value.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/batch.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
 #include "solvers/simplex.hpp"
@@ -31,25 +36,39 @@ int main() {
   for (const std::size_t m : config.sizes) {
     std::vector<std::string> row{TextTable::num((long long)m),
                                  TextTable::num((long long)(m / 3 ? m / 3 : 1))};
+    // The instances and their exact optima are variation-independent:
+    // generate and reference-solve each trial once per m.
+    std::vector<lp::LinearProgram> problems;
+    std::vector<lp::SolveResult> references;
+    problems.reserve(config.trials);
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      problems.push_back(bench::feasible_problem(config, m, trial));
+      references.push_back(solvers::solve_simplex(problems.back()));
+    }
     std::size_t failures = 0;
     for (const double variation : config.variations) {
-      std::vector<double> errors;
+      std::vector<BatchJob> jobs;
+      std::vector<double> reference_objectives;
       for (std::size_t trial = 0; trial < config.trials; ++trial) {
-        const auto problem = bench::feasible_problem(config, m, trial);
-        const auto reference = solvers::solve_simplex(problem);
-        if (!reference.optimal()) continue;
-        core::XbarPdipOptions options;
-        options.hardware.crossbar.variation =
+        if (!references[trial].optimal()) continue;
+        BatchJob job;
+        job.problem = &problems[trial];
+        job.options.hardware.crossbar.variation =
             variation > 0.0 ? mem::VariationModel::uniform(variation)
                             : mem::VariationModel::none();
-        options.seed = config.seed + 1000 * m + trial;
-        const auto outcome = core::solve_xbar_pdip(problem, options);
-        if (!outcome.result.optimal()) {
+        job.options.seed = config.seed + 1000 * m + trial;
+        jobs.push_back(job);
+        reference_objectives.push_back(references[trial].objective);
+      }
+      const auto outcomes = solve_batch(std::span<const BatchJob>(jobs));
+      std::vector<double> errors;
+      for (std::size_t k = 0; k < outcomes.size(); ++k) {
+        if (!outcomes[k].result.optimal()) {
           ++failures;
           continue;
         }
-        errors.push_back(
-            lp::relative_error(outcome.result.objective, reference.objective));
+        errors.push_back(lp::relative_error(outcomes[k].result.objective,
+                                            reference_objectives[k]));
       }
       row.push_back(bench::percent(bench::mean(errors)));
     }

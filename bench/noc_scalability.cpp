@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/batch.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
 #include "perf/hardware_model.hpp"
@@ -35,15 +36,26 @@ int main() {
   TextTable table("crossbar PDIP across tile sizes (10% variation)");
   table.set_header({"tile dim", "tiles", "NoC transfers", "value-hops",
                     "est. latency [ms]", "relative error"});
-  for (const std::size_t tile_dim : {0UL, 128UL, 64UL, 32UL, 16UL}) {
-    core::XbarPdipOptions options;
-    options.hardware.crossbar.variation = mem::VariationModel::uniform(0.10);
+  // The five tilings are independent solves of the same problem — fan them
+  // out as one heterogeneous batch (MEMLP_THREADS workers).
+  const std::vector<std::size_t> tile_dims{0, 128, 64, 32, 16};
+  std::vector<BatchJob> jobs;
+  for (const std::size_t tile_dim : tile_dims) {
+    BatchJob job;
+    job.problem = &problem;
+    job.options.hardware.crossbar.variation =
+        mem::VariationModel::uniform(0.10);
     if (tile_dim != 0) {
-      options.hardware.force_noc = true;
-      options.hardware.tile_dim = tile_dim;
+      job.options.hardware.force_noc = true;
+      job.options.hardware.tile_dim = tile_dim;
     }
-    options.seed = config.seed;
-    const auto outcome = core::solve_xbar_pdip(problem, options);
+    job.options.seed = config.seed;
+    jobs.push_back(job);
+  }
+  const auto outcomes = solve_batch(std::span<const BatchJob>(jobs));
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const std::size_t tile_dim = tile_dims[k];
+    const auto& outcome = outcomes[k];
     std::string error = "-";
     if (outcome.result.optimal())
       error = bench::percent(

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/batch.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
 #include "memristor/variation.hpp"
@@ -32,8 +33,15 @@ int main() {
   for (const std::size_t m : config.sizes) {
     std::vector<double> exact_errors;
     std::vector<double> xbar_errors;
+    // Serial pass: instances, exact references, and the perturbed exact
+    // solves. The crossbar solves are queued for a batched fan-out.
+    std::vector<lp::LinearProgram> problems;
+    problems.reserve(config.trials);
+    std::vector<BatchJob> jobs;
+    std::vector<double> reference_objectives;
     for (std::size_t trial = 0; trial < config.trials; ++trial) {
-      const auto problem = bench::feasible_problem(config, m, trial);
+      problems.push_back(bench::feasible_problem(config, m, trial));
+      const auto& problem = problems.back();
       const auto reference = solvers::solve_simplex(problem);
       if (!reference.optimal()) continue;
 
@@ -47,14 +55,19 @@ int main() {
                                                   reference.objective));
 
       // Crossbar solve of the original problem at the same variation level.
-      core::XbarPdipOptions options;
-      options.hardware.crossbar.variation = mem::VariationModel::uniform(0.10);
-      options.seed = config.seed + 1000 * m + trial;
-      const auto outcome = core::solve_xbar_pdip(problem, options);
-      if (outcome.result.optimal())
-        xbar_errors.push_back(lp::relative_error(outcome.result.objective,
-                                                 reference.objective));
+      BatchJob job;
+      job.problem = &problem;
+      job.options.hardware.crossbar.variation =
+          mem::VariationModel::uniform(0.10);
+      job.options.seed = config.seed + 1000 * m + trial;
+      jobs.push_back(job);
+      reference_objectives.push_back(reference.objective);
     }
+    const auto outcomes = solve_batch(std::span<const BatchJob>(jobs));
+    for (std::size_t k = 0; k < outcomes.size(); ++k)
+      if (outcomes[k].result.optimal())
+        xbar_errors.push_back(lp::relative_error(
+            outcomes[k].result.objective, reference_objectives[k]));
     const double exact = bench::mean(exact_errors);
     const double xbar = bench::mean(xbar_errors);
     table.add_row({TextTable::num((long long)m), bench::percent(exact),

@@ -1,16 +1,32 @@
 #!/usr/bin/env bash
-# Pre-merge gate: sanitized build + full tier-1 test suite.
+# Pre-merge gate: sanitized builds + full tier-1 test suite.
 #
-# Configures a dedicated build tree with -DMEMLP_SANITIZE=ON (ASan + UBSan),
-# builds everything, and runs ctest. Any sanitizer report fails the
-# corresponding test, so a clean run means the suite is memory- and
-# UB-clean. Usage: scripts/check.sh [extra ctest args...]
+# Two sanitizer trees:
+#   1. -DMEMLP_SANITIZE=ON (ASan + UBSan): builds everything and runs the
+#      full suite with ctest -j. Any sanitizer report fails the
+#      corresponding test, so a clean run means the suite is memory- and
+#      UB-clean.
+#   2. -DMEMLP_SANITIZE=thread (TSan): builds the concurrency-sensitive
+#      binaries (test_par, test_obs) and runs them under MEMLP_THREADS=4,
+#      proving the memlp::par pool, the parallel tile/linalg paths, and the
+#      trace/metrics sinks are race-free.
+#
+# Usage: scripts/check.sh [extra ctest args for the ASan run...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${MEMLP_CHECK_BUILD_DIR:-build-check}"
+TSAN_BUILD_DIR="${MEMLP_CHECK_TSAN_BUILD_DIR:-build-check-tsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+echo "== ASan/UBSan gate =="
 cmake -B "$BUILD_DIR" -S . -DMEMLP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+
+echo "== TSan gate (test_par + test_obs) =="
+cmake -B "$TSAN_BUILD_DIR" -S . -DMEMLP_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target test_par test_obs
+MEMLP_THREADS=4 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
+  -j "$JOBS" -L 'test_par|test_obs'

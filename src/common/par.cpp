@@ -1,0 +1,188 @@
+#include "common/par.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+
+namespace memlp::par {
+namespace {
+
+thread_local bool t_in_region = false;
+
+/// One parallel region: participants claim chunk indices off `next` until
+/// exhausted; the last completed chunk releases the caller. Heap-held via
+/// shared_ptr so a late-waking worker can touch it safely after the caller
+/// has already returned.
+struct Job {
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr error;  // first failure; guarded by the pool mutex.
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(std::size_t count, std::size_t grain, std::size_t threads,
+           const std::function<void(std::size_t, std::size_t)>& body) {
+    // Serialize whole regions: one job at a time keeps the pool free of
+    // work-stealing machinery, and concurrent callers (rare — regions are
+    // issued from the main thread or run inline inside workers) just queue.
+    std::lock_guard<std::mutex> region(region_mutex_);
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->count = count;
+    job->grain = grain;
+    job->chunks = (count + grain - 1) / grain;
+    ensure_workers(threads - 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = job;
+      ++epoch_;
+    }
+    wake_cv_.notify_all();
+    // The caller participates; with every chunk claimed by someone, the
+    // region completes even if no worker wakes in time.
+    const bool was_in_region = t_in_region;
+    t_in_region = true;
+    execute(*job);
+    t_in_region = was_in_region;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) == job->chunks;
+      });
+      job_.reset();
+      if (job->error) std::rethrow_exception(job->error);
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Grows the pool to at least `wanted` workers (bounded; workers persist
+  /// for the process lifetime). Called with region_mutex_ held.
+  void ensure_workers(std::size_t wanted) {
+    wanted = std::min<std::size_t>(wanted, 256);
+    while (workers_.size() < wanted)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void worker_loop() {
+    t_in_region = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock, [&] {
+          return stop_ || (epoch_ != seen && job_ != nullptr);
+        });
+        if (stop_) return;
+        seen = epoch_;
+        job = job_;
+      }
+      execute(*job);
+    }
+  }
+
+  void execute(Job& job) {
+    for (;;) {
+      const std::size_t chunk =
+          job.next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job.chunks) return;
+      const std::size_t begin = chunk * job.grain;
+      const std::size_t end = std::min(begin + job.grain, job.count);
+      try {
+        (*job.body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job.error) job.error = std::current_exception();
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
+        // Lock so the caller cannot miss the notify between its predicate
+        // check and its wait.
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex region_mutex_;  ///< one region at a time.
+  std::mutex mutex_;         ///< guards job_/epoch_/stop_/Job::error.
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t default_threads() {
+  static const std::size_t resolved = [] {
+    const std::int64_t env = env_int("MEMLP_THREADS", 0);
+    if (env > 0) return static_cast<std::size_t>(std::min<std::int64_t>(env, 256));
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  }();
+  return resolved;
+}
+
+bool in_parallel_region() noexcept { return t_in_region; }
+
+void parallel_for_ranges(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t threads) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  if (threads == 0) threads = default_threads();
+  const std::size_t chunks = (count + grain - 1) / grain;
+  threads = std::min(threads, chunks);
+  if (threads <= 1 || t_in_region) {
+    // Serial / nested: one pass over the whole range. Chunk boundaries are
+    // required not to affect results (see header), so this is equivalent.
+    body(0, count);
+    return;
+  }
+  Pool::instance().run(count, grain, threads, body);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  parallel_for_ranges(
+      count, 1,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      threads);
+}
+
+}  // namespace memlp::par

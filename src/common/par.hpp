@@ -1,0 +1,56 @@
+// memlp::par — minimal deterministic threading layer.
+//
+// A chunked thread pool (plain std::thread + std::atomic, no work stealing):
+// one process-wide pool whose workers claim contiguous index chunks off an
+// atomic counter. It exists for the three places that dominate wall time —
+// per-tile crossbar operations (noc/tiled.cpp), dense row elimination and
+// Schur assembly (linalg/lu.cpp, core/pdip.cpp), and fanning independent LPs
+// across the pool (core/batch.hpp).
+//
+// Determinism contract: a parallel region must produce bit-identical results
+// at every thread count. The pool guarantees that each index in [0, count)
+// is visited exactly once; the *caller* guarantees that
+//   * the work done for index i is independent of which thread runs it and
+//     of chunk boundaries (per-index state only — e.g. per-tile split RNGs),
+//   * any cross-index reduction is order-insensitive (integer counters) or
+//     merged by the caller in index order after the region.
+// Every parallel site in memlp follows this contract; test_par asserts it.
+//
+// Thread count resolution: an explicit per-call `threads` argument wins;
+// 0 defers to default_threads() (the MEMLP_THREADS environment variable,
+// else std::thread::hardware_concurrency). Nested regions — a parallel_for
+// issued from inside a worker or from a thread already running a region —
+// execute inline on the calling thread, so composed parallel code (batched
+// solves over tiled backends) neither deadlocks nor oversubscribes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace memlp::par {
+
+/// Worker count used when a call passes `threads = 0`: MEMLP_THREADS when
+/// set to a positive integer (clamped to 256), otherwise the hardware
+/// concurrency (at least 1). Resolved once per process.
+std::size_t default_threads();
+
+/// True on a thread currently executing inside a parallel region (pool
+/// worker or a caller participating in its own region). Such threads run
+/// further parallel_for calls inline.
+bool in_parallel_region() noexcept;
+
+/// Runs body(begin, end) over disjoint ranges covering [0, count), each at
+/// most `grain` long, distributed across up to `threads` threads (0 =
+/// default_threads()). The calling thread participates. Exceptions thrown by
+/// `body` are rethrown on the calling thread (first one wins).
+void parallel_for_ranges(std::size_t count, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t threads = 0);
+
+/// Runs body(i) for every i in [0, count) (grain 1 — right for coarse items
+/// like crossbar tiles or whole LP solves).
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace memlp::par

@@ -1,0 +1,38 @@
+#include "core/batch.hpp"
+
+#include "common/contracts.hpp"
+#include "common/par.hpp"
+#include "obs/metrics.hpp"
+
+namespace memlp::core {
+
+std::vector<XbarSolveOutcome> solve_batch(std::span<const BatchJob> jobs,
+                                          std::size_t threads) {
+  for (const BatchJob& job : jobs)
+    MEMLP_EXPECT_MSG(job.problem != nullptr, "solve_batch: null problem");
+  std::vector<XbarSolveOutcome> outcomes(jobs.size());
+  par::parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        outcomes[i] = solve_xbar_pdip(*jobs[i].problem, jobs[i].options);
+      },
+      threads);
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("batch.calls").add();
+  registry.counter("batch.problems").add(jobs.size());
+  return outcomes;
+}
+
+std::vector<XbarSolveOutcome> solve_batch(
+    std::span<const lp::LinearProgram> problems, const BatchOptions& options) {
+  std::vector<BatchJob> jobs(problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    jobs[i].problem = &problems[i];
+    jobs[i].options = options.base;
+    jobs[i].options.seed =
+        options.base.seed + static_cast<std::uint64_t>(i) * options.seed_stride;
+  }
+  return solve_batch(std::span<const BatchJob>(jobs), options.threads);
+}
+
+}  // namespace memlp::core

@@ -1,0 +1,61 @@
+// Batched front door: fan independent LP solves across the memlp::par pool.
+//
+// The paper's evaluation (and any Monte-Carlo use of the simulator) solves
+// many independent LPs — accuracy sweeps over variation draws, tolerance
+// studies over random instances. Each solve owns its crossbar state and its
+// RNG stream (seeded per problem), so the fan-out is embarrassingly parallel
+// and bit-identical at every thread count: problem i's outcome depends only
+// on (problem i, options for problem i), never on scheduling. Solver-level
+// tracing and MetricsRegistry counters are already thread-safe, so a shared
+// sink sees whole, untorn records from concurrent solves.
+//
+// Tiled backends inside a batch run their per-tile loops inline (nested
+// parallel regions serialize, see common/par.hpp) — the batch level owns the
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/xbar_pdip.hpp"
+#include "lp/problem.hpp"
+
+namespace memlp::core {
+
+/// Options of the homogeneous batch overload.
+struct BatchOptions {
+  /// Options applied to every problem; `base.seed` seeds problem 0.
+  XbarPdipOptions base{};
+  /// Worker threads (0 = par::default_threads()).
+  std::size_t threads = 0;
+  /// Problem i solves with seed = base.seed + i·seed_stride, giving every
+  /// solve its own hardware variation/noise draws while staying reproducible
+  /// (stride 0 replays identical hardware for every problem).
+  std::uint64_t seed_stride = 1;
+};
+
+/// One entry of the heterogeneous overload: a problem with its own options
+/// (its own seed, tiling, variation level, ...).
+struct BatchJob {
+  const lp::LinearProgram* problem = nullptr;
+  XbarPdipOptions options{};
+};
+
+/// Solves every problem with `options.base` (seeds striding per problem).
+/// Outcome i corresponds to problems[i] regardless of thread count.
+std::vector<XbarSolveOutcome> solve_batch(
+    std::span<const lp::LinearProgram> problems,
+    const BatchOptions& options = {});
+
+/// Heterogeneous batch: each job carries its own options verbatim.
+std::vector<XbarSolveOutcome> solve_batch(std::span<const BatchJob> jobs,
+                                          std::size_t threads = 0);
+
+}  // namespace memlp::core
+
+namespace memlp {
+using core::BatchJob;
+using core::BatchOptions;
+using core::solve_batch;
+}  // namespace memlp

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "common/par.hpp"
 #include "common/stopwatch.hpp"
 #include "core/kkt.hpp"
 #include "linalg/ldlt.hpp"
@@ -14,6 +15,9 @@
 
 namespace memlp::core {
 namespace {
+
+/// Schur assembly (A·Θ·Aᵀ, O(m²n)) goes parallel from this many constraints.
+constexpr std::size_t kParallelSchurCutoff = 64;
 
 /// One iteration's Newton machinery via the m×m normal equations
 /// (see PdipOptions::newton):
@@ -44,7 +48,11 @@ class NormalEquationsSolver {
       theta_[j] = state.x[j] / state.z[j];
 
     Matrix s(m, m);  // S = A·Θ·Aᵀ + diag(w/y)
-    for (std::size_t i = 0; i < m; ++i) {
+    // Assembled in parallel above a size cutoff. Row task i writes exactly
+    // the cells {(i, k), (k, i) : k ≤ i}; any off-diagonal cell (r, c) is
+    // owned by task max(r, c) and the diagonal by task i, so tasks never
+    // collide and every cell's arithmetic is independent of thread count.
+    const auto assemble_row = [&](std::size_t i) {
       for (std::size_t k = 0; k <= i; ++k) {
         double sum = 0.0;
         for (std::size_t j = 0; j < n; ++j)
@@ -53,6 +61,11 @@ class NormalEquationsSolver {
         s(k, i) = sum;
       }
       s(i, i) += state.w[i] / state.y[i];
+    };
+    if (m >= kParallelSchurCutoff) {
+      par::parallel_for(m, assemble_row);
+    } else {
+      for (std::size_t i = 0; i < m; ++i) assemble_row(i);
     }
     ldlt_.emplace(s);
   }
@@ -272,6 +285,11 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
         const Vec corr1 = hadamard(affine->dx, affine->dz);
         const Vec corr2 = hadamard(affine->dy, affine->dw);
         step = solve_newton(sigma * mu_mean, corr1, corr2);
+        // Trace the µ the corrector actually solved with (σ·µ_mean), not the
+        // Eq. (8) default — plus the affine diagnostics behind σ.
+        rec.mu = sigma * mu_mean;
+        rec.mu_affine = mu_affine;
+        rec.sigma = sigma;
       }
     } else {
       step = solve_newton(state.mu(options.delta), {}, {});

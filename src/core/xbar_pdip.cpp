@@ -303,8 +303,16 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
         for (std::size_t i = 0; i < m; ++i)
           r_corrector[layout.row_yw() + i] -= corr2[i];
         if (auto corrected = backend.solve(
-                r_corrector, AnalogBackend::IoBoundary::kOutputOnly))
+                r_corrector, AnalogBackend::IoBoundary::kOutputOnly)) {
           delta_aug = std::move(corrected);
+          // The step taken came from the corrector settle: trace the µ it
+          // solved with (σ·µ_mean, not the Eq. (8) default) and the affine
+          // diagnostics. When the corrector fails we keep the plain-Newton
+          // settle at µ = δ·gap/size, so rec.mu stays as initialized.
+          rec.mu = sigma * mu_mean;
+          rec.mu_affine = mu_affine;
+          rec.sigma = sigma;
+        }
       }
     }
     const StepDirection step =

@@ -67,6 +67,10 @@ class AmplifierBank {
   [[nodiscard]] const AmplifierStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  /// Folds another bank's counters into this one — used to merge per-thread
+  /// banks after a parallel region (integer sums, so merge order is moot).
+  void absorb(const AmplifierStats& other) noexcept { stats_ += other; }
+
  private:
   void count(std::size_t elements) noexcept {
     stats_.element_ops += elements;

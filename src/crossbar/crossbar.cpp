@@ -120,6 +120,16 @@ void Crossbar::update_block(std::size_t r0, std::size_t c0,
     // re-mapped. This mirrors real deployments, where the full-scale is
     // chosen with headroom up front; the solvers pass a headroom hint to
     // make this path rare. Doubling the new maximum damps re-map thrashing.
+    //
+    // Deliberately NO half-select disturb on this path, unlike the
+    // incremental writes below. A full program() is an erase-all followed by
+    // a force-write of every occupied cell (V/2 scheme, §3.3): whatever
+    // disturb the write sequence inflicts on a neighbour is overwritten
+    // moments later when that neighbour's own target is force-written, so
+    // the post-program array carries no residual disturb by construction.
+    // The incremental path rewrites only the block and leaves neighbours
+    // holding their charge — those are the cells half-select stress acts on.
+    // test_crossbar's UpdateBlock disturb tests pin both behaviours.
     Matrix updated = ideal_;
     updated.set_block(r0, c0, block);
     program(updated, 2.0 * block.max_abs());

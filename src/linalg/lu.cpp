@@ -7,6 +7,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/par.hpp"
 #include "linalg/ops.hpp"
 
 namespace memlp {
@@ -14,6 +15,10 @@ namespace {
 
 // A pivot below this (relative to the matrix scale) is treated as zero.
 constexpr double kPivotTolerance = 1e-13;
+
+// Row elimination goes parallel only when at least this many rows remain
+// below the pivot; smaller trailing blocks are not worth the region setup.
+constexpr std::size_t kParallelEliminationCutoff = 96;
 
 }  // namespace
 
@@ -46,13 +51,26 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
       perm_sign_ = -perm_sign_;
     }
     const double inv_pivot = 1.0 / lu_(k, k);
-    for (std::size_t i = k + 1; i < n; ++i) {
+    // Rows below the pivot update independently (each task touches only row
+    // k+1+r), and the per-row arithmetic is identical at any thread count.
+    const std::size_t remaining = n - (k + 1);
+    const auto eliminate_row = [&](std::size_t i) {
       const double lik = lu_(i, k) * inv_pivot;
       lu_(i, k) = lik;
-      if (lik == 0.0) continue;
+      if (lik == 0.0) return;
       const auto krow = lu_.row(k);
       auto irow = lu_.row(i);
       for (std::size_t j = k + 1; j < n; ++j) irow[j] -= lik * krow[j];
+    };
+    if (remaining >= kParallelEliminationCutoff) {
+      par::parallel_for_ranges(
+          remaining, std::max<std::size_t>(std::size_t{8}, remaining / 32),
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r)
+              eliminate_row(k + 1 + r);
+          });
+    } else {
+      for (std::size_t i = k + 1; i < n; ++i) eliminate_row(i);
     }
   }
 }

@@ -5,9 +5,20 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/par.hpp"
 #include "linalg/ops.hpp"
 
 namespace memlp::noc {
+namespace {
+
+/// Per-thread counterpart of TiledCrossbarMatrix::charge_transfer: tasks in
+/// a parallel region charge a local NocStats, merged in tile order after.
+void charge(NocStats& stats, std::size_t values, std::size_t hops) noexcept {
+  ++stats.transfers;
+  stats.value_hops += values * hops;
+}
+
+}  // namespace
 
 TiledCrossbarMatrix::TiledCrossbarMatrix(TiledConfig config, Rng rng)
     : config_(config), rng_(rng) {
@@ -36,14 +47,23 @@ void TiledCrossbarMatrix::program(const Matrix& a, double full_scale_hint) {
 
   tiles_.clear();
   tiles_.reserve(row_blocks_.size() * col_blocks_.size());
+  // Split the RNG serially in tile order so every tile owns the same stream
+  // regardless of thread count, then program the tiles in parallel — each
+  // write sequence draws only from the tile's own stream.
   for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi)
-    for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
+    for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj)
       tiles_.emplace_back(config_.xbar, rng_.split());
-      tiles_.back().program(
-          a.block(row_blocks_[bi].begin, col_blocks_[bj].begin,
-                  row_blocks_[bi].length, col_blocks_[bj].length),
-          full_scale_hint);
-    }
+  par::parallel_for(
+      tiles_.size(),
+      [&](std::size_t t) {
+        const std::size_t bi = t / col_blocks_.size();
+        const std::size_t bj = t % col_blocks_.size();
+        tiles_[t].program(
+            a.block(row_blocks_[bi].begin, col_blocks_[bj].begin,
+                    row_blocks_[bi].length, col_blocks_[bj].length),
+            full_scale_hint);
+      },
+      config_.threads);
   topology_ = make_topology(config_.topology, tiles_.size());
   solve_cache_.reset();
 }
@@ -52,6 +72,15 @@ void TiledCrossbarMatrix::update_block(std::size_t r0, std::size_t c0,
                                        const Matrix& block) {
   MEMLP_EXPECT(programmed());
   MEMLP_EXPECT(r0 + block.rows() <= rows_ && c0 + block.cols() <= cols_);
+  // Collect the affected tiles serially, then dispatch the sub-block writes
+  // in parallel: each task touches one tile (its own RNG stream) and charges
+  // a local NocStats, merged in task order below.
+  struct UpdateTask {
+    std::size_t bi, bj;
+    std::size_t r_lo, c_lo;
+    Matrix sub;
+  };
+  std::vector<UpdateTask> tasks;
   for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi) {
     const auto& rb = row_blocks_[bi];
     const std::size_t r_lo = std::max(r0, rb.begin);
@@ -63,15 +92,28 @@ void TiledCrossbarMatrix::update_block(std::size_t r0, std::size_t c0,
       const std::size_t c_hi =
           std::min(c0 + block.cols(), cb.begin + cb.length);
       if (c_lo >= c_hi) continue;
-      const Matrix sub =
-          block.block(r_lo - r0, c_lo - c0, r_hi - r_lo, c_hi - c_lo);
-      tile(bi, bj).update_block(r_lo - rb.begin, c_lo - cb.begin, sub);
-      // New coefficients travel from the controller to the tile's write
-      // circuits over the NoC.
-      charge_transfer(sub.rows() * sub.cols(),
-                      topology_->hops_to_root(tile_index(bi, bj)));
+      tasks.push_back({bi, bj, r_lo, c_lo,
+                       block.block(r_lo - r0, c_lo - c0, r_hi - r_lo,
+                                   c_hi - c_lo)});
     }
   }
+  std::vector<NocStats> local(tasks.size());
+  par::parallel_for(
+      tasks.size(),
+      [&](std::size_t k) {
+        const UpdateTask& task = tasks[k];
+        const auto& rb = row_blocks_[task.bi];
+        const auto& cb = col_blocks_[task.bj];
+        tile(task.bi, task.bj)
+            .update_block(task.r_lo - rb.begin, task.c_lo - cb.begin,
+                          task.sub);
+        // New coefficients travel from the controller to the tile's write
+        // circuits over the NoC.
+        charge(local[k], task.sub.rows() * task.sub.cols(),
+               topology_->hops_to_root(tile_index(task.bi, task.bj)));
+      },
+      config_.threads);
+  for (const NocStats& s : local) stats_ += s;
   solve_cache_.reset();
 }
 
@@ -88,23 +130,36 @@ Vec TiledCrossbarMatrix::multiply(std::span<const double> x,
           ? IoBoundary::kInputOnly
           : IoBoundary::kNone;
   Vec out(rows_, 0.0);
+  // Block rows are independent: each task owns every tile of its row (their
+  // RNG streams included), accumulates partials in bj order — the exact
+  // serial summation chain — and writes a disjoint slice of `out`. NoC and
+  // amplifier counters land in per-task locals, merged in row order below.
+  std::vector<NocStats> local(row_blocks_.size());
+  std::vector<xbar::AmplifierBank> banks(row_blocks_.size());
+  par::parallel_for(
+      row_blocks_.size(),
+      [&](std::size_t bi) {
+        const auto& rb = row_blocks_[bi];
+        Vec accumulator(rb.length, 0.0);
+        for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
+          const auto& cb = col_blocks_[bj];
+          const std::size_t t = tile_index(bi, bj);
+          // Input segment broadcast root -> tile.
+          charge(local[bi], cb.length, topology_->hops_to_root(t));
+          const Vec partial =
+              tile(bi, bj).multiply(x.subspan(cb.begin, cb.length), tile_io);
+          ++local[bi].tile_settles;
+          // Partial result tile -> aggregating arbiter.
+          charge(local[bi], rb.length, topology_->hops_to_root(t));
+          accumulator = banks[bi].add(accumulator, partial);
+        }
+        std::copy(accumulator.begin(), accumulator.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(rb.begin));
+      },
+      config_.threads);
   for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi) {
-    const auto& rb = row_blocks_[bi];
-    Vec accumulator(rb.length, 0.0);
-    for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
-      const auto& cb = col_blocks_[bj];
-      const std::size_t t = tile_index(bi, bj);
-      // Input segment broadcast root -> tile.
-      charge_transfer(cb.length, topology_->hops_to_root(t));
-      const Vec partial =
-          tile(bi, bj).multiply(x.subspan(cb.begin, cb.length), tile_io);
-      ++stats_.tile_settles;
-      // Partial result tile -> aggregating arbiter.
-      charge_transfer(rb.length, topology_->hops_to_root(t));
-      accumulator = amps_.add(accumulator, partial);
-    }
-    std::copy(accumulator.begin(), accumulator.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(rb.begin));
+    stats_ += local[bi];
+    amps_.absorb(banks[bi].stats());
   }
   if (io == IoBoundary::kBoth || io == IoBoundary::kOutputOnly) {
     const xbar::Quantizer adc(config_.xbar.io_bits);
@@ -123,21 +178,32 @@ Vec TiledCrossbarMatrix::multiply_transposed(std::span<const double> x,
           ? IoBoundary::kInputOnly
           : IoBoundary::kNone;
   Vec out(cols_, 0.0);
+  // Mirror of multiply(): block columns are independent, each task owns the
+  // tiles of its column and accumulates in bi order.
+  std::vector<NocStats> local(col_blocks_.size());
+  std::vector<xbar::AmplifierBank> banks(col_blocks_.size());
+  par::parallel_for(
+      col_blocks_.size(),
+      [&](std::size_t bj) {
+        const auto& cb = col_blocks_[bj];
+        Vec accumulator(cb.length, 0.0);
+        for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi) {
+          const auto& rb = row_blocks_[bi];
+          const std::size_t t = tile_index(bi, bj);
+          charge(local[bj], rb.length, topology_->hops_to_root(t));
+          const Vec partial = tile(bi, bj).multiply_transposed(
+              x.subspan(rb.begin, rb.length), tile_io);
+          ++local[bj].tile_settles;
+          charge(local[bj], cb.length, topology_->hops_to_root(t));
+          accumulator = banks[bj].add(accumulator, partial);
+        }
+        std::copy(accumulator.begin(), accumulator.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(cb.begin));
+      },
+      config_.threads);
   for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
-    const auto& cb = col_blocks_[bj];
-    Vec accumulator(cb.length, 0.0);
-    for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi) {
-      const auto& rb = row_blocks_[bi];
-      const std::size_t t = tile_index(bi, bj);
-      charge_transfer(rb.length, topology_->hops_to_root(t));
-      const Vec partial = tile(bi, bj).multiply_transposed(
-          x.subspan(rb.begin, rb.length), tile_io);
-      ++stats_.tile_settles;
-      charge_transfer(cb.length, topology_->hops_to_root(t));
-      accumulator = amps_.add(accumulator, partial);
-    }
-    std::copy(accumulator.begin(), accumulator.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(cb.begin));
+    stats_ += local[bj];
+    amps_.absorb(banks[bj].stats());
   }
   if (io == IoBoundary::kBoth || io == IoBoundary::kOutputOnly) {
     const xbar::Quantizer adc(config_.xbar.io_bits);
@@ -198,31 +264,61 @@ BlockSolveResult TiledCrossbarMatrix::solve_block_jacobi(
   result.x.assign(rows_, 0.0);
   const double threshold = options.tolerance * std::max(1.0, norm_inf(b));
   const std::size_t nb = row_blocks_.size();
+  // Convergence is judged against the effective matrix the tiles actually
+  // realize, read controller-side: routing the residual check through
+  // multiply() would push it across the ADC and read-noise path, which can
+  // stall convergence near tolerance and inflates tile_settles/NoC counters
+  // by a full MVM per sweep. Assembling once up front is valid because the
+  // tiles are not rewritten during the sweeps.
+  const Matrix effective = assemble_effective();
   for (std::size_t sweep = 1; sweep <= options.max_sweeps; ++sweep) {
     Vec next(rows_, 0.0);
+    // Block rows relax independently within a sweep (Jacobi, not
+    // Gauss-Seidel): each task reads only the previous iterate, owns every
+    // tile of its row, and writes a disjoint slice of `next`.
+    std::vector<NocStats> local(nb);
+    std::vector<xbar::AmplifierBank> banks(nb);
+    std::vector<unsigned char> singular(nb, 0);
+    par::parallel_for(
+        nb,
+        [&](std::size_t bi) {
+          const auto& rb = row_blocks_[bi];
+          Vec rhs = slice(b, rb.begin, rb.length);
+          for (std::size_t bj = 0; bj < nb; ++bj) {
+            if (bj == bi) continue;
+            const auto& cb = col_blocks_[bj];
+            const std::size_t t = tile_index(bi, bj);
+            charge(local[bi], cb.length,
+                   topology_->hops(tile_index(bj, bj), t));
+            const Vec contribution = tile(bi, bj).multiply(
+                std::span<const double>(result.x)
+                    .subspan(cb.begin, cb.length));
+            ++local[bi].tile_settles;
+            charge(local[bi], rb.length,
+                   topology_->hops(t, tile_index(bi, bi)));
+            rhs = banks[bi].sub(rhs, contribution);
+          }
+          auto block_x = tile(bi, bi).solve(rhs);
+          ++local[bi].tile_settles;
+          if (!block_x) {
+            singular[bi] = 1;
+            return;
+          }
+          std::copy(block_x->begin(), block_x->end(),
+                    next.begin() + static_cast<std::ptrdiff_t>(rb.begin));
+        },
+        config_.threads);
     for (std::size_t bi = 0; bi < nb; ++bi) {
-      const auto& rb = row_blocks_[bi];
-      Vec rhs = slice(b, rb.begin, rb.length);
-      for (std::size_t bj = 0; bj < nb; ++bj) {
-        if (bj == bi) continue;
-        const auto& cb = col_blocks_[bj];
-        const std::size_t t = tile_index(bi, bj);
-        charge_transfer(cb.length, topology_->hops(tile_index(bj, bj), t));
-        const Vec contribution = tile(bi, bj).multiply(
-            std::span<const double>(result.x).subspan(cb.begin, cb.length));
-        ++stats_.tile_settles;
-        charge_transfer(rb.length, topology_->hops(t, tile_index(bi, bi)));
-        rhs = amps_.sub(rhs, contribution);
-      }
-      auto local = tile(bi, bi).solve(rhs);
-      ++stats_.tile_settles;
-      if (!local) return result;  // diagonal tile singular: no convergence
-      std::copy(local->begin(), local->end(),
-                next.begin() + static_cast<std::ptrdiff_t>(rb.begin));
+      stats_ += local[bi];
+      amps_.absorb(banks[bi].stats());
     }
+    // A singular diagonal tile means no convergence. (All block rows of the
+    // sweep still run — required for thread-count-invariant stats.)
+    if (std::find(singular.begin(), singular.end(), 1) != singular.end())
+      return result;
     result.x.swap(next);
     result.sweeps = sweep;
-    const Vec residual = sub(multiply(result.x), b);
+    const Vec residual = sub(gemv(effective, result.x), b);
     result.residual_inf = norm_inf(residual);
     if (result.residual_inf <= threshold) {
       result.converged = true;

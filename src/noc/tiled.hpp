@@ -60,6 +60,11 @@ struct TiledConfig {
   /// Per-tile crossbar configuration (its max_dim is overridden by
   /// tile_dim).
   xbar::CrossbarConfig xbar{};
+  /// Threads for per-tile operations (program/update/MVM/block-Jacobi);
+  /// 0 = par::default_threads(). Results are bit-identical at any value:
+  /// every tile owns a split RNG stream and stat counters are accumulated
+  /// per thread, then merged in tile order (see docs/parallelism.md).
+  std::size_t threads = 0;
 };
 
 /// Options/result for the block-Jacobi distributed solve.

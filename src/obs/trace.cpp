@@ -142,11 +142,13 @@ std::vector<Event> MemoryTraceSink::events_of(std::string_view type) const {
 // --- TeeTraceSink -----------------------------------------------------------
 
 void TeeTraceSink::emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (first_ != nullptr) first_->emit(event);
   if (second_ != nullptr) second_->emit(event);
 }
 
 void TeeTraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (first_ != nullptr) first_->flush();
   if (second_ != nullptr) second_->flush();
 }
@@ -196,6 +198,8 @@ Event IterationRecord::to_event() const {
   event.with("solver", solver).with("iteration", iteration);
   if (attempt != 0) event.with("attempt", attempt);
   with_if_set(event, "mu", mu);
+  with_if_set(event, "mu_affine", mu_affine);
+  with_if_set(event, "sigma", sigma);
   with_if_set(event, "primal_inf", primal_inf);
   with_if_set(event, "dual_inf", dual_inf);
   with_if_set(event, "gap", gap);

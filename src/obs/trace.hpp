@@ -162,7 +162,9 @@ class MemoryTraceSink final : public TraceSink {
   std::vector<Event> events_;
 };
 
-/// Fans one stream out to two sinks (either may be nullptr).
+/// Fans one stream out to two sinks (either may be nullptr). Emission is
+/// serialized by an internal mutex so that concurrent solver threads deliver
+/// whole events to both children in the same order.
 class TeeTraceSink final : public TraceSink {
  public:
   TeeTraceSink(TraceSink* first, TraceSink* second)
@@ -171,6 +173,7 @@ class TeeTraceSink final : public TraceSink {
   void flush() override;
 
  private:
+  std::mutex mutex_;
   TraceSink* first_;
   TraceSink* second_;
 };
@@ -192,7 +195,11 @@ struct IterationRecord {
   const char* solver = "";
   std::size_t iteration = 0;  ///< 1-based within the solve (or attempt).
   std::size_t attempt = 0;    ///< 1-based attempt (crossbar solvers; 0 = n/a).
-  double mu = kUnset;         ///< Eq. (8) centering parameter.
+  double mu = kUnset;         ///< centering parameter the step solved with —
+                              ///< Eq. (8) δ·gap/size, or σ·µ_mean in
+                              ///< predictor-corrector mode.
+  double mu_affine = kUnset;  ///< µ after the affine predictor step (PC mode).
+  double sigma = kUnset;      ///< Mehrotra centering weight σ (PC mode).
   double primal_inf = kUnset;
   double dual_inf = kUnset;
   double gap = kUnset;        ///< duality gap zᵀx + yᵀw.

@@ -342,5 +342,49 @@ TEST(CrossbarConfig, ValidatesParameters) {
   EXPECT_THROW(config.validate(), ConfigError);
 }
 
+// Pins the half-select disturb contract of update_block's two paths (§3.3):
+// incremental in-range writes stress the written cell's row/column
+// neighbours, while the full-scale re-map path (fallback to program()) is
+// exempt — the erase-all re-program force-writes every occupied cell, so any
+// disturb inflicted mid-sequence is overwritten before the call returns.
+TEST(Crossbar, UpdateBlockDisturbOnlyOnTheIncrementalPath) {
+  CrossbarConfig config = ideal_config();  // exact writes isolate the disturb
+  config.write_scheme.half_select_disturb = 1e-3;
+  Crossbar xbar(config, Rng(50));
+  Rng data_rng(51);
+  const Matrix a = random_nonneg(6, 6, data_rng);
+  xbar.program(a);
+
+  const auto max_deviation_from = [&](const Matrix& ideal) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ideal.rows(); ++i)
+      for (std::size_t j = 0; j < ideal.cols(); ++j)
+        worst = std::max(worst,
+                         std::abs(xbar.effective()(i, j) - ideal(i, j)));
+    return worst;
+  };
+  // Freshly programmed: only conductance quantization (~1e-5), no disturb.
+  EXPECT_LT(max_deviation_from(a), 1e-4);
+
+  // Incremental path: an in-range cell write leaves its row/column
+  // neighbours measurably off their ideal values.
+  Matrix ideal_after = a;
+  ideal_after(2, 3) = 0.5;
+  xbar.update_cell(2, 3, 0.5);
+  EXPECT_GT(max_deviation_from(ideal_after), 1e-4);
+  // A cell sharing neither the row nor the column keeps its exact level.
+  EXPECT_NEAR(xbar.effective()(0, 0), a(0, 0), 1e-4);
+
+  // Full-scale re-map path: a value beyond the mapped full scale forces the
+  // erase-all re-program, which also wipes the accumulated disturb — every
+  // cell is back at its quantized ideal.
+  const double overflow = 10.0 * a.max_abs();
+  ideal_after(2, 3) = overflow;
+  xbar.update_cell(2, 3, overflow);
+  EXPECT_GT(xbar.stats().full_programs, 1u);
+  EXPECT_LT(max_deviation_from(ideal_after), 1e-3);
+  EXPECT_NEAR(xbar.effective()(2, 2), a(2, 2), 1e-4 * (1.0 + a(2, 2)));
+}
+
 }  // namespace
 }  // namespace memlp::xbar

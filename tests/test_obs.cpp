@@ -3,6 +3,7 @@
 // matches what the solvers report through their results.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -366,6 +367,43 @@ TEST(SolverTrace, PdipEmitsOneRecordPerIterationWithDecreasingMu) {
   ASSERT_NE(summaries[0].find("status"), nullptr);
   EXPECT_EQ(std::get<std::string>(summaries[0].find("status")->value),
             "optimal");
+}
+
+// Regression: in predictor-corrector mode the step solves with σ·µ_mean, not
+// the Eq. (8) default the record is initialized with. The traced µ must be
+// the one actually solved with, tied to the traced σ and affine µ.
+TEST(SolverTrace, PdipPredictorCorrectorTracesTheSolvedMu) {
+  MemoryTraceSink sink;
+  core::PdipOptions options;
+  options.trace = &sink;
+  options.predictor_corrector = true;
+  const auto result = core::solve_pdip(textbook_problem(), options);
+  ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
+
+  const auto iterations = sink.events_of("iteration");
+  ASSERT_EQ(iterations.size(), result.iterations);
+  std::size_t corrected = 0;
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    const Event& event = iterations[i];
+    const double sigma = event.number("sigma", -1.0);
+    if (sigma < 0.0) continue;  // no affine step this iteration
+    ++corrected;
+    const double mu = event.number("mu", -1.0);
+    const double mu_affine = event.number("mu_affine", -1.0);
+    const double gap = event.number("gap", -1.0);
+    ASSERT_GE(gap, 0.0);
+    ASSERT_GE(mu_affine, 0.0);
+    // µ = σ·µ_mean with µ_mean = gap / (n + m); textbook_problem has n = 2
+    // variables and m = 3 constraints.
+    const double mu_mean = gap / 5.0;
+    EXPECT_DOUBLE_EQ(mu, sigma * mu_mean);
+    // σ = clamp(µ_affine/µ_mean)³ — re-derivable from the traced fields.
+    const double ratio = std::clamp(mu_affine / mu_mean, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(sigma, ratio * ratio * ratio);
+    EXPECT_LE(sigma, 1.0);
+  }
+  // The stepping iterations all went through the corrector.
+  EXPECT_GE(corrected, iterations.size() - 1);
 }
 
 TEST(SolverTrace, XbarPhaseDeltasMatchSolveStats) {

@@ -124,6 +124,42 @@ TEST(Tiled, BlockJacobiSolvesDominantSystem) {
     EXPECT_NEAR(result.x[i], expected[i], 1e-6);
 }
 
+// Regression: the convergence residual is a controller-side decision and is
+// computed against the effective matrix directly. Routing it through
+// multiply() (as the old code did) pushes it across the ADC: with a coarse
+// I/O boundary the quantization error of the readout dominates the true
+// residual, the check can never observe convergence, and every sweep is
+// charged a full extra MVM's worth of tile settles and NoC traffic.
+TEST(Tiled, BlockJacobiConvergesDespiteCoarseIoBits) {
+  Rng rng(16);
+  const std::size_t n = 12;
+  Matrix a = random_nonneg(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 4.0 * static_cast<double>(n);
+  TiledConfig config = ideal_tiled(4);
+  config.xbar.io_bits = 4;  // 16 codes: a deliberately brutal ADC
+  TiledCrossbarMatrix tiled(config, Rng(17));
+  tiled.program(a);
+  Vec b(n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+
+  BlockSolveOptions options;
+  options.tolerance = 5e-2;
+  const auto result = tiled.solve_block_jacobi(b, options);
+  ASSERT_TRUE(result.converged);
+  const double threshold = options.tolerance * std::max(1.0, norm_inf(b));
+  EXPECT_LE(result.residual_inf, threshold);
+
+  // Exactly nb² settles per sweep (nb·(nb−1) off-diagonal MVMs + nb diagonal
+  // solves) — the residual check adds none.
+  const std::size_t nb = 3;  // ceil(12 / 4)
+  EXPECT_EQ(tiled.noc_stats().tile_settles, result.sweeps * nb * nb);
+
+  // The old multiply()-based readout of the same converged iterate is
+  // quantization-dominated and sits above the threshold it must beat.
+  const Vec quantized_readout = sub(tiled.multiply(result.x), b);
+  EXPECT_GT(norm_inf(quantized_readout), threshold);
+}
+
 TEST(Tiled, BlockJacobiRequiresSquareGrid) {
   TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(14));
   tiled.program(Matrix(8, 8, 1.0));
