@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# Pre-merge gate: sanitized builds + full tier-1 test suite.
+# Pre-merge gate: static analysis first, then sanitized builds + the full
+# tier-1 test suite. One command, three stages:
 #
-# Two sanitizer trees:
+#   0. Static gate (fast, runs first so cheap failures stop the expensive
+#      stages): a -DMEMLP_WERROR=ON build of the whole tree — which also
+#      compiles the generated per-header self-containment objects
+#      (memlp_header_check) — plus the memlint project-invariant linter
+#      over the real tree (rules R1–R6, docs/static-analysis.md). When
+#      clang-tidy is on PATH the build additionally runs it over src/ via
+#      -DMEMLP_TIDY=ON with --warnings-as-errors=*.
 #   1. -DMEMLP_SANITIZE=ON (ASan + UBSan): builds everything and runs the
 #      full suite with ctest -j. Any sanitizer report fails the
 #      corresponding test, so a clean run means the suite is memory- and
 #      UB-clean.
 #   2. -DMEMLP_SANITIZE=thread (TSan): builds the concurrency-sensitive
-#      binaries (test_par, test_obs) and runs them under MEMLP_THREADS=4,
-#      proving the memlp::par pool, the parallel tile/linalg paths, and the
-#      trace/metrics sinks are race-free.
+#      binaries (test_par, test_obs, test_tiled, test_crossbar — the last
+#      two exercise the parallel tile paths) and runs them under
+#      MEMLP_THREADS=4, proving the memlp::par pool, the parallel
+#      tile/linalg paths, and the trace/metrics sinks are race-free.
 #
 # Usage: scripts/check.sh [extra ctest args for the ASan run...]
 set -euo pipefail
@@ -17,16 +25,32 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${MEMLP_CHECK_BUILD_DIR:-build-check}"
 TSAN_BUILD_DIR="${MEMLP_CHECK_TSAN_BUILD_DIR:-build-check-tsan}"
+STATIC_BUILD_DIR="${MEMLP_CHECK_STATIC_BUILD_DIR:-build-check-static}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+TIDY=OFF
+if command -v clang-tidy >/dev/null 2>&1; then
+  TIDY=ON
+fi
+
+echo "== Static gate (memlint + Werror, clang-tidy: $TIDY) =="
+if [ "$TIDY" = OFF ]; then
+  echo "note: clang-tidy not on PATH; tidy checks skipped in this run"
+fi
+cmake -B "$STATIC_BUILD_DIR" -S . -DMEMLP_WERROR=ON -DMEMLP_TIDY="$TIDY" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$STATIC_BUILD_DIR" -j "$JOBS"
+"$STATIC_BUILD_DIR/tools/memlint" --root .
 
 echo "== ASan/UBSan gate =="
 cmake -B "$BUILD_DIR" -S . -DMEMLP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 
-echo "== TSan gate (test_par + test_obs) =="
+echo "== TSan gate (test_par + test_obs + test_tiled + test_crossbar) =="
 cmake -B "$TSAN_BUILD_DIR" -S . -DMEMLP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target test_par test_obs
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
+  --target test_par test_obs test_tiled test_crossbar
 MEMLP_THREADS=4 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-  -j "$JOBS" -L 'test_par|test_obs'
+  -j "$JOBS" -L 'test_par|test_obs|test_tiled|test_crossbar'

@@ -53,16 +53,16 @@ double YakopcicDevice::window(double direction) const noexcept {
 
 double YakopcicDevice::apply_pulse(double volts, double seconds) {
   MEMLP_EXPECT(seconds >= 0.0);
-  double energy = 0.0;
+  double energy_j = 0.0;
   constexpr int kSteps = 16;
   const double dt = seconds / kSteps;
   for (int step = 0; step < kSteps; ++step) {
-    energy += volts * current(volts) * dt;
+    energy_j += volts * current(volts) * dt;
     const double g = params_.eta * rate(volts);
     if (g != 0.0)
       x_ = std::clamp(x_ + g * window(g) * dt, params_.x_off, params_.x_on);
   }
-  return std::abs(energy);
+  return std::abs(energy_j);
 }
 
 std::size_t YakopcicDevice::program_to_state(double target_state,

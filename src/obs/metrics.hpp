@@ -76,7 +76,7 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // memlint:allow(R1): registry-internal lock
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };

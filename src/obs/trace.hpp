@@ -122,7 +122,7 @@ class JsonlTraceSink final : public TraceSink {
  private:
   std::FILE* file_ = nullptr;
   bool owned_ = false;
-  std::mutex mutex_;
+  std::mutex mutex_;  // memlint:allow(R1): sink-internal serialization lock
   Stopwatch clock_;
   std::uint64_t seq_ = 0;
 };
@@ -141,7 +141,7 @@ class CsvTraceSink final : public TraceSink {
 
  private:
   std::FILE* file_ = nullptr;
-  std::mutex mutex_;
+  std::mutex mutex_;  // memlint:allow(R1): sink-internal serialization lock
   Stopwatch clock_;
   std::uint64_t seq_ = 0;
 };
@@ -158,7 +158,7 @@ class MemoryTraceSink final : public TraceSink {
   [[nodiscard]] std::vector<Event> events_of(std::string_view type) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // memlint:allow(R1): sink-internal lock
   std::vector<Event> events_;
 };
 
@@ -173,7 +173,7 @@ class TeeTraceSink final : public TraceSink {
   void flush() override;
 
  private:
-  std::mutex mutex_;
+  std::mutex mutex_;  // memlint:allow(R1): sink-internal serialization lock
   TraceSink* first_;
   TraceSink* second_;
 };

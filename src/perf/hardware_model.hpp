@@ -94,10 +94,10 @@ class HardwareModel {
 /// CPU-side cost model for the software baselines.
 struct CpuModel {
   /// Package power implied by the paper's linprog latency/energy pairs.
-  double power_watts = 35.0;
+  double power_w = 35.0;
 
   [[nodiscard]] CostEstimate estimate(double wall_seconds) const noexcept {
-    return {wall_seconds, wall_seconds * power_watts};
+    return {wall_seconds, wall_seconds * power_w};
   }
 };
 

@@ -1,0 +1,14 @@
+// Fixture: clean — constructs that look close to violations but are fine.
+#include <mutex>
+
+extern std::mutex& shared_gate();  // memlint:allow(R1): declaration helper
+
+// A comment mentioning std::thread, rand() and std::cout must not count.
+int quiet(double energy_j) {
+  static_assert(sizeof(double) == 8, "IEEE754 assumed");
+  const char* label = "std::cout << rand() << std::thread";  // stripped
+  std::lock_guard<std::mutex> lock(shared_gate());  // template arg: fine
+  const double scaled_energy_j = static_cast<double>(energy_j) * 2.0;
+  /* block comment: printf("%d", 1); assert(false); std::mt19937 gen; */
+  return label != nullptr && scaled_energy_j >= 0.0 ? 1 : 0;
+}

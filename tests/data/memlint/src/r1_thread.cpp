@@ -1,0 +1,7 @@
+// Fixture: R1 parallelism-discipline — raw thread spawn in library code.
+#include <thread>
+
+void spawn() {
+  std::thread worker([] {});  // line 5: R1
+  worker.join();
+}

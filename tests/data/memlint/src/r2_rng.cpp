@@ -1,0 +1,8 @@
+// Fixture: R2 rng-discipline — ad-hoc engine seeding and libc rand().
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::mt19937 engine(std::random_device{}());  // line 6: R2 (twice)
+  return static_cast<int>(engine()) + rand();   // line 7: R2
+}

@@ -1,0 +1,8 @@
+// Fixture: R3 io-discipline — console output from library code.
+#include <cstdio>
+#include <iostream>
+
+void chatter(int iterations) {
+  std::cout << "iterations: " << iterations << '\n';  // line 6: R3
+  printf("%d\n", iterations);                         // line 7: R3
+}

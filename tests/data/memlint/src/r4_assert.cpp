@@ -1,0 +1,9 @@
+// Fixture: R4 error-discipline — bare assert and untyped runtime_error.
+#include <cassert>
+#include <stdexcept>
+
+void check(int rows) {
+  assert(rows > 0);                                  // line 6: R4
+  if (rows > 4096)
+    throw std::runtime_error("matrix too large");    // line 8: R4
+}

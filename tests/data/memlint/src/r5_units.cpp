@@ -1,0 +1,7 @@
+// Fixture: R5 unit-suffix — physical quantity declared without a unit.
+double settle_cost() {
+  double energy = 0.0;       // line 3: R5
+  double latency_s = 1e-7;   // suffixed: clean
+  energy += latency_s * 35.0;
+  return energy;
+}

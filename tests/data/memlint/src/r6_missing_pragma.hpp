@@ -1,0 +1,2 @@
+// Fixture: R6 header-hygiene — header without #pragma once.
+inline int answer() { return 42; }

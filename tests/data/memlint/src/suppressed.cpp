@@ -1,0 +1,11 @@
+// Fixture: suppression — each violation carries a memlint:allow() tag, so
+// the file must scan clean.
+#include <iostream>
+#include <mutex>
+
+void tagged(int value) {
+  static std::mutex gate;  // memlint:allow(R1): fixture-local lock
+  std::cout << value;      // memlint:allow(R3, R4)
+  double power = 1.0;      // memlint:allow(unit-suffix): name form accepted
+  std::cerr << power;      // memlint:allow(io-discipline)
+}

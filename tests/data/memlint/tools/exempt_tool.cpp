@@ -1,0 +1,15 @@
+// Fixture: scope — tools/ (like bench/ and examples/) is exempt from the
+// library-only rules R3 and R4, so this file must scan clean.
+#include <cassert>
+#include <iostream>
+#include <stdexcept>
+
+int main() {
+  assert(true);
+  std::cout << "tools may print\n";
+  try {
+    throw std::runtime_error("tools may throw untyped errors");
+  } catch (const std::exception&) {
+  }
+  return 0;
+}

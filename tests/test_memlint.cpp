@@ -1,0 +1,152 @@
+// memlint's own test suite: runs the binary against the fixture trees in
+// tests/data/memlint/ (one deliberate violation per rule, a suppression
+// case, a near-miss "clean" case, and a tools/-scope case) and asserts the
+// exact rule ids, diagnostic locations, and exit codes.
+//
+// MEMLINT_BIN and MEMLINT_FIXTURES are injected by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved.
+};
+
+RunResult run_memlint(const std::string& args) {
+  const std::string command =
+      std::string(MEMLINT_BIN) + " --root \"" MEMLINT_FIXTURES "\" " + args +
+      " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0)
+    result.output.append(buffer.data(), n);
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(Memlint, R1FlagsRawThreadSpawn) {
+  const RunResult run = run_memlint("src/r1_thread.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/r1_thread.cpp:5: [R1/parallelism-discipline]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, R2FlagsAdHocRngTwicePerLinePlusRandCall) {
+  const RunResult run = run_memlint("src/r2_rng.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_occurrences(run.output, "src/r2_rng.cpp:6: [R2/rng-discipline]"),
+            2)
+      << run.output;
+  EXPECT_NE(run.output.find("src/r2_rng.cpp:7: [R2/rng-discipline]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, R3FlagsConsoleOutputInLibraryCode) {
+  const RunResult run = run_memlint("src/r3_io.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/r3_io.cpp:6: [R3/io-discipline]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/r3_io.cpp:7: [R3/io-discipline]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, R4FlagsBareAssertAndRuntimeError) {
+  const RunResult run = run_memlint("src/r4_assert.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/r4_assert.cpp:6: [R4/error-discipline]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/r4_assert.cpp:8: [R4/error-discipline]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, R5FlagsSuffixlessQuantityOnly) {
+  const RunResult run = run_memlint("src/r5_units.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/r5_units.cpp:3: [R5/unit-suffix]"),
+            std::string::npos)
+      << run.output;
+  // latency_s on line 4 is properly suffixed.
+  EXPECT_EQ(count_occurrences(run.output, "[R5/unit-suffix]"), 1)
+      << run.output;
+}
+
+TEST(Memlint, R6FlagsHeaderWithoutPragmaOnce) {
+  const RunResult run = run_memlint("src/r6_missing_pragma.hpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/r6_missing_pragma.hpp:0: [R6/header-hygiene]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, SuppressionsByIdAndNameSilenceFindings) {
+  const RunResult run = run_memlint("src/suppressed.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(Memlint, CommentsStringsTemplateArgsAndCastsAreClean) {
+  const RunResult run = run_memlint("src/clean.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(Memlint, ToolsAreExemptFromLibraryOnlyRules) {
+  const RunResult run = run_memlint("tools/exempt_tool.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(Memlint, FullFixtureTreeReportsEveryRuleOnce) {
+  const RunResult run = run_memlint("");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  for (const char* tag :
+       {"[R1/parallelism-discipline]", "[R2/rng-discipline]",
+        "[R3/io-discipline]", "[R4/error-discipline]", "[R5/unit-suffix]",
+        "[R6/header-hygiene]"})
+    EXPECT_NE(run.output.find(tag), std::string::npos)
+        << tag << '\n'
+        << run.output;
+  EXPECT_NE(run.output.find("memlint: 10 violation(s)"), std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, ListRulesDocumentsTheCatalogue) {
+  const RunResult run = run_memlint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  for (const char* slug :
+       {"R1/parallelism-discipline", "R2/rng-discipline", "R3/io-discipline",
+        "R4/error-discipline", "R5/unit-suffix", "R6/header-hygiene"})
+    EXPECT_NE(run.output.find(slug), std::string::npos) << run.output;
+}
+
+TEST(Memlint, UnknownOptionIsAUsageError) {
+  const RunResult run = run_memlint("--no-such-flag");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace
