@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/ls_pdip.hpp"
 #include "lp/result.hpp"
@@ -48,7 +49,8 @@ CellStats run(const bench::SweepConfig& config, std::size_t m,
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — Algorithm 2 design choices",
+  bench::BenchRun bench_run("ablation_balancing",
+                      "Ablation — Algorithm 2 design choices",
                       "Schur vs literal RU/RL; ratio cap; recovery mode",
                       config);
   const std::size_t m = config.sizes.back();
@@ -77,7 +79,7 @@ int main() {
            bench::percent(literal_stats.error)});
     }
   }
-  mode_table.print();
+  bench_run.table(mode_table);
 
   TextTable cap_table("Schur ratio cap (10% variation)");
   cap_table.set_header({"ratio cap", "solved", "relative error"});
@@ -91,7 +93,7 @@ int main() {
                            TextTable::num((long long)stats.attempted),
                        bench::percent(stats.error)});
   }
-  cap_table.print();
+  bench_run.table(cap_table);
 
   TextTable recovery_table("slack-direction recovery (10% variation)");
   recovery_table.set_header({"recovery", "solved", "relative error"});
@@ -107,10 +109,10 @@ int main() {
              TextTable::num((long long)stats.attempted),
          bench::percent(stats.error)});
   }
-  recovery_table.print();
+  bench_run.table(recovery_table);
   std::printf(
       "\nexpected: the literal random-fill mode rarely converges (1/eps "
       "step amplification); the Eq. (16b) recovery is noise-amplified on "
       "near-zero diagonals.\n");
-  return 0;
+  return bench_run.finish();
 }

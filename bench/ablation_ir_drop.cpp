@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
@@ -53,7 +54,8 @@ Cell run(const bench::SweepConfig& config, std::size_t m,
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — interconnect IR drop",
+  bench::BenchRun bench_run("ablation_ir_drop",
+                      "Ablation — interconnect IR drop",
                       "accuracy vs line resistance; monolithic vs tiled",
                       config);
   const std::size_t m = config.sizes.back();
@@ -71,10 +73,10 @@ int main() {
                    TextTable::num((long long)tiled.solved) + "/" +
                        TextTable::num((long long)tiled.attempted)});
   }
-  table.print();
+  bench_run.table(table);
   std::printf(
       "\nexpected: accuracy degrades with wire resistance. Tiling bounds the "
       "worst-case line length, which matters for arrays much larger than "
       "this sweep's; at these sizes both variants degrade mildly.\n");
-  return 0;
+  return bench_run.finish();
 }

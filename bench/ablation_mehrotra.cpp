@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
@@ -19,7 +20,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — Mehrotra on the crossbar (extension)",
+  bench::BenchRun run("ablation_mehrotra",
+                      "Ablation — Mehrotra on the crossbar (extension)",
                       "plain Eq. (8) µ rule vs predictor-corrector",
                       config);
   const perf::HardwareModel hardware;
@@ -59,10 +61,10 @@ int main() {
     }
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\nexpected: fewer iterations (and hence fewer O(N) rewrite phases) "
       "for ~3x the settles — a net latency win on write-dominated "
       "hardware.\n");
-  return 0;
+  return run.finish();
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "core/xbar_pdip.hpp"
@@ -19,7 +20,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — NoC topology and tile size",
+  bench::BenchRun run("ablation_noc",
+                      "Ablation — NoC topology and tile size",
                       "hierarchical vs mesh; tile-dim sweep; solve schemes",
                       config);
   const std::size_t m = config.sizes.back();
@@ -60,7 +62,7 @@ int main() {
            bench::percent(bench::mean(errors))});
     }
   }
-  topo_table.print();
+  run.table(topo_table);
 
   // Composite settle vs block-Jacobi on a diagonally dominant system.
   TextTable solve_table("tiled solve schemes (diagonally dominant system)");
@@ -97,9 +99,9 @@ int main() {
          TextTable::num((long long)jacobi.noc_stats().tile_settles),
          TextTable::num((long long)jacobi.noc_stats().value_hops)});
   }
-  solve_table.print();
+  run.table(solve_table);
   std::printf(
       "\nexpected: hierarchy beats mesh on aggregate hop count at equal "
       "tiles; smaller tiles cost more data movement.\n");
-  return 0;
+  return run.finish();
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
@@ -53,7 +54,8 @@ Cell run(const bench::SweepConfig& config, std::size_t m,
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — half-select disturb and read noise",
+  bench::BenchRun bench_run("ablation_nonidealities",
+                      "Ablation — half-select disturb and read noise",
                       "where §3.3's 'negligible effect' stops holding",
                       config);
   const std::size_t m = config.sizes.back();
@@ -71,7 +73,7 @@ int main() {
                            bench::percent(cell.error),
                            TextTable::num(cell.iterations, 3)});
   }
-  disturb_table.print();
+  bench_run.table(disturb_table);
 
   TextTable noise_table("per-read Gaussian noise (fraction of full scale)");
   noise_table.set_header(
@@ -86,11 +88,11 @@ int main() {
                          bench::percent(cell.error),
                          TextTable::num(cell.iterations, 3)});
   }
-  noise_table.print();
+  bench_run.table(noise_table);
   std::printf(
       "\nfinding: the iterative PDIP loop absorbs both non-idealities over "
       "this whole range (errors stay at the baseline noise floor; strong "
       "read noise only costs iterations) — extending the paper's "
       "noise-tolerance observation (§1) beyond its own assumptions.\n");
-  return 0;
+  return bench_run.finish();
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
@@ -16,7 +17,8 @@ using namespace memlp;
 
 int main() {
   auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — I/O bits and conductance levels",
+  bench::BenchRun run("ablation_precision",
+                      "Ablation — I/O bits and conductance levels",
                       "accuracy floor vs analog precision (no variation)",
                       config);
   const std::size_t m = config.sizes.back();
@@ -43,7 +45,7 @@ int main() {
                       bench::percent(bench::mean(errors)),
                       TextTable::num(bench::mean(iterations), 3)});
   }
-  io_table.print();
+  run.table(io_table);
 
   TextTable level_table("mean relative error vs conductance levels (writes)");
   level_table.set_header({"levels", "relative error", "mean iterations"});
@@ -70,9 +72,9 @@ int main() {
                          bench::percent(bench::mean(errors)),
                          TextTable::num(bench::mean(iterations), 3)});
   }
-  level_table.print();
+  run.table(level_table);
   std::printf(
       "\nexpected: error shrinks with precision and saturates around the "
       "paper's 8-bit / 256-level setting.\n");
-  return 0;
+  return run.finish();
 }

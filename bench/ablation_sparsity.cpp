@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
@@ -17,7 +18,8 @@ using namespace memlp;
 
 int main() {
   auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — sparsity vs initialization cost",
+  bench::BenchRun run("ablation_sparsity",
+                      "Ablation — sparsity vs initialization cost",
                       "programming writes scale with the nonzero count",
                       config);
   const std::size_t m = config.sizes.back();
@@ -58,9 +60,9 @@ int main() {
                    TextTable::num(bench::mean(iter_ms), 4),
                    bench::percent(bench::mean(errors))});
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\nexpected: one-off programming cost falls with sparsity while the "
       "iterative phase and accuracy are unaffected.\n");
-  return 0;
+  return run.finish();
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/ls_pdip.hpp"
 #include "core/xbar_pdip.hpp"
@@ -18,7 +19,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — step-length policy",
+  bench::BenchRun run("ablation_theta",
+                      "Ablation — step-length policy",
                       "constant θ (Algorithm 2) vs adaptive r (Algorithm 1)",
                       config);
   const std::size_t m = config.sizes.back();
@@ -51,7 +53,7 @@ int main() {
                          bench::percent(bench::mean(errors)),
                          TextTable::num(bench::mean(iterations), 3)});
   }
-  theta_table.print();
+  run.table(theta_table);
 
   TextTable r_table("Algorithm 1: adaptive safety ratio r (10% variation)");
   r_table.set_header({"r", "solved", "relative error", "iterations"});
@@ -81,9 +83,9 @@ int main() {
                      bench::percent(bench::mean(errors)),
                      TextTable::num(bench::mean(iterations), 3)});
   }
-  r_table.print();
+  run.table(r_table);
   std::printf(
       "\nexpected: mid-range constant θ converges reliably (the paper's "
       "recommendation); θ near 1 oscillates.\n");
-  return 0;
+  return run.finish();
 }

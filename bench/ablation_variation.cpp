@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
@@ -16,7 +17,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Ablation — variation model and retry scheme",
+  bench::BenchRun run("ablation_variation",
+                      "Ablation — variation model and retry scheme",
                       "uniform vs log-normal; retries on/off", config);
   const std::size_t m = config.sizes.back();
 
@@ -52,7 +54,7 @@ int main() {
                            bench::percent(bench::mean(errors))});
     }
   }
-  model_table.print();
+  run.table(model_table);
 
   TextTable retry_table("retry scheme (crossbar PDIP)");
   retry_table.set_header(
@@ -82,9 +84,9 @@ int main() {
                            TextTable::num(bench::mean(attempts), 3)});
     }
   }
-  retry_table.print();
+  run.table(retry_table);
   std::printf(
       "\npaper §4.3: re-solving with freshly drawn variation 'could "
       "guarantee convergence'.\n");
-  return 0;
+  return run.finish();
 }

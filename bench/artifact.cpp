@@ -1,0 +1,243 @@
+#include "artifact.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/env.hpp"
+#include "common/json.hpp"
+#include "common/par.hpp"
+#include "common/provenance.hpp"
+#include "obs/metrics.hpp"
+#include "perf/hardware_model.hpp"
+
+namespace memlp::bench {
+namespace {
+
+std::string artifact_dir() {
+  const char* env = std::getenv("MEMLP_BENCH_DIR");
+  if (env != nullptr && *env != 0) return env;
+  return "results/json";
+}
+
+void append_member(std::string& out, const char* key, const std::string& raw,
+                   bool first = false) {
+  if (!first) out += ",";
+  out += json_string(key);
+  out += ":";
+  out += raw;
+}
+
+std::string sizes_json(const std::vector<std::size_t>& sizes) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    out += (i ? "," : "") + json_number(static_cast<std::int64_t>(sizes[i]));
+  return out + "]";
+}
+
+std::string doubles_json(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out += (i ? "," : "") + json_number(values[i]);
+  return out + "]";
+}
+
+}  // namespace
+
+BenchRun::BenchRun(std::string name, std::string experiment,
+                   std::string paper_ref, SweepConfig config)
+    : name_(std::move(name)),
+      experiment_(std::move(experiment)),
+      paper_ref_(std::move(paper_ref)),
+      config_(std::move(config)) {
+  print_header(experiment_, paper_ref_, config_);
+  if (obs::Profiler::active() == nullptr) {
+    obs::Profiler::set_active(&profiler_);
+    owns_active_ = true;
+  }
+}
+
+BenchRun::~BenchRun() { finish(); }
+
+void BenchRun::table(const TextTable& table) {
+  table.print();
+  tables_.push_back(table);
+}
+
+void BenchRun::metric(const std::string& name, double value,
+                      MetricOptions options) {
+  metrics_.push_back({name, value, std::move(options)});
+}
+
+std::string BenchRun::to_json() const {
+  std::string out = "{";
+  append_member(out, "schema", json_string("memlp.bench/1"), /*first=*/true);
+  append_member(out, "name", json_string(name_));
+  append_member(out, "experiment", json_string(experiment_));
+  append_member(out, "paper_ref", json_string(paper_ref_));
+
+  std::string provenance = "{";
+  append_member(provenance, "git_sha", json_string(git_sha()), true);
+  append_member(provenance, "compiler", json_string(compiler_id()));
+  append_member(provenance, "build_type", json_string(build_type()));
+  append_member(provenance, "build_flags", json_string(build_flags()));
+  append_member(provenance, "threads",
+                json_number(static_cast<std::int64_t>(par::default_threads())));
+  append_member(provenance, "seed",
+                json_number(static_cast<std::int64_t>(config_.seed)));
+  append_member(provenance, "full_sweep",
+                full_sweep_requested() ? "true" : "false");
+  provenance += "}";
+  append_member(out, "provenance", provenance);
+
+  std::string config = "{";
+  append_member(config, "sizes", sizes_json(config_.sizes), true);
+  append_member(config, "trials",
+                json_number(static_cast<std::int64_t>(config_.trials)));
+  append_member(config, "variations", doubles_json(config_.variations));
+  append_member(config, "seed",
+                json_number(static_cast<std::int64_t>(config_.seed)));
+  config += "}";
+  append_member(out, "config", config);
+
+  append_member(out, "wall_s", json_number(wall_.seconds()));
+
+  std::string phases = "[";
+  bool first_phase = true;
+  for (const obs::CallPathStats& stats : profiler_.aggregate()) {
+    if (!first_phase) phases += ",";
+    first_phase = false;
+    std::string phase = "{";
+    append_member(phase, "path", json_string(stats.path), true);
+    append_member(phase, "count",
+                  json_number(static_cast<std::int64_t>(stats.count)));
+    append_member(phase, "total_s", json_number(stats.total_s));
+    append_member(phase, "p50_s", json_number(stats.p50_s));
+    append_member(phase, "p95_s", json_number(stats.p95_s));
+    append_member(phase, "max_s", json_number(stats.max_s));
+    phase += "}";
+    phases += phase;
+  }
+  phases += "]";
+  append_member(out, "phases", phases);
+
+  std::string metrics = "[";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) metrics += ",";
+    const Metric& metric = metrics_[i];
+    std::string entry = "{";
+    append_member(entry, "name", json_string(metric.name), true);
+    append_member(entry, "value", json_number(metric.value));
+    append_member(entry, "unit", json_string(metric.options.unit));
+    append_member(entry, "better",
+                  json_string(metric.options.lower_is_better ? "lower"
+                                                             : "higher"));
+    append_member(entry, "measured",
+                  metric.options.measured ? "true" : "false");
+    entry += "}";
+    metrics += entry;
+  }
+  metrics += "]";
+  append_member(out, "metrics", metrics);
+
+  const auto& registry = obs::MetricsRegistry::global();
+  std::string counters = "{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counter_values()) {
+    append_member(counters, name.c_str(),
+                  json_number(static_cast<std::int64_t>(value)), first);
+    first = false;
+  }
+  counters += "}";
+  append_member(out, "counters", counters);
+  std::string gauges = "{";
+  first = true;
+  for (const auto& [name, value] : registry.gauge_values()) {
+    append_member(gauges, name.c_str(), json_number(value), first);
+    first = false;
+  }
+  gauges += "}";
+  append_member(out, "gauges", gauges);
+
+  const perf::HardwareCostConstants constants;
+  std::string hardware = "{";
+  append_member(hardware, "settle_s", json_number(constants.settle_s), true);
+  append_member(hardware, "write_cell_s", json_number(constants.write_cell_s));
+  append_member(hardware, "write_pulse_s",
+                json_number(constants.write_pulse_s));
+  append_member(hardware, "amp_vector_op_s",
+                json_number(constants.amp_vector_op_s));
+  append_member(hardware, "noc_value_hop_s",
+                json_number(constants.noc_value_hop_s));
+  append_member(hardware, "controller_iteration_s",
+                json_number(constants.controller_iteration_s));
+  append_member(hardware, "settle_j", json_number(constants.settle_j));
+  append_member(hardware, "write_cell_j", json_number(constants.write_cell_j));
+  append_member(hardware, "write_pulse_j",
+                json_number(constants.write_pulse_j));
+  append_member(hardware, "amp_element_j",
+                json_number(constants.amp_element_j));
+  append_member(hardware, "noc_value_hop_j",
+                json_number(constants.noc_value_hop_j));
+  append_member(hardware, "controller_iteration_j",
+                json_number(constants.controller_iteration_j));
+  hardware += "}";
+  append_member(out, "hardware_constants", hardware);
+
+  std::string tables = "[";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    if (t > 0) tables += ",";
+    const TextTable& table = tables_[t];
+    std::string entry = "{";
+    append_member(entry, "title", json_string(table.title()), true);
+    std::string columns = "[";
+    for (std::size_t i = 0; i < table.header().size(); ++i)
+      columns += (i ? "," : "") + json_string(table.header()[i]);
+    columns += "]";
+    append_member(entry, "columns", columns);
+    std::string rows = "[";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      if (r > 0) rows += ",";
+      rows += "[";
+      const auto& row = table.rows()[r];
+      for (std::size_t c = 0; c < row.size(); ++c)
+        rows += (c ? "," : "") + json_string(row[c]);
+      rows += "]";
+    }
+    rows += "]";
+    append_member(entry, "rows", rows);
+    entry += "}";
+    tables += entry;
+  }
+  tables += "]";
+  append_member(out, "tables", tables);
+
+  out += "}\n";
+  return out;
+}
+
+int BenchRun::finish() {
+  if (finished_) return 0;
+  finished_ = true;
+  const std::string document = to_json();  // before deactivating: aggregate()
+  if (owns_active_) {
+    obs::Profiler::set_active(nullptr);
+    owns_active_ = false;
+  }
+  const std::string dir = artifact_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: could not write artifact %s\n",
+                 path.c_str());
+    return 0;
+  }
+  std::fputs(document.c_str(), file);
+  std::fclose(file);
+  std::printf("\nartifact: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace memlp::bench

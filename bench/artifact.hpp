@@ -1,0 +1,78 @@
+// Machine-readable bench artifacts.
+//
+// Every harness run is stamped into results/json/BENCH_<name>.json (override
+// the directory with MEMLP_BENCH_DIR): git SHA and build provenance, the
+// resolved sweep config, wall-clock and profiler phase breakdown, explicit
+// regression metrics, the metrics-registry snapshot, the hardware-model cost
+// constants the estimates were priced with, and every printed table.
+// tools/memlp_report diffs two artifact trees and fails on regression; the
+// schema is versioned ("memlp.bench/1") so the reporter can reject
+// incompatible trees instead of mis-reading them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "obs/profiler.hpp"
+
+namespace memlp::bench {
+
+/// How a metric should be compared by memlp_report.
+struct MetricOptions {
+  std::string unit;            ///< display only, e.g. "ms", "J", "iters".
+  bool lower_is_better = true; ///< comparison direction; see also `measured`.
+  bool measured = false;       ///< wall-clock (noisy) vs deterministic
+                               ///< hardware-model estimate / exact count.
+};
+
+/// One bench run: prints the standard header on construction, collects
+/// tables and metrics, and writes BENCH_<name>.json on finish(). Also
+/// activates an (aggregation-only) obs::Profiler for the run when none is
+/// active, so artifacts carry solver phase breakdowns for free.
+class BenchRun {
+ public:
+  /// `name` keys the artifact file; `experiment`/`paper_ref` mirror the old
+  /// print_header arguments.
+  BenchRun(std::string name, std::string experiment, std::string paper_ref,
+           SweepConfig config);
+  ~BenchRun();
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  /// Prints `table` (TextTable::print, honoring MEMLP_CSV_DIR) and records
+  /// it into the artifact.
+  void table(const TextTable& table);
+
+  /// Records a regression metric. Estimated/deterministic metrics get tight
+  /// default thresholds in memlp_report; `measured` ones get loose.
+  void metric(const std::string& name, double value, MetricOptions options);
+
+  /// Writes the artifact and prints its path; returns 0 so harnesses can
+  /// `return run.finish();`. Idempotent; the destructor calls it.
+  int finish();
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    MetricOptions options;
+  };
+
+  [[nodiscard]] std::string to_json() const;
+
+  std::string name_;
+  std::string experiment_;
+  std::string paper_ref_;
+  SweepConfig config_;
+  Stopwatch wall_;
+  obs::Profiler profiler_;
+  bool owns_active_ = false;
+  bool finished_ = false;
+  std::vector<Metric> metrics_;
+  std::vector<TextTable> tables_;
+};
+
+}  // namespace memlp::bench

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/env.hpp"
+#include "common/par.hpp"
+#include "common/provenance.hpp"
 
 namespace memlp::bench {
 
@@ -34,6 +36,12 @@ void print_header(const std::string& experiment, const std::string& paper_ref,
                   const SweepConfig& config) {
   std::printf("=== %s ===\n", experiment.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
+  // Text artifacts carry the same provenance as BENCH_*.json: numbers in a
+  // committed results/*.txt are attributable to one commit and seed.
+  std::string build = build_type();
+  if (!build_flags().empty()) build += ", " + build_flags();
+  std::printf("provenance: git %s, %s (%s), threads %zu\n", git_sha().c_str(),
+              compiler_id().c_str(), build.c_str(), par::default_threads());
   std::printf("sweep: %s (MEMLP_FULL=1 for the paper's full sweep)\n\n",
               config.describe().c_str());
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
 #include "core/kkt.hpp"
@@ -26,7 +27,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("§3.5 — per-iteration complexity scaling",
+  bench::BenchRun run("complexity_scaling",
+                      "§3.5 — per-iteration complexity scaling",
                       "O(N^3) LU / O(N^2) iterative vs O(N) crossbar updates",
                       config);
 
@@ -89,10 +91,10 @@ int main() {
                    TextTable::num(program_ms, 4)});
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\nexpected shape: LU time grows ~N^3 and the sweep ~N^2, while the "
       "crossbar writes grow linearly in N (2(n+m) diagonal cells) with a "
       "constant number of settles.\n");
-  return 0;
+  return run.finish();
 }

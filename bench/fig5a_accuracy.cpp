@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/batch.hpp"
 #include "core/xbar_pdip.hpp"
@@ -22,7 +23,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Fig. 5(a) — crossbar PDIP solver accuracy",
+  bench::BenchRun run("fig5a_accuracy",
+                      "Fig. 5(a) — crossbar PDIP solver accuracy",
                       "relative error vs exact optimum, 0/5/10/20% variation",
                       config);
 
@@ -71,14 +73,19 @@ int main() {
                                             reference_objectives[k]));
       }
       row.push_back(bench::percent(bench::mean(errors)));
+      // Accuracy at the sweep's largest size is deterministic given the
+      // seed — a tight regression signal for solver-fidelity changes.
+      if (m == config.sizes.back())
+        run.metric("rel_error/var=" + bench::percent(variation),
+                   bench::mean(errors), {"frac", true, /*measured=*/false});
     }
     row.push_back(TextTable::num((long long)failures));
     table.add_row(row);
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\npaper: 0.2%%-9.9%% relative error; inaccuracy decreases with the "
       "number of constraints.\n");
-  return 0;
+  return run.finish();
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/ls_pdip.hpp"
 #include "lp/result.hpp"
@@ -15,7 +16,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header(
+  bench::BenchRun run("fig5b_accuracy_ls",
+                      
       "Fig. 5(b) — large-scale crossbar solver accuracy",
       "relative error vs exact optimum, 0/5/10/20% variation", config);
 
@@ -55,9 +57,9 @@ int main() {
     table.add_row(row);
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\npaper: 0.8%%-8.5%% relative error; rare convergence failures are "
       "absorbed by the re-solve scheme.\n");
-  return 0;
+  return run.finish();
 }

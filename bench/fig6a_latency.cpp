@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/pdip.hpp"
 #include "core/xbar_pdip.hpp"
@@ -20,7 +21,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Fig. 6(a) — estimated computation latency",
+  bench::BenchRun run("fig6a_latency",
+                      "Fig. 6(a) — estimated computation latency",
                       "crossbar solver vs software simplex and PDIP",
                       config);
 
@@ -71,11 +73,24 @@ int main() {
                             "x"
                       : "-");
     table.add_row(row);
+    // Regression metrics at the sweep's largest size: wall-clock baselines
+    // are measured (loose thresholds); xbar latencies are deterministic
+    // hardware-model estimates (tight thresholds).
+    if (m == config.sizes.back()) {
+      run.metric("simplex_wall_ms", bench::mean(simplex_ms),
+                 {"ms", true, /*measured=*/true});
+      run.metric("pdip_wall_ms", bench::mean(pdip_ms),
+                 {"ms", true, /*measured=*/true});
+      for (std::size_t v = 0; v < config.variations.size(); ++v)
+        run.metric(
+            "xbar_latency_est_ms/var=" + bench::percent(config.variations[v]),
+            bench::mean(xbar_ms[v]), {"ms", true, /*measured=*/false});
+    }
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\npaper at m=1024: simplex-class solver 6.23 s vs crossbar 78-239 ms "
       "(>=26x); latency grows with variation via extra iterations.\n");
-  return 0;
+  return run.finish();
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/ls_pdip.hpp"
 #include "perf/hardware_model.hpp"
@@ -17,7 +18,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Fig. 6(b) — large-scale solver latency",
+  bench::BenchRun run("fig6b_latency_ls",
+                      "Fig. 6(b) — large-scale solver latency",
                       "Algorithm 2 vs software simplex", config);
 
   const perf::HardwareModel hardware;
@@ -62,9 +64,9 @@ int main() {
     table.add_row(row);
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\npaper at m=1024: <80 ms at 20%% variation vs 6234 ms; latency "
       "nearly flat in the variation level.\n");
-  return 0;
+  return run.finish();
 }

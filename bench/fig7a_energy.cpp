@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/pdip.hpp"
 #include "core/xbar_pdip.hpp"
@@ -18,7 +19,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Fig. 7(a) — estimated energy consumption",
+  bench::BenchRun run("fig7a_energy",
+                      "Fig. 7(a) — estimated energy consumption",
                       "crossbar solver vs software simplex and PDIP",
                       config);
 
@@ -68,11 +70,22 @@ int main() {
                       ? TextTable::num(bench::mean(simplex_j) / best, 3) + "x"
                       : "-");
     table.add_row(row);
+    // Regression metrics at the sweep's largest size (see fig6a_latency).
+    if (m == config.sizes.back()) {
+      run.metric("simplex_energy_j", bench::mean(simplex_j),
+                 {"J", true, /*measured=*/true});
+      run.metric("pdip_energy_j", bench::mean(pdip_j),
+                 {"J", true, /*measured=*/true});
+      for (std::size_t v = 0; v < config.variations.size(); ++v)
+        run.metric(
+            "xbar_energy_est_j/var=" + bench::percent(config.variations[v]),
+            bench::mean(xbar_j[v]), {"J", true, /*measured=*/false});
+    }
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\npaper at m=1024: 218.1 J vs 0.9-12.1 J (>=24x reduction); energy "
       "grows with the variation level.\n");
-  return 0;
+  return run.finish();
 }

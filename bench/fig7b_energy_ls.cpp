@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/ls_pdip.hpp"
 #include "perf/hardware_model.hpp"
@@ -15,7 +16,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Fig. 7(b) — large-scale solver energy",
+  bench::BenchRun run("fig7b_energy_ls",
+                      "Fig. 7(b) — large-scale solver energy",
                       "Algorithm 2 vs software simplex", config);
 
   const perf::HardwareModel hardware;
@@ -61,7 +63,7 @@ int main() {
     table.add_row(row);
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf("\npaper: ~273x average energy reduction for Algorithm 2.\n");
-  return 0;
+  return run.finish();
 }

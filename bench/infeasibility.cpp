@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/ls_pdip.hpp"
 #include "core/xbar_pdip.hpp"
@@ -18,7 +19,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("§4.4 — infeasibility detection",
+  bench::BenchRun run("infeasibility",
+                      "§4.4 — infeasibility detection",
                       "latency/energy to detect infeasible LPs", config);
 
   const perf::HardwareModel hardware;
@@ -74,9 +76,9 @@ int main() {
                    TextTable::num(bench::mean(xb_iters), 3)});
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\npaper at m=1024: linprog ~30 s / 1023.1 J vs crossbar 265 ms / "
       "10.9 J at 20%% variation (>=113x).\n");
-  return 0;
+  return run.finish();
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/ls_pdip.hpp"
 #include "core/pdip.hpp"
@@ -18,7 +19,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("§4.2 — iteration counts",
+  bench::BenchRun run("iterations",
+                      "§4.2 — iteration counts",
                       "iterations to solve / to detect infeasibility",
                       config);
 
@@ -65,9 +67,19 @@ int main() {
       row.push_back(TextTable::num(bench::mean(ls[v]), 3));
     }
     feasible_table.add_row(row);
+    // Iteration counts are deterministic given the seed — the primary
+    // regression signal behind Fig. 6's latency scaling.
+    if (m == config.sizes.back()) {
+      run.metric("pdip_iterations", bench::mean(software),
+                 {"iters", true, /*measured=*/false});
+      for (std::size_t v = 0; v < config.variations.size(); ++v)
+        run.metric(
+            "xbar_iterations/var=" + bench::percent(config.variations[v]),
+            bench::mean(xbar[v]), {"iters", true, /*measured=*/false});
+    }
     std::fflush(stdout);
   }
-  feasible_table.print();
+  run.table(feasible_table);
 
   TextTable infeasible_table(
       "mean iterations to detect infeasibility (10% variation)");
@@ -100,9 +112,9 @@ int main() {
                               TextTable::num(bench::mean(ls), 3)});
     std::fflush(stdout);
   }
-  infeasible_table.print();
+  run.table(infeasible_table);
   std::printf(
       "\npaper: infeasibility detection needs fewer iterations than a full "
       "solve, hence its larger speedups (§4.4).\n");
-  return 0;
+  return run.finish();
 }

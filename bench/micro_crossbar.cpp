@@ -4,6 +4,8 @@
 // perf::HardwareModel in the figure harnesses).
 #include <benchmark/benchmark.h>
 
+#include "artifact.hpp"
+
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -84,4 +86,41 @@ BENCHMARK(BM_DiagonalUpdate)->RangeMultiplier(2)->Range(16, 256)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+
+namespace {
+
+/// Console reporter that also records every timing into the bench artifact
+/// (per-iteration real time, ns — measured, so memlp_report applies loose
+/// thresholds).
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ArtifactReporter(memlp::bench::BenchRun& run) : run_(run) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      run_.metric(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  {"ns", true, /*measured=*/true});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  memlp::bench::BenchRun& run_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  memlp::bench::BenchRun run("micro_crossbar",
+                             "micro — micro_crossbar",
+                             "crossbar simulator programming/MVM/solve timings",
+                             memlp::bench::SweepConfig::from_env());
+  ArtifactReporter reporter(run);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return run.finish();
+}
+

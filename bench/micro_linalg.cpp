@@ -3,6 +3,8 @@
 // per-iteration cost (§3.5).
 #include <benchmark/benchmark.h>
 
+#include "artifact.hpp"
+
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -67,4 +69,41 @@ BENCHMARK(BM_GaussSeidelSweep)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+
+namespace {
+
+/// Console reporter that also records every timing into the bench artifact
+/// (per-iteration real time, ns — measured, so memlp_report applies loose
+/// thresholds).
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ArtifactReporter(memlp::bench::BenchRun& run) : run_(run) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      run_.metric(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  {"ns", true, /*measured=*/true});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  memlp::bench::BenchRun& run_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  memlp::bench::BenchRun run("micro_linalg",
+                             "micro — micro_linalg",
+                             "LU factorization and GEMV kernel timings",
+                             memlp::bench::SweepConfig::from_env());
+  ArtifactReporter reporter(run);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return run.finish();
+}
+

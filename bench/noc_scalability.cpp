@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/batch.hpp"
 #include "core/xbar_pdip.hpp"
@@ -18,7 +19,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("§3.4 — NoC scalability vs tile size",
+  bench::BenchRun run("noc_scalability",
+                      "§3.4 — NoC scalability vs tile size",
                       "fixed problem, shrinking manufacturable arrays",
                       config);
   const std::size_t m = config.sizes.back();
@@ -69,9 +71,9 @@ int main() {
          TextTable::num(cost.latency_s * 1e3, 4), error});
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\nexpected: identical accuracy at every tiling; data movement and "
       "latency grow as tiles shrink — the cost of manufacturability.\n");
-  return 0;
+  return run.finish();
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/result.hpp"
@@ -19,7 +20,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header("Extension — session reuse across re-priced solves",
+  bench::BenchRun run("session_reuse",
+                      "Extension — session reuse across re-priced solves",
                       "programming amortized over solves sharing A", config);
   const perf::HardwareModel hardware;
 
@@ -62,9 +64,9 @@ int main() {
     }
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\nexpected: re-priced solves program zero cells — the O(N²) "
       "initialization is per-A, not per-problem.\n");
-  return 0;
+  return run.finish();
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/kkt.hpp"
 #include "core/negfree.hpp"
@@ -25,7 +26,8 @@ using namespace memlp;
 
 int main() {
   auto config = bench::SweepConfig::from_env();
-  bench::print_header("§4.3 — variation-induced near-singularity",
+  bench::BenchRun run("singularity_study",
+                      "§4.3 — variation-induced near-singularity",
                       "det/conditioning of the crossbar system matrix",
                       config);
   const std::size_t m = config.sizes.back();
@@ -83,10 +85,10 @@ int main() {
                    bench::percent(bench::mean(solve_error))});
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\npaper: singular/near-singular draws are rare and become rarer for "
       "large matrices; the re-solve scheme redraws variation and recovers "
       "(§4.3).\n");
-  return 0;
+  return run.finish();
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "artifact.hpp"
 #include "bench_util.hpp"
 #include "core/batch.hpp"
 #include "core/xbar_pdip.hpp"
@@ -21,7 +22,8 @@ using namespace memlp;
 
 int main() {
   const auto config = bench::SweepConfig::from_env();
-  bench::print_header(
+  bench::BenchRun run("variation_tolerance",
+                      
       "§4.3 — intrinsic variation tolerance of linear programs",
       "exact solve of Eq.(18)-perturbed problems vs the crossbar solver",
       config);
@@ -75,9 +77,9 @@ int main() {
                    exact > 0.0 ? TextTable::num(xbar / exact, 3) : "-"});
     std::fflush(stdout);
   }
-  table.print();
+  run.table(table);
   std::printf(
       "\npaper: the two error levels are similar — LPs are inherently "
       "variation-tolerant, increasingly so with size.\n");
-  return 0;
+  return run.finish();
 }

@@ -14,10 +14,16 @@
 #      corresponding test, so a clean run means the suite is memory- and
 #      UB-clean.
 #   2. -DMEMLP_SANITIZE=thread (TSan): builds the concurrency-sensitive
-#      binaries (test_par, test_obs, test_tiled, test_crossbar — the last
-#      two exercise the parallel tile paths) and runs them under
+#      binaries (test_par, test_obs, test_prof, test_tiled, test_crossbar —
+#      the last two exercise the parallel tile paths) and runs them under
 #      MEMLP_THREADS=4, proving the memlp::par pool, the parallel
-#      tile/linalg paths, and the trace/metrics sinks are race-free.
+#      tile/linalg paths, and the trace/metrics/profiler sinks are
+#      race-free.
+#   3. Smoke bench: fig6a_latency + fig7a_energy at a pinned tiny sweep
+#      (fixed seed, MEMLP_MAX_M=16, 2 trials) into a temp dir, then
+#      memlp_report against the committed results/json/baseline tree — the
+#      regression gate from docs/observability.md. Deterministic estimated
+#      metrics use the default 10% tolerance; wall-clock metrics 50%.
 #
 # Usage: scripts/check.sh [extra ctest args for the ASan run...]
 set -euo pipefail
@@ -47,10 +53,25 @@ cmake -B "$BUILD_DIR" -S . -DMEMLP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 
-echo "== TSan gate (test_par + test_obs + test_tiled + test_crossbar) =="
+echo "== TSan gate (test_par + test_obs + test_prof + test_tiled + test_crossbar) =="
 cmake -B "$TSAN_BUILD_DIR" -S . -DMEMLP_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-  --target test_par test_obs test_tiled test_crossbar
+  --target test_par test_obs test_prof test_tiled test_crossbar
 MEMLP_THREADS=4 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-  -j "$JOBS" -L 'test_par|test_obs|test_tiled|test_crossbar'
+  -j "$JOBS" -L 'test_par|test_obs|test_prof|test_tiled|test_crossbar'
+
+echo "== Smoke bench vs results/json/baseline =="
+# Runs the unsanitized static-gate binaries (sanitizers would skew wall
+# clocks); the deterministic estimated metrics carry the gate at the tight
+# default tolerance, measured wall clocks get a machine-tolerant 5x band.
+# The pinned sweep must match scripts/update_baseline.sh, or every
+# comparison is apples to oranges.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SMOKE_ENV=(MEMLP_MAX_M=16 MEMLP_TRIALS=2 MEMLP_SEED=42 MEMLP_THREADS=1
+           MEMLP_BENCH_DIR="$SMOKE_DIR")
+env "${SMOKE_ENV[@]}" "$STATIC_BUILD_DIR/bench/fig6a_latency" > /dev/null
+env "${SMOKE_ENV[@]}" "$STATIC_BUILD_DIR/bench/fig7a_energy" > /dev/null
+"$STATIC_BUILD_DIR/tools/memlp_report" --require-coverage \
+  --tolerance-measured 5.0 results/json/baseline "$SMOKE_DIR"

@@ -1,11 +1,29 @@
 #!/usr/bin/env bash
+# Full reproduction sweep: rebuild, run the tier-1 suite, then every bench
+# harness (fig5a…fig7b, iterations, all ablations including
+# ablation_mehrotra, micro benches), teeing the text reports into
+# results/<name>.txt. Each harness also stamps a machine-readable
+# BENCH_<name>.json artifact into $MEMLP_BENCH_DIR (default results/json)
+# carrying the git SHA exported below — diff two sweeps with
+# tools/memlp_report (docs/observability.md).
+#
+# Honors the usual sweep knobs (MEMLP_FULL=1 for paper-scale sizes,
+# MEMLP_TRIALS, MEMLP_SEED, MEMLP_THREADS, …).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-mkdir -p results
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+if [ ! -f build/CMakeCache.txt ]; then
+  cmake -B build -S .
+fi
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+MEMLP_GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+export MEMLP_GIT_SHA
+export MEMLP_BENCH_DIR="${MEMLP_BENCH_DIR:-results/json}"
+mkdir -p results "$MEMLP_BENCH_DIR"
 for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue  # skip CMake bookkeeping dirs
   name="$(basename "$b")"
   echo "== $name"
   "$b" | tee "results/${name}.txt"

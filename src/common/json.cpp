@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace memlp {
 
@@ -51,5 +52,288 @@ std::string json_number(double value) {
 }
 
 std::string json_number(std::int64_t value) { return std::to_string(value); }
+
+namespace json {
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  throw ParseError("json: " + what + " at offset " + std::to_string(offset));
+}
+
+/// Recursive-descent parser over a string_view with a depth cap.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail(pos_, "trailing garbage");
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      fail(pos_, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail(pos_, "nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value::make_bool(true);
+        fail(pos_, "invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value::make_bool(false);
+        fail(pos_, "invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value::make_null();
+        fail(pos_, "invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(std::size_t depth) {
+    expect('{');
+    std::map<std::string, Value> members;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members[std::move(key)] = parse_value(depth + 1);
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return Value::make_object(std::move(members));
+      if (next != ',') fail(pos_ - 1, "expected ',' or '}'");
+    }
+  }
+
+  Value parse_array(std::size_t depth) {
+    expect('[');
+    std::vector<Value> items;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return Value::make_array(std::move(items));
+      if (next != ',') fail(pos_ - 1, "expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail(pos_ - 1, "invalid \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two separate 3-byte sequences — artifact content is
+          // ASCII in practice).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0U | (code >> 6U));
+            out += static_cast<char>(0x80U | (code & 0x3FU));
+          } else {
+            out += static_cast<char>(0xE0U | (code >> 12U));
+            out += static_cast<char>(0x80U | ((code >> 6U) & 0x3FU));
+            out += static_cast<char>(0x80U | (code & 0x3FU));
+          }
+          break;
+        }
+        default:
+          fail(pos_ - 1, "invalid escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail(start, "expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != 0) fail(start, "malformed number");
+    return Value::make_number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void wrong_kind(const char* wanted) {
+  throw ParseError(std::string("json: value is not a ") + wanted);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) wrong_kind("bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) wrong_kind("number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) wrong_kind("string");
+  return string_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (kind_ != Kind::kArray) wrong_kind("array");
+  return array_;
+}
+
+const std::map<std::string, Value>& Value::as_object() const {
+  if (kind_ != Kind::kObject) wrong_kind("object");
+  return object_;
+}
+
+const Value* Value::find(const std::string& key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double Value::number_or(const std::string& key, double fallback) const noexcept {
+  const Value* member = find(key);
+  return member != nullptr && member->is_number() ? member->number_ : fallback;
+}
+
+std::string Value::string_or(const std::string& key,
+                             std::string fallback) const {
+  const Value* member = find(key);
+  return member != nullptr && member->is_string() ? member->string_
+                                                  : std::move(fallback);
+}
+
+Value Value::make_null() { return {}; }
+
+Value Value::make_bool(bool v) {
+  Value value;
+  value.kind_ = Kind::kBool;
+  value.bool_ = v;
+  return value;
+}
+
+Value Value::make_number(double v) {
+  Value value;
+  value.kind_ = Kind::kNumber;
+  value.number_ = v;
+  return value;
+}
+
+Value Value::make_string(std::string v) {
+  Value value;
+  value.kind_ = Kind::kString;
+  value.string_ = std::move(v);
+  return value;
+}
+
+Value Value::make_array(std::vector<Value> v) {
+  Value value;
+  value.kind_ = Kind::kArray;
+  value.array_ = std::move(v);
+  return value;
+}
+
+Value Value::make_object(std::map<std::string, Value> v) {
+  Value value;
+  value.kind_ = Kind::kObject;
+  value.object_ = std::move(v);
+  return value;
+}
+
+Value parse(std::string_view text) { return Parser(text).document(); }
+
+}  // namespace json
 
 }  // namespace memlp

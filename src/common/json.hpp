@@ -1,13 +1,21 @@
-// Minimal JSON emission helpers.
+// Minimal JSON emission helpers and a small parser.
 //
-// Shared by the observability layer (JSONL trace sinks, metrics snapshots)
-// and the bench artifact writer (TextTable::write_json). Emission only — the
-// repo never needs to *parse* JSON outside of tests.
+// Emission is shared by the observability layer (JSONL trace sinks, metrics
+// snapshots) and the bench artifact writer. The parser (memlp::json) exists
+// for the consumers of those artifacts — tools/memlp_report diffs
+// BENCH_*.json trees, and tests validate exporter output — so it favors
+// clear errors over speed and supports exactly standard JSON (no comments,
+// no trailing commas).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
 
 namespace memlp {
 
@@ -23,5 +31,73 @@ std::string json_number(double value);
 
 /// An integer as a JSON token.
 std::string json_number(std::int64_t value);
+
+namespace json {
+
+/// Raised by parse() on malformed input, with a byte offset in the message.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A parsed JSON document node. Object members keep no insertion order
+/// (std::map — artifact consumers address members by name).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+
+  /// Typed accessors; throw ParseError when the node has another kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& as_array() const;
+  [[nodiscard]] const std::map<std::string, Value>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const noexcept;
+
+  /// Convenience: member's number/string, or the fallback when absent or of
+  /// the wrong kind.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const noexcept;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+
+  static Value make_null();
+  static Value make_bool(bool v);
+  static Value make_number(double v);
+  static Value make_string(std::string v);
+  static Value make_array(std::vector<Value> v);
+  static Value make_object(std::map<std::string, Value> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parses one JSON document (throws ParseError on malformed input or
+/// trailing garbage).
+Value parse(std::string_view text);
+
+}  // namespace json
 
 }  // namespace memlp

@@ -11,11 +11,20 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/stopwatch.hpp"
 
 namespace memlp::par {
 namespace {
 
 thread_local bool t_in_region = false;
+
+constexpr std::size_t kThreadSlotLimit = 258;  // 256 workers + main + spare.
+
+std::atomic<const TimelineHooks*> g_timeline_hooks{nullptr};
+
+const TimelineHooks* timeline_hooks() noexcept {
+  return g_timeline_hooks.load(std::memory_order_acquire);
+}
 
 /// One parallel region: participants claim chunk indices off `next` until
 /// exhausted; the last completed chunk releases the caller. Heap-held via
@@ -50,6 +59,13 @@ class Pool {
     job->grain = grain;
     job->chunks = (count + grain - 1) / grain;
     ensure_workers(threads - 1);
+    // Region hooks fire under region_mutex_, before the job is published, so
+    // hook state written in region_begin is visible to every worker (the job
+    // hand-off below synchronizes) and region callbacks never overlap.
+    const TimelineHooks* hooks = timeline_hooks();
+    Stopwatch region_timer;
+    if (hooks != nullptr && hooks->region_begin != nullptr)
+      hooks->region_begin(count, threads);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job_ = job;
@@ -70,6 +86,8 @@ class Pool {
       job_.reset();
       if (job->error) std::rethrow_exception(job->error);
     }
+    if (hooks != nullptr && hooks->region_end != nullptr)
+      hooks->region_end(region_timer.seconds());
   }
 
  private:
@@ -111,18 +129,22 @@ class Pool {
   }
 
   void execute(Job& job) {
+    const TimelineHooks* hooks = timeline_hooks();
     for (;;) {
       const std::size_t chunk =
           job.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= job.chunks) return;
       const std::size_t begin = chunk * job.grain;
       const std::size_t end = std::min(begin + job.grain, job.count);
+      Stopwatch chunk_timer;
       try {
         (*job.body)(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!job.error) job.error = std::current_exception();
       }
+      if (hooks != nullptr && hooks->chunk != nullptr)
+        hooks->chunk(thread_slot(), begin, end, chunk_timer.seconds());
       if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
         // Lock so the caller cannot miss the notify between its predicate
         // check and its wait.
@@ -155,6 +177,19 @@ std::size_t default_threads() {
 }
 
 bool in_parallel_region() noexcept { return t_in_region; }
+
+std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot = std::min(
+      next_slot.fetch_add(1, std::memory_order_relaxed), kThreadSlotLimit - 1);
+  return slot;
+}
+
+std::size_t thread_slot_limit() noexcept { return kThreadSlotLimit; }
+
+void set_timeline_hooks(const TimelineHooks* hooks) noexcept {
+  g_timeline_hooks.store(hooks, std::memory_order_release);
+}
 
 void parallel_for_ranges(
     std::size_t count, std::size_t grain,

@@ -34,6 +34,40 @@ namespace memlp::par {
 /// concurrency (at least 1). Resolved once per process.
 std::size_t default_threads();
 
+/// Dense, stable per-thread slot index for observability buffers: each
+/// thread (the main thread, pool workers, anything else) is assigned the
+/// next free index on its first call and keeps it for its lifetime. Values
+/// are < thread_slot_limit(); threads past the limit share the last slot,
+/// so per-slot consumers must still guard each slot (the profiler holds one
+/// lock per slot). Merging per-slot buffers in increasing slot order is the
+/// deterministic-merge order the parallelism contract above prescribes.
+std::size_t thread_slot() noexcept;
+
+/// Exclusive upper bound on thread_slot() values (pool cap + main thread).
+std::size_t thread_slot_limit() noexcept;
+
+/// Observability hooks around pooled parallel execution, for building
+/// per-thread timelines (memlp::obs::Profiler installs these; none by
+/// default). All callbacks must be thread-safe and cheap:
+///   * region_begin/region_end fire on the calling thread around one
+///     Pool::run (regions are serialized, so these never overlap);
+///     region_begin fires before any worker can observe the job.
+///   * chunk fires on the executing thread (caller or worker) after each
+///     completed chunk with the half-open index range and its duration.
+/// The inline paths (threads <= 1, nested regions) bypass the pool and fire
+/// no hooks — timelines describe pooled execution only, so aggregated
+/// profiles stay identical at every thread count.
+struct TimelineHooks {
+  void (*region_begin)(std::size_t count, std::size_t threads);
+  void (*region_end)(double elapsed_s);
+  void (*chunk)(std::size_t slot, std::size_t begin, std::size_t end,
+                double elapsed_s);
+};
+
+/// Installs (nullptr clears) the process-wide timeline hooks. The pointed-to
+/// struct must outlive all parallel regions; install before regions run.
+void set_timeline_hooks(const TimelineHooks* hooks) noexcept;
+
 /// True on a thread currently executing inside a parallel region (pool
 /// worker or a caller participating in its own region). Such threads run
 /// further parallel_for calls inline.

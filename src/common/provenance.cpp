@@ -1,0 +1,45 @@
+#include "common/provenance.hpp"
+
+#include <cstdlib>
+
+namespace memlp {
+
+#ifndef MEMLP_GIT_SHA_CONFIGURE
+#define MEMLP_GIT_SHA_CONFIGURE "unknown"
+#endif
+#ifndef MEMLP_BUILD_TYPE
+#define MEMLP_BUILD_TYPE "unknown"
+#endif
+#ifndef MEMLP_SANITIZE_CONFIG
+#define MEMLP_SANITIZE_CONFIG ""
+#endif
+
+std::string git_sha() {
+  const char* env = std::getenv("MEMLP_GIT_SHA");
+  if (env != nullptr && *env != 0) return env;
+  return MEMLP_GIT_SHA_CONFIGURE;
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type() { return MEMLP_BUILD_TYPE; }
+
+std::string build_flags() {
+  const std::string sanitize = MEMLP_SANITIZE_CONFIG;
+  if (sanitize.empty() || sanitize == "off") return "";
+  return "sanitize=" + sanitize;
+}
+
+}  // namespace memlp

@@ -1,0 +1,29 @@
+// Build/run provenance for artifacts.
+//
+// Every bench artifact and regenerated results/*.txt header records where
+// its numbers came from: the git commit, the compiler, the build type, and
+// the sanitizer/flag configuration. The git SHA is resolved at runtime from
+// MEMLP_GIT_SHA when set (scripts/run_all.sh exports the working-tree HEAD,
+// which cannot go stale), falling back to the SHA captured when CMake last
+// configured, then to "unknown" (e.g. a tarball build).
+#pragma once
+
+#include <string>
+
+namespace memlp {
+
+/// The git commit this binary's numbers should be attributed to (see file
+/// comment for the resolution order). Short-SHA form, or "unknown".
+std::string git_sha();
+
+/// Compiler id and version, e.g. "gcc 12.2.0" or "clang 16.0.6".
+std::string compiler_id();
+
+/// CMAKE_BUILD_TYPE the binary was built with, e.g. "RelWithDebInfo".
+std::string build_type();
+
+/// Non-default build flags worth recording next to timings: the sanitizer
+/// configuration ("address", "thread") or "" for a plain build.
+std::string build_flags();
+
+}  // namespace memlp

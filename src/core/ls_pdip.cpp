@@ -9,6 +9,7 @@
 #include "core/scaling.hpp"
 #include "linalg/ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace memlp::core {
@@ -456,6 +457,7 @@ XbarSolveOutcome solve_ls_pdip(const lp::LinearProgram& original,
   obs::TraceSink* sink = options.pdip.trace != nullptr
                              ? options.pdip.trace
                              : obs::default_trace_sink();
+  obs::ProfileSpan profile_root("ls");
 
   Rng rng(options.seed);
   const bool schur = options.m1_mode == M1Mode::kSchurDiagonal;

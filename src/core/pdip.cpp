@@ -11,6 +11,7 @@
 #include "linalg/lu.hpp"
 #include "linalg/ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace memlp::core {
@@ -183,6 +184,7 @@ double matrix_norm_1(const Matrix& a) {
 lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
                            const PdipOptions& options) {
   problem.validate();
+  obs::ProfileSpan profile_root("pdip");
   Stopwatch timer;
   const KktLayout layout{problem.num_variables(), problem.num_constraints()};
   PdipState state = PdipState::ones(layout.n, layout.m);
@@ -242,13 +244,16 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
     // One factorization per iteration, reused for every right-hand side.
     std::optional<NormalEquationsSolver> normal;
     std::optional<LuFactorization> lu;
-    if (options.newton == NewtonSystem::kNormalEquations) {
-      normal.emplace(problem, state);
-      if (!normal->usable()) normal.reset();
-    } else {
-      update_kkt_diagonals(kkt, problem, state);
-      lu.emplace(kkt);
-      if (lu->singular()) lu.reset();
+    {
+      obs::ProfileSpan factor_span("factorize");
+      if (options.newton == NewtonSystem::kNormalEquations) {
+        normal.emplace(problem, state);
+        if (!normal->usable()) normal.reset();
+      } else {
+        update_kkt_diagonals(kkt, problem, state);
+        lu.emplace(kkt);
+        if (lu->singular()) lu.reset();
+      }
     }
     if (sink != nullptr) {
       // Newton-system condition estimate, traced path only: Hager's ‖A⁻¹‖₁
@@ -264,6 +269,7 @@ lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
     const auto solve_newton =
         [&](double mu, std::span<const double> corr1,
             std::span<const double> corr2) -> std::optional<StepDirection> {
+      obs::ProfileSpan newton_span("newton");
       if (normal) return normal->step(mu, corr1, corr2);
       if (!lu) return std::nullopt;
       Vec rhs = kkt_rhs(problem, state, mu);

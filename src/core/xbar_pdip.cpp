@@ -9,6 +9,7 @@
 #include "core/scaling.hpp"
 #include "linalg/ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace memlp::core {
@@ -76,11 +77,15 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
   if (array_holds_m) {
     // Session reuse: the array already holds M's structural blocks; only the
     // O(N) state diagonals need (re)writing.
+    obs::ProfileSpan write_span("write_state");
     write_diagonal_blocks(layout, state, negfree, backend,
                           /*also_backend=*/true, write_floor);
   } else {
-    write_diagonal_blocks(layout, state, negfree, backend,
-                          /*also_backend=*/false, write_floor);
+    {
+      obs::ProfileSpan write_span("write_state");
+      write_diagonal_blocks(layout, state, negfree, backend,
+                            /*also_backend=*/false, write_floor);
+    }
     obs::PhaseSpan span(sink, "xbar", "programming");
     span.note("attempt", attempt_index);
     const BackendStats before_program = backend.stats();
@@ -149,16 +154,20 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
   for (std::size_t iteration = 1; iteration <= options.pdip.max_iterations;
        ++iteration) {
     attempt.iterations = iteration;
-    if (iteration > 1)
+    if (iteration > 1) {
+      obs::ProfileSpan write_span("write_state");
       write_diagonal_blocks(layout, state, negfree, backend,
                             /*also_backend=*/true, write_floor);
+    }
 
     // --- r = [b; c; µe; µe; 0] − M·s with rows 3/4 halved (Eq. 15a/15b).
     const double mu = state.mu(options.pdip.delta);
     const Vec s = concat({state.x, state.y, state.w, state.z});
     // DAC at the state input; the MVM output stays analog into the amps.
+    obs::ProfileSpan mvm_span("mvm");
     Vec ms = backend.multiply(negfree.extend(s),
                               AnalogBackend::IoBoundary::kInputOnly);
+    mvm_span.close();
     {
       const Vec halved = amps.halve(
           std::span<const double>(ms).subspan(layout.row_xz(), n + m));
@@ -264,8 +273,10 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
     // extension an affine settle (µ = 0) picks the centering weight and a
     // second-order correction; the corrector settles on the same
     // programmed array.
+    obs::ProfileSpan settle_span("settle");
     auto delta_aug =
         backend.solve(r, AnalogBackend::IoBoundary::kOutputOnly);
+    settle_span.close();
     if (!delta_aug) {
       // A diverging iterate drives the (varied) system singular well before
       // the hard bound — classify before falling back to a hardware retry.
@@ -274,8 +285,10 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
       return attempt;
     }
     if (options.pdip.predictor_corrector) {
+      obs::ProfileSpan affine_span("settle");
       const auto affine_aug = backend.solve(
           rhs_at(0.0), AnalogBackend::IoBoundary::kOutputOnly);
+      affine_span.close();
       if (affine_aug) {
         const StepDirection affine =
             split_step(layout, negfree.restrict(*affine_aug));
@@ -302,8 +315,11 @@ AttemptResult run_attempt(const lp::LinearProgram& problem,
           r_corrector[layout.row_xz() + j] -= corr1[j];
         for (std::size_t i = 0; i < m; ++i)
           r_corrector[layout.row_yw() + i] -= corr2[i];
-        if (auto corrected = backend.solve(
-                r_corrector, AnalogBackend::IoBoundary::kOutputOnly)) {
+        obs::ProfileSpan corrector_span("settle");
+        auto corrected = backend.solve(
+            r_corrector, AnalogBackend::IoBoundary::kOutputOnly);
+        corrector_span.close();
+        if (corrected) {
           delta_aug = std::move(corrected);
           // The step taken came from the corrector settle: trace the µ it
           // solved with (σ·µ_mean, not the Eq. (8) default) and the affine
@@ -359,6 +375,7 @@ XbarSolveOutcome solve_with_context(const lp::LinearProgram& original,
   obs::TraceSink* sink = options.pdip.trace != nullptr
                              ? options.pdip.trace
                              : obs::default_trace_sink();
+  obs::ProfileSpan profile_root("xbar");
 
   // Context reuse: the array's structural blocks depend only on (scaled) A.
   const bool same_a = context.negfree.has_value() &&

@@ -1,0 +1,44 @@
+// memlp::obs — Chrome trace-event JSON sink.
+//
+// Renders a trace stream as a chrome://tracing / Perfetto
+// (https://ui.perfetto.dev) document: `span` events (as produced by
+// Profiler::export_spans) become complete "X" slices on their recording
+// thread's track, and every other event type becomes an instant "i" mark
+// with its fields attached as args. This rides the TraceSink interface, so
+// it can also sit behind TeeTraceSink next to a JSONL stream.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/stopwatch.hpp"
+#include "obs/trace.hpp"
+
+namespace memlp::obs {
+
+/// TraceSink writing the Chrome trace-event JSON object format:
+///   {"traceEvents":[...],"displayTimeUnit":"ms"}
+/// The document is completed when the sink is destroyed (or on the first
+/// flush after the last emit — flush() only flushes the stream; the closing
+/// bracket is written by the destructor).
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+
+  /// False when the file could not be opened (emits become no-ops).
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+
+  void emit(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;  // memlint:allow(R1): sink-internal serialization lock
+  Stopwatch clock_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace memlp::obs

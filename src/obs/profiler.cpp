@@ -1,0 +1,279 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/par.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace memlp::obs {
+namespace {
+
+/// Per-(slot, path) percentile sample cap; count/total/max stay exact.
+constexpr std::size_t kMaxSamplesPerPath = 2048;
+
+/// Per-slot raw-span cap in timeline mode (drops are counted).
+constexpr std::size_t kMaxTimelinePerSlot = 1 << 18;
+
+std::atomic<Profiler*> g_active{nullptr};
+
+/// One stack frame: where the thread's path string truncates back to on
+/// leave, and when the frame opened (profiler-epoch seconds).
+struct Frame {
+  std::size_t path_len = 0;
+  double start_s = 0.0;
+};
+
+thread_local std::string t_path;
+thread_local std::vector<Frame> t_frames;
+
+// Call-path prefix of the thread that launched the current pooled parallel
+// region. Written by the region_begin hook before the job is published and
+// read by workers only while executing that job, so the pool's job hand-off
+// (and its one-region-at-a-time serialization) orders every access.
+std::string g_region_prefix;  // NOLINT(cert-err58-cpp)
+
+// --- par::TimelineHooks bridge ---------------------------------------------
+
+void hook_region_begin(std::size_t, std::size_t) {
+  if (Profiler::active() == nullptr) return;
+  g_region_prefix = t_path;
+}
+
+void hook_region_end(double elapsed_s) {
+  Profiler* profiler = Profiler::active();
+  if (profiler == nullptr || !profiler->timeline_enabled()) return;
+  std::string path =
+      g_region_prefix.empty() ? "par.region" : g_region_prefix + "/par.region";
+  profiler->record_timeline(std::move(path), par::thread_slot(),
+                            profiler->now_s() - elapsed_s, elapsed_s);
+}
+
+void hook_chunk(std::size_t slot, std::size_t begin, std::size_t end,
+                double elapsed_s) {
+  Profiler* profiler = Profiler::active();
+  if (profiler == nullptr || !profiler->timeline_enabled()) return;
+  std::string path = g_region_prefix.empty() ? std::string("par.chunk")
+                                             : g_region_prefix + "/par.chunk";
+  path += "[" + std::to_string(begin) + "," + std::to_string(end) + ")";
+  profiler->record_timeline(std::move(path), slot,
+                            profiler->now_s() - elapsed_s, elapsed_s);
+}
+
+constexpr par::TimelineHooks kParHooks{&hook_region_begin, &hook_region_end,
+                                       &hook_chunk};
+
+}  // namespace
+
+/// Per-thread recording slot. Each slot is written by (at most) one thread
+/// at a time in the common case, but slot sharing past the thread cap and
+/// the merge in aggregate() make a lock necessary; contention is nil.
+struct Profiler::Slot {
+  struct PathAgg {
+    std::uint64_t count = 0;
+    double total_s = 0.0;
+    double max_s = 0.0;
+    std::vector<double> samples_s;  ///< capped at kMaxSamplesPerPath.
+  };
+
+  std::mutex mutex;  // memlint:allow(R1): profiler slot-internal lock
+  std::unordered_map<std::string, PathAgg> paths;
+  std::vector<SpanRecord> timeline;
+  std::uint64_t timeline_dropped = 0;
+};
+
+Profiler::Profiler(bool record_timeline) : record_timeline_(record_timeline) {
+  slots_.reserve(par::thread_slot_limit());
+  for (std::size_t i = 0; i < par::thread_slot_limit(); ++i)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+Profiler::~Profiler() {
+  if (active() == this) set_active(nullptr);
+}
+
+void Profiler::enter(const char* name) {
+  if (t_frames.empty() && par::in_parallel_region() &&
+      !g_region_prefix.empty() && t_path.empty()) {
+    // Pool worker opening its first frame inside a region: inherit the
+    // launching thread's call path so "xbar/solve" nests identically at
+    // every thread count (see the header's threading model).
+    t_path = g_region_prefix;
+  }
+  Frame frame;
+  frame.path_len = t_path.size();
+  frame.start_s = now_s();
+  if (!t_path.empty()) t_path += '/';
+  t_path += name;
+  t_frames.push_back(frame);
+}
+
+void Profiler::leave() {
+  if (t_frames.empty()) return;
+  const Frame frame = t_frames.back();
+  t_frames.pop_back();
+  const double dur_s = now_s() - frame.start_s;
+  record(t_path, frame.start_s, dur_s);
+  t_path.resize(frame.path_len);
+  // Dropping the outermost frame also drops any inherited region prefix.
+  if (t_frames.empty()) t_path.clear();
+}
+
+void Profiler::record(const std::string& path, double start_s, double dur_s) {
+  Slot& slot = *slots_[par::thread_slot()];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  Slot::PathAgg& agg = slot.paths[path];
+  agg.count += 1;
+  agg.total_s += dur_s;
+  agg.max_s = std::max(agg.max_s, dur_s);
+  if (agg.samples_s.size() < kMaxSamplesPerPath) agg.samples_s.push_back(dur_s);
+  if (record_timeline_) {
+    if (slot.timeline.size() < kMaxTimelinePerSlot)
+      slot.timeline.push_back({path, par::thread_slot(), start_s, dur_s});
+    else
+      ++slot.timeline_dropped;
+  }
+}
+
+void Profiler::record_timeline(std::string path, std::size_t slot_index,
+                               double start_s, double dur_s) {
+  if (!record_timeline_) return;
+  Slot& slot = *slots_[std::min(slot_index, slots_.size() - 1)];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.timeline.size() < kMaxTimelinePerSlot)
+    slot.timeline.push_back({std::move(path), slot_index, start_s, dur_s});
+  else
+    ++slot.timeline_dropped;
+}
+
+std::vector<CallPathStats> Profiler::aggregate() const {
+  struct Merged {
+    std::uint64_t count = 0;
+    double total_s = 0.0;
+    double max_s = 0.0;
+    std::vector<double> samples_s;
+  };
+  // Slots merged in increasing index order (the deterministic-merge order
+  // of the par contract); the map keeps the result path-sorted.
+  std::map<std::string, Merged> merged;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    for (const auto& [path, agg] : slot->paths) {
+      Merged& into = merged[path];
+      into.count += agg.count;
+      into.total_s += agg.total_s;
+      into.max_s = std::max(into.max_s, agg.max_s);
+      into.samples_s.insert(into.samples_s.end(), agg.samples_s.begin(),
+                            agg.samples_s.end());
+    }
+  }
+  std::vector<CallPathStats> out;
+  out.reserve(merged.size());
+  for (auto& [path, agg] : merged) {
+    CallPathStats stats;
+    stats.path = path;
+    stats.count = agg.count;
+    stats.total_s = agg.total_s;
+    stats.max_s = agg.max_s;
+    std::sort(agg.samples_s.begin(), agg.samples_s.end());
+    const auto nearest_rank = [&](double q) {
+      if (agg.samples_s.empty()) return 0.0;
+      const auto n = static_cast<double>(agg.samples_s.size());
+      const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+      return agg.samples_s[rank == 0 ? 0 : rank - 1];
+    };
+    stats.p50_s = nearest_rank(0.50);
+    stats.p95_s = nearest_rank(0.95);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Profiler::timeline() const {
+  std::vector<SpanRecord> out;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    out.insert(out.end(), slot->timeline.begin(), slot->timeline.end());
+  }
+  return out;
+}
+
+std::uint64_t Profiler::timeline_dropped() const {
+  std::uint64_t dropped = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    dropped += slot->timeline_dropped;
+  }
+  return dropped;
+}
+
+TextTable Profiler::table() const {
+  const auto stats = aggregate();
+  double root_total_s = 0.0;
+  for (const CallPathStats& s : stats)
+    if (s.path.find('/') == std::string::npos) root_total_s += s.total_s;
+  TextTable table("profile: phase breakdown (per call path)");
+  table.set_header({"path", "count", "total [ms]", "p50 [ms]", "p95 [ms]",
+                    "max [ms]", "share"});
+  for (const CallPathStats& s : stats) {
+    const double share =
+        root_total_s > 0.0 ? s.total_s / root_total_s : 0.0;
+    char share_cell[16];
+    std::snprintf(share_cell, sizeof share_cell, "%5.1f%%", share * 100.0);
+    table.add_row({s.path, TextTable::num(static_cast<long long>(s.count)),
+                   TextTable::num(s.total_s * 1e3, 4),
+                   TextTable::num(s.p50_s * 1e3, 4),
+                   TextTable::num(s.p95_s * 1e3, 4),
+                   TextTable::num(s.max_s * 1e3, 4), share_cell});
+  }
+  return table;
+}
+
+void Profiler::export_spans(TraceSink& sink) const {
+  for (const SpanRecord& span : timeline()) {
+    const std::size_t cut = span.path.rfind('/');
+    Event event("span");
+    event
+        .with("name", cut == std::string::npos ? span.path
+                                               : span.path.substr(cut + 1))
+        .with("path", span.path)
+        .with("tid", span.slot)
+        .with("ts_us", span.start_s * 1e6)
+        .with("dur_us", span.dur_s * 1e6);
+    sink.emit(event);
+  }
+}
+
+bool Profiler::write_chrome_trace(const std::string& path) const {
+  ChromeTraceSink sink(path);
+  if (!sink.ok()) return false;
+  export_spans(sink);
+  sink.flush();
+  return true;
+}
+
+void Profiler::reset() {
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->paths.clear();
+    slot->timeline.clear();
+    slot->timeline_dropped = 0;
+  }
+}
+
+Profiler* Profiler::active() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void Profiler::set_active(Profiler* profiler) noexcept {
+  g_active.store(profiler, std::memory_order_release);
+  par::set_timeline_hooks(profiler != nullptr ? &kParHooks : nullptr);
+}
+
+}  // namespace memlp::obs

@@ -1,0 +1,164 @@
+// memlp::obs — hierarchical scoped-span profiler.
+//
+// The paper's evaluation decomposes solver cost into phases (programming
+// vs iterations, §3.5; settles vs writes vs control, §4.4). This module
+// makes that decomposition measurable on any run, HPL-style: RAII
+// `ProfileSpan`s nest into call paths ("xbar/iterations/settle"), every
+// `obs::PhaseSpan` opens a matching profiler frame automatically, and the
+// aggregate reports count / total / p50 / p95 / max per call path.
+//
+// Threading model (the memlp::par contract, docs/parallelism.md):
+//   * Each thread owns a span stack (thread-local) and a recording slot
+//     indexed by par::thread_slot(); slots are merged in increasing index
+//     order, so aggregation is deterministic.
+//   * Spans opened inside a pooled parallel region inherit the calling
+//     thread's call path as a prefix (the pool serializes regions, so the
+//     prefix is unambiguous). A solve that runs under `par` therefore
+//     produces the same call paths — and the same counts — at every
+//     MEMLP_THREADS value; only the measured durations differ.
+//   * Pool worker chunks are additionally recorded as timeline-only spans
+//     (via par::TimelineHooks) so Chrome traces show per-thread occupancy;
+//     they never enter the aggregate, which keeps it thread-count-invariant.
+//
+// Cost discipline: `Profiler::active()` is one relaxed atomic load, and an
+// inactive ProfileSpan does nothing else. Recording one span is a clock
+// read, a thread-local path append, and one per-slot mutex-protected map
+// update — cheap at phase/iteration granularity, and never on untimed paths.
+//
+// The Chrome trace-event exporter rides the TraceSink machinery: spans are
+// replayed as `span` events into any sink; `ChromeTraceSink`
+// (obs/chrome_trace.hpp) renders them as a chrome://tracing / Perfetto
+// JSON document.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+namespace memlp::obs {
+
+class TraceSink;
+
+/// Aggregated statistics of one call path, e.g. "xbar/iterations/settle".
+struct CallPathStats {
+  std::string path;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// One raw span occurrence (timeline mode only).
+struct SpanRecord {
+  std::string path;
+  std::size_t slot = 0;  ///< par::thread_slot() of the recording thread.
+  double start_s = 0.0;  ///< seconds since the profiler's epoch.
+  double dur_s = 0.0;
+};
+
+/// Hierarchical scoped-span profiler. Aggregation is always on; pass
+/// `record_timeline = true` to additionally keep every raw span (bounded;
+/// needed for Chrome trace export).
+class Profiler {
+ public:
+  explicit Profiler(bool record_timeline = false);
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Seconds since this profiler was constructed (the timeline epoch).
+  [[nodiscard]] double now_s() const noexcept { return clock_.seconds(); }
+
+  [[nodiscard]] bool timeline_enabled() const noexcept {
+    return record_timeline_;
+  }
+
+  /// Opens a frame named `name` nested under the calling thread's current
+  /// path. Prefer ProfileSpan; PhaseSpan and the par hooks call these.
+  void enter(const char* name);
+
+  /// Closes the calling thread's innermost frame and records the span.
+  void leave();
+
+  /// Records a timeline-only span (no aggregation): pool worker chunks and
+  /// other per-thread occupancy marks. No-op when the timeline is off.
+  void record_timeline(std::string path, std::size_t slot, double start_s,
+                       double dur_s);
+
+  /// Merged per-call-path statistics: slots merged in increasing index
+  /// order, result sorted by path. Counts and paths are identical at every
+  /// thread count; durations are wall-clock and vary run to run.
+  [[nodiscard]] std::vector<CallPathStats> aggregate() const;
+
+  /// Raw spans (timeline mode), in slot order then per-slot record order.
+  [[nodiscard]] std::vector<SpanRecord> timeline() const;
+
+  /// Spans dropped after the per-slot timeline cap was hit.
+  [[nodiscard]] std::uint64_t timeline_dropped() const;
+
+  /// The aggregate as the `--profile` phase-breakdown table.
+  [[nodiscard]] TextTable table() const;
+
+  /// Replays every timeline span into `sink` as a `span` event with
+  /// `name`, `path`, `tid`, `ts_us`, `dur_us` fields (ChromeTraceSink
+  /// renders these as "X" slices; any other sink just logs them).
+  void export_spans(TraceSink& sink) const;
+
+  /// Writes the timeline as a Chrome trace-event JSON file
+  /// (chrome://tracing or https://ui.perfetto.dev). False on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Discards all recorded data (the epoch is kept).
+  void reset();
+
+  /// The process-wide profiler (nullptr when profiling is off). Reads are
+  /// one relaxed atomic load — safe on hot paths.
+  static Profiler* active() noexcept;
+
+  /// Installs `profiler` as the process-wide profiler (nullptr disables)
+  /// and wires the par::TimelineHooks bridge. Not thread-safe against
+  /// in-flight spans: switch only while no instrumented solve is running.
+  static void set_active(Profiler* profiler) noexcept;
+
+ private:
+  struct Slot;
+
+  void record(const std::string& path, double start_s, double dur_s);
+
+  bool record_timeline_ = false;
+  Stopwatch clock_;
+  std::vector<std::unique_ptr<Slot>> slots_;  ///< par::thread_slot_limit().
+};
+
+/// RAII scoped profiling span. Inert (one atomic load) when no profiler is
+/// active; otherwise opens a frame on construction and records it on
+/// destruction.
+class ProfileSpan {
+ public:
+  explicit ProfileSpan(const char* name) : ProfileSpan(Profiler::active(), name) {}
+  ProfileSpan(Profiler* profiler, const char* name) : profiler_(profiler) {
+    if (profiler_ != nullptr) profiler_->enter(name);
+  }
+  ProfileSpan(const ProfileSpan&) = delete;
+  ProfileSpan& operator=(const ProfileSpan&) = delete;
+  ~ProfileSpan() { close(); }
+
+  [[nodiscard]] bool active() const noexcept { return profiler_ != nullptr; }
+
+  /// Records the span now; later calls (and the destructor) are no-ops.
+  void close() {
+    if (profiler_ == nullptr) return;
+    profiler_->leave();
+    profiler_ = nullptr;
+  }
+
+ private:
+  Profiler* profiler_;
+};
+
+}  // namespace memlp::obs

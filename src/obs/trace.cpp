@@ -1,9 +1,12 @@
 #include "obs/trace.hpp"
 
 #include <cstdlib>
+#include <string_view>
 
 #include "common/csv.hpp"
 #include "common/json.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/profiler.hpp"
 
 namespace memlp::obs {
 namespace {
@@ -161,6 +164,14 @@ std::unique_ptr<TraceSink> open_trace_sink(const std::string& spec) {
     if (!sink->ok()) return nullptr;
     return sink;
   }
+  constexpr std::string_view kChrome = ".chrome.json";
+  if (spec.size() >= kChrome.size() &&
+      spec.compare(spec.size() - kChrome.size(), kChrome.size(), kChrome) ==
+          0) {
+    auto sink = std::make_unique<ChromeTraceSink>(spec);
+    if (!sink->ok()) return nullptr;
+    return sink;
+  }
   auto sink = std::make_unique<JsonlTraceSink>(spec);
   if (!sink->ok()) return nullptr;
   return sink;
@@ -225,6 +236,12 @@ Event SolveSummary::to_event() const {
 
 PhaseSpan::PhaseSpan(TraceSink* sink, const char* solver, std::string phase)
     : sink_(sink), event_("phase") {
+  // Open the profiler frame first: the phase string is moved into the event
+  // below, and the profiler needs it by name.
+  if (Profiler* profiler = Profiler::active()) {
+    profiler->enter(phase.c_str());
+    profiled_ = true;
+  }
   if (sink_ != nullptr)
     event_.with("solver", solver).with("phase", std::move(phase));
 }
@@ -234,6 +251,12 @@ void PhaseSpan::on_close(std::function<void(PhaseSpan&)> hook) {
 }
 
 void PhaseSpan::close() {
+  if (profiled_) {
+    profiled_ = false;
+    // The profiler that opened the frame is still active by contract
+    // (set_active is documented as unsafe against in-flight spans).
+    if (Profiler* profiler = Profiler::active()) profiler->leave();
+  }
   if (sink_ == nullptr) return;
   if (hook_) hook_(*this);
   event_.with("wall_seconds", timer_.seconds());

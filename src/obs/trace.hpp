@@ -179,8 +179,9 @@ class TeeTraceSink final : public TraceSink {
 };
 
 /// Opens a sink for `spec`: "-"/"stderr" → JSONL on stderr, "*.csv" → CSV
-/// file, anything else → JSONL file. Returns nullptr when the file cannot
-/// be opened.
+/// file, "*.chrome.json" → Chrome trace-event JSON (obs/chrome_trace.hpp),
+/// anything else → JSONL file. Returns nullptr when the file cannot be
+/// opened.
 std::unique_ptr<TraceSink> open_trace_sink(const std::string& spec);
 
 /// The process-wide sink resolved from MEMLP_TRACE, once: unset or falsey →
@@ -229,7 +230,10 @@ struct SolveSummary {
 /// RAII scoped phase timer. On close (or destruction) emits a `phase` event
 /// with the phase name and wall_seconds plus any noted fields; an optional
 /// on_close hook lets the caller attach counter snapshot deltas that are
-/// only known at the end of the span. Fully inert when `sink` is nullptr.
+/// only known at the end of the span. When a Profiler is active the span
+/// also opens a matching profiler frame (named by the phase), so existing
+/// phase instrumentation feeds `--profile` for free. Inert when `sink` is
+/// nullptr and no profiler is active.
 class PhaseSpan {
  public:
   PhaseSpan(TraceSink* sink, const char* solver, std::string phase);
@@ -258,6 +262,7 @@ class PhaseSpan {
   Event event_;
   Stopwatch timer_;
   std::function<void(PhaseSpan&)> hook_;
+  bool profiled_ = false;  ///< a profiler frame was opened for this span.
 };
 
 }  // namespace memlp::obs

@@ -9,6 +9,7 @@
 #include "common/stopwatch.hpp"
 #include "linalg/ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace memlp::solvers {
@@ -51,6 +52,7 @@ class Tableau {
   /// Runs both phases; returns the solver status.
   lp::SolveStatus run(const lp::LinearProgram& problem) {
     if (num_artificials_ > 0) {
+      obs::ProfileSpan phase1_span("phase1");
       load_phase1_costs();
       const lp::SolveStatus phase1 = iterate();
       if (phase1 != lp::SolveStatus::kOptimal) return phase1;
@@ -58,6 +60,7 @@ class Tableau {
         return lp::SolveStatus::kInfeasible;
       if (!drive_out_artificials()) return lp::SolveStatus::kNumericalFailure;
     }
+    obs::ProfileSpan phase2_span("phase2");
     load_phase2_costs(problem);
     return iterate();
   }
@@ -237,6 +240,7 @@ class Tableau {
 lp::SolveResult solve_simplex(const lp::LinearProgram& problem,
                               const SimplexOptions& options) {
   problem.validate();
+  obs::ProfileSpan profile_root("simplex");
   Stopwatch timer;
   Tableau tableau(problem, options);
   lp::SolveResult result;

@@ -1,0 +1,274 @@
+// Tests for memlp::obs::Profiler (obs/profiler.hpp): span nesting and
+// aggregation, the thread-count invariance of the aggregate (the memlp::par
+// determinism contract extended to observability, docs/parallelism.md), the
+// timeline/Chrome-trace exporter, and the PhaseSpan bridge.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "common/par.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using memlp::obs::CallPathStats;
+using memlp::obs::ProfileSpan;
+using memlp::obs::Profiler;
+
+/// Scoped Profiler::set_active so a test failure can't leak an installed
+/// profiler into later tests.
+class ActiveProfiler {
+ public:
+  explicit ActiveProfiler(Profiler* profiler) { Profiler::set_active(profiler); }
+  ~ActiveProfiler() { Profiler::set_active(nullptr); }
+  ActiveProfiler(const ActiveProfiler&) = delete;
+  ActiveProfiler& operator=(const ActiveProfiler&) = delete;
+};
+
+std::string text_field(const memlp::obs::Event& event, std::string_view key) {
+  const auto* field = event.find(key);
+  if (field == nullptr) return "";
+  const auto* value = std::get_if<std::string>(&field->value);
+  return value != nullptr ? *value : "";
+}
+
+const CallPathStats* find_path(const std::vector<CallPathStats>& stats,
+                               const std::string& path) {
+  for (const auto& entry : stats)
+    if (entry.path == path) return &entry;
+  return nullptr;
+}
+
+/// Burns a little deterministic work so spans have nonzero duration.
+double spin() {
+  volatile double acc = 0.0;
+  for (int i = 0; i < 2000; ++i) acc = acc + 1.0 / (1.0 + i);
+  return acc;
+}
+
+TEST(Profiler, InactiveSpansRecordNothing) {
+  ASSERT_EQ(Profiler::active(), nullptr);
+  { ProfileSpan span("orphan"); EXPECT_FALSE(span.active()); }
+  Profiler profiler;
+  EXPECT_TRUE(profiler.aggregate().empty());
+}
+
+TEST(Profiler, NestedSpansBuildSlashSeparatedPaths) {
+  Profiler profiler;
+  ActiveProfiler active(&profiler);
+  {
+    ProfileSpan root("solve");
+    for (int i = 0; i < 3; ++i) {
+      ProfileSpan inner("factor");
+      spin();
+      { ProfileSpan leaf("pivot"); spin(); }
+    }
+  }
+  const auto stats = profiler.aggregate();
+  ASSERT_EQ(stats.size(), 3u);
+  const auto* root = find_path(stats, "solve");
+  const auto* inner = find_path(stats, "solve/factor");
+  const auto* leaf = find_path(stats, "solve/factor/pivot");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(root->count, 1u);
+  EXPECT_EQ(inner->count, 3u);
+  EXPECT_EQ(leaf->count, 3u);
+  // Children are fully contained in their parents.
+  EXPECT_GE(root->total_s, inner->total_s);
+  EXPECT_GE(inner->total_s, leaf->total_s);
+  // The quantile chain is ordered and within [0, max].
+  EXPECT_GT(inner->total_s, 0.0);
+  EXPECT_LE(inner->p50_s, inner->p95_s);
+  EXPECT_LE(inner->p95_s, inner->max_s);
+}
+
+TEST(Profiler, ExplicitCloseRecordsOnceAndDestructorIsANoOp) {
+  Profiler profiler;
+  ActiveProfiler active(&profiler);
+  {
+    ProfileSpan span("once");
+    span.close();
+    span.close();  // idempotent
+    EXPECT_FALSE(span.active());
+  }
+  const auto stats = profiler.aggregate();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].count, 1u);
+}
+
+TEST(Profiler, ResetDiscardsRecordedData) {
+  Profiler profiler(/*record_timeline=*/true);
+  ActiveProfiler active(&profiler);
+  { ProfileSpan span("ephemeral"); }
+  profiler.reset();
+  EXPECT_TRUE(profiler.aggregate().empty());
+  EXPECT_TRUE(profiler.timeline().empty());
+  { ProfileSpan span("after_reset"); }
+  EXPECT_EQ(profiler.aggregate().size(), 1u);
+}
+
+/// Runs the same instrumented parallel workload at `threads` and returns the
+/// aggregate. Worker spans must fold under the launching thread's path.
+std::vector<CallPathStats> profiled_parallel_run(std::size_t threads) {
+  Profiler profiler;
+  ActiveProfiler active(&profiler);
+  {
+    ProfileSpan root("solve");
+    memlp::par::parallel_for(
+        32,
+        [](std::size_t) {
+          ProfileSpan item("tile");
+          spin();
+        },
+        threads);
+  }
+  return profiler.aggregate();
+}
+
+TEST(Profiler, AggregateIsIdenticalAcrossThreadCounts) {
+  const auto serial = profiled_parallel_run(1);
+  const auto pooled = profiled_parallel_run(4);
+  // Same call paths, same counts — only durations may differ.
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].path, pooled[i].path);
+    EXPECT_EQ(serial[i].count, pooled[i].count);
+  }
+  const auto* tile = find_path(pooled, "solve/tile");
+  ASSERT_NE(tile, nullptr);
+  EXPECT_EQ(tile->count, 32u);
+  // Pool bookkeeping spans (par.region / par.chunk) are timeline-only and
+  // must never appear in the aggregate.
+  for (const auto& entry : pooled)
+    EXPECT_EQ(entry.path.find("par."), std::string::npos) << entry.path;
+}
+
+TEST(Profiler, TimelineRecordsPooledWorkerChunks) {
+  Profiler profiler(/*record_timeline=*/true);
+  ActiveProfiler active(&profiler);
+  {
+    ProfileSpan root("solve");
+    memlp::par::parallel_for(
+        32, [](std::size_t) { ProfileSpan item("tile"); spin(); }, 4);
+  }
+  const auto timeline = profiler.timeline();
+  ASSERT_FALSE(timeline.empty());
+  bool saw_region = false;
+  bool saw_chunk = false;
+  for (const auto& record : timeline) {
+    EXPECT_GE(record.start_s, 0.0);
+    EXPECT_GE(record.dur_s, 0.0);
+    EXPECT_LT(record.slot, memlp::par::thread_slot_limit());
+    if (record.path.find("par.region") != std::string::npos) saw_region = true;
+    if (record.path.find("par.chunk") != std::string::npos) saw_chunk = true;
+  }
+  EXPECT_TRUE(saw_region);
+  EXPECT_TRUE(saw_chunk);
+  EXPECT_EQ(profiler.timeline_dropped(), 0u);
+}
+
+TEST(Profiler, PhaseSpanOpensAMatchingProfilerFrame) {
+  Profiler profiler;
+  ActiveProfiler active(&profiler);
+  memlp::obs::MemoryTraceSink sink;
+  {
+    ProfileSpan root("pdip");
+    memlp::obs::PhaseSpan phase(&sink, "pdip", "iterations");
+    spin();
+  }
+  const auto* nested = find_path(profiler.aggregate(), "pdip/iterations");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->count, 1u);
+  // The sink still sees the phase event (name survives the profiler hook).
+  const auto phases = sink.events_of("phase");
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(text_field(phases[0], "phase"), "iterations");
+}
+
+TEST(Profiler, PhaseSpanWithoutSinkStillProfiles) {
+  Profiler profiler;
+  ActiveProfiler active(&profiler);
+  { memlp::obs::PhaseSpan phase(nullptr, "pdip", "factorize"); }
+  const auto* entry = find_path(profiler.aggregate(), "factorize");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->count, 1u);
+}
+
+TEST(Profiler, TableRendersEveryPathWithAShareColumn) {
+  Profiler profiler;
+  ActiveProfiler active(&profiler);
+  {
+    ProfileSpan root("xbar");
+    { ProfileSpan inner("settle"); spin(); }
+  }
+  const std::string rendered = profiler.table().str();
+  EXPECT_NE(rendered.find("phase breakdown"), std::string::npos);
+  EXPECT_NE(rendered.find("xbar"), std::string::npos);
+  EXPECT_NE(rendered.find("xbar/settle"), std::string::npos);
+  EXPECT_NE(rendered.find("share"), std::string::npos);
+  EXPECT_NE(rendered.find("100.0%"), std::string::npos);  // root share
+}
+
+TEST(Profiler, ChromeTraceIsWellFormedJson) {
+  Profiler profiler(/*record_timeline=*/true);
+  ActiveProfiler active(&profiler);
+  {
+    ProfileSpan root("solve");
+    memlp::par::parallel_for(
+        8, [](std::size_t) { ProfileSpan item("tile"); spin(); }, 2);
+  }
+  const std::string path = testing::TempDir() + "/test_prof.chrome.json";
+  ASSERT_TRUE(profiler.write_chrome_trace(path));
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = memlp::json::parse(buffer.str());
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.string_or("displayTimeUnit", ""), "ms");
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->as_array().empty());
+  std::set<std::string> names;
+  for (const auto& event : events->as_array()) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_FALSE(event.string_or("name", "").empty());
+    EXPECT_EQ(event.string_or("ph", ""), "X");
+    ASSERT_NE(event.find("ts"), nullptr);
+    ASSERT_NE(event.find("dur"), nullptr);
+    EXPECT_GE(event.number_or("ts", -1.0), 0.0);
+    EXPECT_GE(event.number_or("dur", -1.0), 0.0);
+    names.insert(event.string_or("name", ""));
+  }
+  EXPECT_TRUE(names.count("solve"));
+  EXPECT_TRUE(names.count("tile"));
+  std::remove(path.c_str());
+}
+
+TEST(Profiler, ExportSpansReplaysTimelineIntoAnySink) {
+  Profiler profiler(/*record_timeline=*/true);
+  ActiveProfiler active(&profiler);
+  { ProfileSpan span("alpha"); spin(); }
+  memlp::obs::MemoryTraceSink sink;
+  profiler.export_spans(sink);
+  const auto spans = sink.events_of("span");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(text_field(spans[0], "path"), "alpha");
+  EXPECT_GE(spans[0].number("dur_us"), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,311 @@
+// memlp_report — bench-artifact diff and regression gate.
+//
+// Loads two trees of BENCH_*.json artifacts (written by bench/artifact.cpp,
+// schema "memlp.bench/1"), matches them by bench name, and compares every
+// metric with direction-aware noise thresholds: deterministic estimates
+// (hardware-model latency/energy, iteration counts, relative errors) get a
+// tight default tolerance, `measured` wall-clock metrics a loose one.
+// Exits non-zero on any regression, so scripts/check.sh and CI can gate on
+// a committed baseline tree. `--validate` checks one tree for schema
+// conformance instead.
+//
+// Usage:
+//   memlp_report [options] <baseline_dir> <candidate_dir>
+//   memlp_report --validate <dir>
+// Options:
+//   --tolerance <frac>           estimated-metric tolerance (default 0.10)
+//   --tolerance-measured <frac>  measured-metric tolerance (default 0.50)
+//   --require-coverage           a bench or metric missing from the
+//                                candidate tree is a failure (default:
+//                                warning only)
+// Exit codes: 0 = clean, 1 = regression (or invalid tree), 2 = usage/io.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace {
+
+using memlp::json::Value;
+
+constexpr const char* kSchema = "memlp.bench/1";
+
+struct Metric {
+  double value = 0.0;
+  std::string unit;
+  bool lower_is_better = true;
+  bool measured = false;
+};
+
+struct Artifact {
+  std::string name;
+  std::string git_sha;
+  std::map<std::string, Metric> metrics;
+};
+
+struct Options {
+  double tolerance_estimated = 0.10;
+  double tolerance_measured = 0.50;
+  bool require_coverage = false;
+};
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Parses one artifact; prints the problem and returns nullopt when the
+/// document does not conform to the schema.
+std::optional<Artifact> load_artifact(const std::filesystem::path& path) {
+  const auto text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "memlp_report: cannot read %s\n",
+                 path.string().c_str());
+    return std::nullopt;
+  }
+  Value doc;
+  try {
+    doc = memlp::json::parse(*text);
+  } catch (const memlp::json::ParseError& error) {
+    std::fprintf(stderr, "memlp_report: %s: %s\n", path.string().c_str(),
+                 error.what());
+    return std::nullopt;
+  }
+  if (!doc.is_object() || doc.string_or("schema", "") != kSchema) {
+    std::fprintf(stderr, "memlp_report: %s: missing or unknown schema\n",
+                 path.string().c_str());
+    return std::nullopt;
+  }
+  Artifact artifact;
+  artifact.name = doc.string_or("name", "");
+  if (artifact.name.empty()) {
+    std::fprintf(stderr, "memlp_report: %s: missing name\n",
+                 path.string().c_str());
+    return std::nullopt;
+  }
+  const Value* provenance = doc.find("provenance");
+  if (provenance == nullptr || !provenance->is_object() ||
+      provenance->string_or("git_sha", "").empty()) {
+    std::fprintf(stderr, "memlp_report: %s: missing provenance.git_sha\n",
+                 path.string().c_str());
+    return std::nullopt;
+  }
+  artifact.git_sha = provenance->string_or("git_sha", "");
+  const Value* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) {
+    std::fprintf(stderr, "memlp_report: %s: missing config\n",
+                 path.string().c_str());
+    return std::nullopt;
+  }
+  const Value* counters = doc.find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    std::fprintf(stderr, "memlp_report: %s: missing counters\n",
+                 path.string().c_str());
+    return std::nullopt;
+  }
+  const Value* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    std::fprintf(stderr, "memlp_report: %s: missing metrics\n",
+                 path.string().c_str());
+    return std::nullopt;
+  }
+  for (const Value& entry : metrics->as_array()) {
+    if (!entry.is_object()) {
+      std::fprintf(stderr, "memlp_report: %s: non-object metric entry\n",
+                   path.string().c_str());
+      return std::nullopt;
+    }
+    const std::string name = entry.string_or("name", "");
+    const Value* value = entry.find("value");
+    if (name.empty() || value == nullptr || !value->is_number()) {
+      std::fprintf(stderr, "memlp_report: %s: malformed metric entry\n",
+                   path.string().c_str());
+      return std::nullopt;
+    }
+    Metric metric;
+    metric.value = value->as_number();
+    metric.unit = entry.string_or("unit", "");
+    metric.lower_is_better = entry.string_or("better", "lower") != "higher";
+    const Value* measured = entry.find("measured");
+    metric.measured = measured != nullptr &&
+                      measured->kind() == Value::Kind::kBool &&
+                      measured->as_bool();
+    artifact.metrics[name] = metric;
+  }
+  return artifact;
+}
+
+/// Loads every BENCH_*.json under `dir`, keyed by bench name. `ok` is
+/// cleared when any file fails to load/validate.
+std::map<std::string, Artifact> load_tree(const std::filesystem::path& dir,
+                                          bool& ok) {
+  std::map<std::string, Artifact> tree;
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) == 0 &&
+        file.size() > 5 + 5 &&
+        file.compare(file.size() - 5, 5, ".json") == 0)
+      files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "memlp_report: cannot list %s: %s\n",
+                 dir.string().c_str(), ec.message().c_str());
+    ok = false;
+    return tree;
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    auto artifact = load_artifact(path);
+    if (!artifact) {
+      ok = false;
+      continue;
+    }
+    tree[artifact->name] = std::move(*artifact);
+  }
+  return tree;
+}
+
+/// Relative change of `candidate` vs `baseline` in the "worse" direction
+/// (positive = worse), with a tiny absolute floor so near-zero baselines
+/// don't produce infinite ratios.
+double relative_worsening(const Metric& baseline, double candidate) {
+  const double scale = std::max(std::abs(baseline.value), 1e-12);
+  const double delta = candidate - baseline.value;
+  return (baseline.lower_is_better ? delta : -delta) / scale;
+}
+
+int run_compare(const Options& options,
+                const std::filesystem::path& baseline_dir,
+                const std::filesystem::path& candidate_dir) {
+  bool trees_ok = true;
+  const auto baseline = load_tree(baseline_dir, trees_ok);
+  const auto candidate = load_tree(candidate_dir, trees_ok);
+  if (!trees_ok) return 2;
+  if (baseline.empty()) {
+    std::fprintf(stderr, "memlp_report: no BENCH_*.json under %s\n",
+                 baseline_dir.string().c_str());
+    return 2;
+  }
+
+  int regressions = 0;
+  int warnings = 0;
+  int compared = 0;
+  for (const auto& [name, base] : baseline) {
+    const auto cand_it = candidate.find(name);
+    if (cand_it == candidate.end()) {
+      std::printf("MISSING   %s: not in candidate tree\n", name.c_str());
+      if (options.require_coverage) ++regressions; else ++warnings;
+      continue;
+    }
+    const Artifact& cand = cand_it->second;
+    for (const auto& [metric_name, base_metric] : base.metrics) {
+      const auto metric_it = cand.metrics.find(metric_name);
+      if (metric_it == cand.metrics.end()) {
+        std::printf("MISSING   %s/%s: metric not in candidate\n",
+                    name.c_str(), metric_name.c_str());
+        if (options.require_coverage) ++regressions; else ++warnings;
+        continue;
+      }
+      ++compared;
+      const double tolerance = base_metric.measured
+                                   ? options.tolerance_measured
+                                   : options.tolerance_estimated;
+      const double worse =
+          relative_worsening(base_metric, metric_it->second.value);
+      const char* verdict = "ok       ";
+      if (worse > tolerance) {
+        verdict = "REGRESSED";
+        ++regressions;
+      } else if (worse < -tolerance) {
+        verdict = "improved ";
+      }
+      std::printf("%s %s/%s: %.6g -> %.6g %s (%+.1f%%, tol %.0f%%)\n",
+                  verdict, name.c_str(), metric_name.c_str(),
+                  base_metric.value, metric_it->second.value,
+                  base_metric.unit.c_str(), worse * 100.0,
+                  tolerance * 100.0);
+    }
+  }
+  std::printf(
+      "\nmemlp_report: %d metric(s) compared, %d regression(s), "
+      "%d warning(s)\n",
+      compared, regressions, warnings);
+  return regressions > 0 ? 1 : 0;
+}
+
+int run_validate(const std::filesystem::path& dir) {
+  bool ok = true;
+  const auto tree = load_tree(dir, ok);
+  if (tree.empty()) {
+    std::fprintf(stderr, "memlp_report: no BENCH_*.json under %s\n",
+                 dir.string().c_str());
+    return 1;
+  }
+  for (const auto& [name, artifact] : tree)
+    std::printf("valid     %s (git %s, %zu metric(s))\n", name.c_str(),
+                artifact.git_sha.c_str(), artifact.metrics.size());
+  std::printf("\nmemlp_report: %zu artifact(s) valid%s\n", tree.size(),
+              ok ? "" : ", but some files failed to load");
+  return ok ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: memlp_report [--tolerance F] [--tolerance-measured F] "
+               "[--require-coverage] <baseline_dir> <candidate_dir>\n"
+               "       memlp_report --validate <dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  bool validate = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> std::optional<double> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::strtod(argv[++i], nullptr);
+    };
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--require-coverage") {
+      options.require_coverage = true;
+    } else if (arg == "--tolerance") {
+      const auto value = next_value();
+      if (!value) return usage();
+      options.tolerance_estimated = *value;
+    } else if (arg == "--tolerance-measured") {
+      const auto value = next_value();
+      if (!value) return usage();
+      options.tolerance_measured = *value;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (validate)
+    return positional.size() == 1 ? run_validate(positional[0]) : usage();
+  if (positional.size() != 2) return usage();
+  return run_compare(options, positional[0], positional[1]);
+}

@@ -7,8 +7,15 @@
 //   --seed <n>                      hardware seed (default 42)
 //   --tile-dim <n>                  force the NoC with this tile size
 //   --trace <path>                  structured trace (JSONL; *.csv → CSV,
+//                                   *.chrome.json → Chrome trace events,
 //                                   "-" → JSONL on stderr)
 //   --convergence                   print the per-iteration convergence table
+//   --profile                       print the phase breakdown table
+//                                   (obs::Profiler call-path aggregate)
+//   --chrome-trace <path>           write the profiled solve's span timeline
+//                                   as Chrome trace-event JSON (implies
+//                                   profiling; open in chrome://tracing or
+//                                   https://ui.perfetto.dev)
 //   --quiet                         print only the objective value
 //
 // Reads the problem from a file (or stdin with "-"), solves it, prints the
@@ -27,6 +34,7 @@
 #include "core/pdip.hpp"
 #include "core/xbar_pdip.hpp"
 #include "lp/text_format.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "perf/hardware_model.hpp"
 #include "solvers/simplex.hpp"
@@ -37,7 +45,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: memlp_solve [--solver simplex|pdip|xbar|ls] "
                "[--variation f] [--seed n] [--tile-dim n] [--trace path] "
-               "[--convergence] [--quiet] <problem.lp | ->\n");
+               "[--convergence] [--profile] [--chrome-trace path] [--quiet] "
+               "<problem.lp | ->\n");
 }
 
 void print_result(const memlp::lp::SolveResult& result, bool quiet) {
@@ -93,6 +102,8 @@ int main(int argc, char** argv) {
   std::size_t tile_dim = 0;
   bool quiet = false;
   bool convergence = false;
+  bool profile = false;
+  std::string chrome_trace_path;
   std::string trace_spec;
   std::string path;
 
@@ -117,6 +128,10 @@ int main(int argc, char** argv) {
       trace_spec = next();
     } else if (arg == "--convergence") {
       convergence = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--chrome-trace") {
+      chrome_trace_path = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -159,6 +174,15 @@ int main(int argc, char** argv) {
     } else {
       sink = memory_sink.get();
     }
+  }
+
+  // The profiler must be active before the solve starts; the Chrome trace
+  // export needs the raw span timeline, the table only the aggregate.
+  std::unique_ptr<memlp::obs::Profiler> profiler;
+  if (profile || !chrome_trace_path.empty()) {
+    profiler = std::make_unique<memlp::obs::Profiler>(
+        /*record_timeline=*/!chrome_trace_path.empty());
+    memlp::obs::Profiler::set_active(profiler.get());
   }
 
   memlp::lp::LinearProgram problem;
@@ -241,6 +265,17 @@ int main(int argc, char** argv) {
   }
 
   if (convergence) print_convergence(*memory_sink);
+  if (profiler != nullptr) {
+    memlp::obs::Profiler::set_active(nullptr);
+    if (profile) std::printf("\n%s", profiler->table().str().c_str());
+    if (!chrome_trace_path.empty()) {
+      if (profiler->write_chrome_trace(chrome_trace_path))
+        std::printf("chrome trace: %s\n", chrome_trace_path.c_str());
+      else
+        std::fprintf(stderr, "cannot write chrome trace %s\n",
+                     chrome_trace_path.c_str());
+    }
+  }
   if (file_sink != nullptr) file_sink->flush();
   return result.optimal() ? 0 : 1;
 }
