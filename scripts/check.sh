@@ -6,7 +6,7 @@
 #      stages): a -DMEMLP_WERROR=ON build of the whole tree — which also
 #      compiles the generated per-header self-containment objects
 #      (memlp_header_check) — plus the memlint project-invariant linter
-#      over the real tree (rules R1–R6, docs/static-analysis.md). When
+#      over the real tree (rules R1–R7, docs/static-analysis.md). When
 #      clang-tidy is on PATH the build additionally runs it over src/ via
 #      -DMEMLP_TIDY=ON with --warnings-as-errors=*.
 #   1. -DMEMLP_SANITIZE=ON (ASan + UBSan): builds everything and runs the

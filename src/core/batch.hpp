@@ -12,6 +12,10 @@
 // Tiled backends inside a batch run their per-tile loops inline (nested
 // parallel regions serialize, see common/par.hpp) — the batch level owns the
 // threads.
+//
+// These crossbar-only overloads are shims over the registry-backed
+// engine::solve_batch (engine/batch.hpp), which additionally accepts batches
+// mixing solver kinds; both are defined in the memlp_engine library.
 #pragma once
 
 #include <cstdint>

@@ -119,6 +119,28 @@ double step_length(const PdipState& state, const StepDirection& step,
   return r * std::min(1.0 / blocking, 1.0);
 }
 
+StepLengths step_lengths(const PdipState& state, const StepDirection& step,
+                         double r, double dead_floor) {
+  MEMLP_EXPECT(r > 0.0 && r < 1.0);
+  const auto side = [dead_floor, r](const Vec& a, const Vec& da, const Vec& b,
+                                    const Vec& db) {
+    double blocking = 0.0;  // max_i (−∆v_i / v_i) over the pair
+    const auto scan = [&blocking, dead_floor](const Vec& v, const Vec& dv) {
+      for (std::size_t i = 0; i < v.size(); ++i)
+        if (v[i] > dead_floor)
+          blocking = std::max(blocking, -dv[i] / v[i]);
+    };
+    scan(a, da);
+    scan(b, db);
+    if (blocking <= 0.0) return r;
+    return r * std::min(1.0 / blocking, 1.0);
+  };
+  StepLengths alphas;
+  alphas.alpha_p = side(state.x, step.dx, state.w, step.dw);
+  alphas.alpha_d = side(state.y, step.dy, state.z, step.dz);
+  return alphas;
+}
+
 void apply_step(PdipState& state, const StepDirection& step, double theta) {
   axpy(theta, step.dx, state.x);
   axpy(theta, step.dy, state.y);

@@ -10,6 +10,7 @@
 //   columns: ∆x = [0, n), ∆y = [n, n+m), ∆w = [n+m, n+2m), ∆z = [n+2m, N)
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 
@@ -83,6 +84,24 @@ StepDirection split_step(const KktLayout& layout,
 /// step (θ → 0); the post-step clamp keeps such components positive instead.
 double step_length(const PdipState& state, const StepDirection& step,
                    double r, double dead_floor = 0.0);
+
+/// The Eq. (11) ratio test split by problem side: `alpha_p` is blocked only
+/// by the primal pair (x, w), `alpha_d` only by the dual pair (y, z). The
+/// solvers apply the conservative min(alpha_p, alpha_d) — bitwise equal to
+/// step_length() over all four groups — but trace the pair separately, so
+/// convergence tables show which side limits progress.
+struct StepLengths {
+  double alpha_p = 0.0;
+  double alpha_d = 0.0;
+  [[nodiscard]] double applied() const noexcept {
+    return std::min(alpha_p, alpha_d);
+  }
+};
+
+/// Computes the split Eq. (11) step lengths (same r / dead_floor semantics
+/// as step_length).
+StepLengths step_lengths(const PdipState& state, const StepDirection& step,
+                         double r, double dead_floor = 0.0);
 
 /// Applies s ← s + θ·∆s to every component group.
 void apply_step(PdipState& state, const StepDirection& step, double theta);

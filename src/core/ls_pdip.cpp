@@ -2,384 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "common/contracts.hpp"
+#include "core/engine.hpp"
 #include "core/negfree.hpp"
+#include "core/newton_ls.hpp"
 #include "core/scaling.hpp"
 #include "linalg/ops.hpp"
-#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace memlp::core {
 namespace {
 
-enum class AttemptOutcome {
-  kConverged,
-  kStalled,
-  kInfeasible,
-  kUnbounded,
-  kHardwareFailure,
-  kIterationLimit,
-};
-
-struct AttemptResult {
-  AttemptOutcome outcome = AttemptOutcome::kIterationLimit;
-  PdipState best_state;
-  double best_merit = std::numeric_limits<double>::infinity();
-  std::size_t iterations = 0;
-};
-
 double mean_abs(const Matrix& a) {
   double sum = 0.0;
   for (double v : a.data()) sum += std::abs(v);
   const std::size_t count = a.rows() * a.cols();
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
-}
-
-/// Capped denominators: ŷ_i = max(y_i, w_i/cap) bounds the corner ratio
-/// w_i/ŷ_i at `cap` — and the SAME ŷ must be used in the µ./ŷ right-hand
-/// side terms, otherwise a capped matrix row faces an uncapped rhs and the
-/// step direction is garbage.
-Vec capped_y(const PdipState& state, double ratio_cap) {
-  Vec y_hat(state.y.size());
-  for (std::size_t i = 0; i < y_hat.size(); ++i)
-    y_hat[i] = std::max(state.y[i], state.w[i] / ratio_cap);
-  return y_hat;
-}
-
-Vec capped_x(const PdipState& state, double ratio_cap) {
-  Vec x_hat(state.x.size());
-  for (std::size_t j = 0; j < x_hat.size(); ++j)
-    x_hat[j] = std::max(state.x[j], state.z[j] / ratio_cap);
-  return x_hat;
-}
-
-/// Writes the current corner diagonals (−w/ŷ and +z/x̂) into the bookkeeping
-/// structure and, when `also_backend`, into the analog array — 2(n+m)
-/// physical cells, the O(N) per-iteration update of §3.5.
-void write_corner_diagonals(const lp::LinearProgram& problem,
-                            const PdipState& state,
-                            std::span<const double> x_hat,
-                            std::span<const double> y_hat,
-                            NegativeFreeSystem& negfree1,
-                            AnalogBackend& backend1, bool also_backend) {
-  const std::size_t n = problem.num_variables();
-  const std::size_t m = problem.num_constraints();
-  const auto put = [&](std::size_t i, std::size_t j, double value) {
-    for (const auto& write : negfree1.update_base_cell_signed(i, j, value))
-      if (also_backend)
-        backend1.update_cell(write.row, write.col, write.value);
-  };
-  for (std::size_t i = 0; i < m; ++i) put(i, n + i, -state.w[i] / y_hat[i]);
-  for (std::size_t j = 0; j < n; ++j) put(m + j, j, state.z[j] / x_hat[j]);
-}
-
-AttemptResult run_attempt(const lp::LinearProgram& problem,
-                          const LsPdipOptions& options,
-                          NegativeFreeSystem& negfree1,
-                          AnalogBackend& backend1, AnalogBackend& backend2,
-                          xbar::AmplifierBank& amps,
-                          BackendStats& programming, obs::TraceSink* sink,
-                          std::size_t attempt_index) {
-  const std::size_t n = problem.num_variables();
-  const std::size_t m = problem.num_constraints();
-  const bool schur = options.m1_mode == M1Mode::kSchurDiagonal;
-  AttemptResult attempt;
-  PdipState state = PdipState::ones(n, m);
-
-  // Reset the corner diagonals to the fresh-state values, then program the
-  // whole M1 array once for this attempt (fresh variation draws).
-  if (schur)
-    write_corner_diagonals(problem, state, capped_x(state, options.ratio_cap),
-                           capped_y(state, options.ratio_cap), negfree1,
-                           backend1, /*also_backend=*/false);
-  {
-    obs::PhaseSpan span(sink, "ls", "programming");
-    span.note("attempt", attempt_index);
-    const BackendStats before1 = backend1.stats();
-    backend1.program(negfree1.matrix(),
-                     options.full_scale_headroom * negfree1.matrix().max_abs());
-    BackendStats programmed = backend1.stats().since(before1);
-    // M2 = diag([x; y]) changes every iteration; program with headroom so
-    // the per-iteration writes stay cell-local.
-    const BackendStats before2 = backend2.stats();
-    const Matrix m2 = Matrix::diagonal(concat({state.x, state.y}));
-    backend2.program(m2, options.full_scale_headroom * m2.max_abs());
-    programmed += backend2.stats().since(before2);
-    programming += programmed;
-    annotate_backend_stats(span, programmed);
-  }
-
-  // Covers the whole attempt loop via RAII (annotated on every exit path);
-  // both arrays plus the amplifier bank contribute to the counter delta.
-  obs::PhaseSpan iteration_span(sink, "ls", "iterations");
-  if (iteration_span.active()) {
-    iteration_span.note("attempt", attempt_index);
-    const BackendStats before_it1 = backend1.stats();
-    const BackendStats before_it2 = backend2.stats();
-    const xbar::AmplifierStats amps_before = amps.stats();
-    iteration_span.on_close([&backend1, &backend2, &amps, &attempt, before_it1,
-                             before_it2, amps_before](obs::PhaseSpan& span) {
-      span.note("iterations", attempt.iterations);
-      BackendStats delta = backend1.stats().since(before_it1);
-      delta += backend2.stats().since(before_it2);
-      delta.amps += amps.stats().since(amps_before);
-      annotate_backend_stats(span, delta);
-    });
-  }
-
-  const double b_scale = 1.0 + norm_inf(problem.b);
-  const double c_scale = 1.0 + norm_inf(problem.c);
-  std::size_t best_iteration = 0;
-  // See xbar_pdip.cpp: a clearly failing attempt whose dual (primal) iterate
-  // dwarfs the other signals infeasibility (unboundedness).
-  const auto classify_exit = [&](AttemptOutcome fallback) {
-    if (attempt.best_merit > options.acceptance_merit) {
-      // The problem is pre-normalized (core/scaling.hpp), so legitimate
-      // optima have x, y of order 1; an iterate an order of magnitude past
-      // that AND dominating the other group is the §3.1 divergence
-      // signature. Only consulted after the attempt failed to solve.
-      const double x_norm = norm_inf(state.x);
-      const double y_norm = norm_inf(state.y);
-      if (y_norm > 8.0 && y_norm > 4.0 * (1.0 + x_norm))
-        return AttemptOutcome::kInfeasible;
-      if (x_norm > 8.0 && x_norm > 4.0 * (1.0 + y_norm))
-        return AttemptOutcome::kUnbounded;
-    }
-    if (const auto diverged =
-            classify_relative_divergence(state, b_scale, c_scale))
-      return *diverged == lp::SolveStatus::kInfeasible
-                 ? AttemptOutcome::kInfeasible
-                 : AttemptOutcome::kUnbounded;
-    return fallback;
-  };
-
-  double previous_x_norm = 1.0;
-  double previous_y_norm = 1.0;
-  double best_x_norm = 1.0;
-  double best_y_norm = 1.0;
-  for (std::size_t iteration = 1; iteration <= options.pdip.max_iterations;
-       ++iteration) {
-    attempt.iterations = iteration;
-    const double mu = state.mu(options.pdip.delta);
-    const Vec x_hat = capped_x(state, options.ratio_cap);
-    const Vec y_hat = capped_y(state, options.ratio_cap);
-    if (schur && iteration > 1)
-      write_corner_diagonals(problem, state, x_hat, y_hat, negfree1,
-                             backend1, /*also_backend=*/true);
-
-    // --- System 1 right-hand side (Eq. 17a).
-    // Schur mode: fixed1 = [b − w − µ./y; c + z + µ./x]; with RU·y ≈ −w and
-    // RL·x ≈ z this yields r1 ≈ [b − Ax − µ./y; c − Aᵀy + µ./x].
-    // Literal mode: fixed1 = [b − w; c + z] as printed in the paper.
-    const Vec s1 = concat({state.x, state.y});
-    // DAC at the state input; output stays analog into the amps.
-    Vec ms1 = backend1.multiply(negfree1.extend(s1),
-                                AnalogBackend::IoBoundary::kInputOnly);
-    Vec fixed1(negfree1.dim(), 0.0);
-    {
-      Vec bw;
-      Vec cz;
-      if (schur) {
-        // On a capped row the array holds −w/ŷ (not −w/y), so the constant
-        // vector must pair it with w·(y/ŷ): the capped linearization's rhs
-        // is then exact and the measured r1 still vanishes at convergence.
-        const Vec w_tilde = amps.divide_elementwise(
-            amps.multiply_elementwise(state.w, state.y), y_hat);
-        const Vec z_tilde = amps.divide_elementwise(
-            amps.multiply_elementwise(state.z, state.x), x_hat);
-        bw = amps.sub(amps.sub(problem.b, w_tilde),
-                      amps.reciprocal_scale(mu, y_hat));
-        cz = amps.add(amps.add(problem.c, z_tilde),
-                      amps.reciprocal_scale(mu, x_hat));
-      } else {
-        bw = amps.sub(problem.b, state.w);
-        cz = amps.add(problem.c, state.z);
-      }
-      std::copy(bw.begin(), bw.end(), fixed1.begin());
-      std::copy(cz.begin(), cz.end(),
-                fixed1.begin() + static_cast<std::ptrdiff_t>(m));
-    }
-    Vec r1 = amps.sub(fixed1, ms1);
-    std::fill(r1.begin() + static_cast<std::ptrdiff_t>(n + m), r1.end(), 0.0);
-
-    // --- Convergence bookkeeping. The r1 blocks carry the µ-centring terms
-    // and, on capped rows, a w·(1 − y/ŷ) bias — so the controller measures
-    // the true infeasibilities with one extra MVM: M1·[x; 0] isolates A·x on
-    // the top block (and, by subtraction from M1·[x; y], Aᵀ·y on the
-    // bottom).
-    double primal_inf = 0.0;
-    double dual_inf = 0.0;
-    Vec primal_resid;  // b − Ax − w (schur mode; reused by kStable recovery)
-    Vec dual_resid;    // c − Aᵀy + z
-    if (schur) {
-      Vec sx = s1;
-      std::fill(sx.begin() + static_cast<std::ptrdiff_t>(n), sx.end(), 0.0);
-      const Vec msx = backend1.multiply(negfree1.extend(sx));
-      const Vec ax = slice(msx, 0, m);
-      const Vec aty = amps.sub(slice(ms1, m, n), slice(msx, m, n));
-      primal_resid = amps.sub(amps.sub(problem.b, ax), state.w);
-      dual_resid = amps.add(amps.sub(problem.c, aty), state.z);
-      primal_inf = norm_inf(primal_resid);
-      dual_inf = norm_inf(dual_resid);
-    } else {
-      primal_inf = norm_inf(std::span<const double>(r1).subspan(0, m));
-      dual_inf = norm_inf(std::span<const double>(r1).subspan(m, n));
-    }
-    const double gap = state.gap();
-    const double objective = problem.objective(state.x);
-    const double merit =
-        std::max({primal_inf / b_scale, dual_inf / c_scale,
-                  gap / (1.0 + std::abs(objective))});
-    if (merit < attempt.best_merit) {
-      attempt.best_merit = merit;
-      attempt.best_state = state;
-      best_iteration = iteration;
-      best_x_norm = std::max(norm_inf(state.x), 1e-3);
-      best_y_norm = std::max(norm_inf(state.y), 1e-3);
-    }
-    // One `iteration` record per loop entry, emitted at whichever exit the
-    // iteration takes; the step length is the constant θ of §3.4.
-    obs::IterationRecord rec;
-    if (sink != nullptr) {
-      rec.solver = "ls";
-      rec.iteration = iteration;
-      rec.attempt = attempt_index;
-      rec.mu = mu;
-      rec.primal_inf = primal_inf;
-      rec.dual_inf = dual_inf;
-      rec.gap = gap;
-      rec.objective = objective;
-      rec.merit = merit;
-      rec.alpha_p = rec.alpha_d = options.theta;
-    }
-    const auto emit_iteration = [&] {
-      if (sink != nullptr) sink->emit(rec.to_event());
-    };
-    if (primal_inf <= options.pdip.eps_primal * b_scale &&
-        dual_inf <= options.pdip.eps_dual * c_scale &&
-        gap <= options.pdip.eps_gap * (1.0 + std::abs(objective))) {
-      attempt.outcome = AttemptOutcome::kConverged;
-      emit_iteration();
-      return attempt;
-    }
-    const double x_norm_now = norm_inf(state.x);
-    const double y_norm_now = norm_inf(state.y);
-    if (const auto diverged =
-            classify_divergence(state, options.pdip.divergence_bound,
-                                options.pdip.divergence_bound)) {
-      // Genuine divergence is directional: one group blows up while the
-      // other stays bounded (§3.1). Both groups having jumped orders of
-      // magnitude — whether in one step or since the best iterate — is a
-      // wild solve off a near-singular effective array: retry, don't
-      // misclassify.
-      if ((x_norm_now > 100.0 * previous_x_norm &&
-           y_norm_now > 100.0 * previous_y_norm) ||
-          (x_norm_now > 100.0 * best_x_norm &&
-           y_norm_now > 100.0 * best_y_norm)) {
-        attempt.outcome = AttemptOutcome::kHardwareFailure;
-        emit_iteration();
-        return attempt;
-      }
-      attempt.outcome = *diverged == lp::SolveStatus::kInfeasible
-                            ? AttemptOutcome::kInfeasible
-                            : AttemptOutcome::kUnbounded;
-      emit_iteration();
-      return attempt;
-    }
-    previous_x_norm = std::max(x_norm_now, 1.0);
-    previous_y_norm = std::max(y_norm_now, 1.0);
-    if (iteration - best_iteration > options.stall_window) {
-      attempt.outcome = classify_exit(AttemptOutcome::kStalled);
-      emit_iteration();
-      return attempt;
-    }
-
-    // --- Solve system 1 for [∆x; ∆y].
-    const auto ds1_aug =
-        backend1.solve(r1, AnalogBackend::IoBoundary::kOutputOnly);
-    if (!ds1_aug) {
-      attempt.outcome = classify_exit(AttemptOutcome::kHardwareFailure);
-      emit_iteration();
-      return attempt;
-    }
-    const Vec ds1 = negfree1.restrict(*ds1_aug);
-    const std::span<const double> dx(ds1.data(), n);
-    const std::span<const double> dy(ds1.data() + n, m);
-
-    // --- Recovery of the slack directions ∆z, ∆w.
-    Vec dz;
-    Vec dw;
-    if (schur && options.recovery == RecoveryMode::kStable) {
-      // Division-free recovery via Eq. (9a)/(9b) with two more M1 settles:
-      //   ∆w = (b − Ax − w) − A∆x,   ∆z = Aᵀ∆y − (c − Aᵀy + z).
-      // The Eq. (16b) diagonal solve divides by x̂, ŷ, which amplifies
-      // analog noise by up to ratio_cap on near-zero entries.
-      Vec sdx(n + m, 0.0);
-      std::copy(dx.begin(), dx.end(), sdx.begin());
-      const Vec ms_dx = backend1.multiply(negfree1.extend(sdx));
-      Vec sdy(n + m, 0.0);
-      std::copy(dy.begin(), dy.end(),
-                sdy.begin() + static_cast<std::ptrdiff_t>(n));
-      const Vec ms_dy = backend1.multiply(negfree1.extend(sdy));
-      dw = amps.sub(primal_resid, slice(ms_dx, 0, m));
-      dz = amps.sub(slice(ms_dy, m, n), dual_resid);
-    } else {
-      // --- System 2 (Eq. 16b): M2 = diag([x̂; ŷ]) solves for [∆z; ∆w].
-      // Complementarity drives some x_j towards 0; a diagonal cell below
-      // one conductance level would quantize to exactly zero and leave the
-      // array singular, so the write driver floors each cell at the
-      // representable resolution.
-      const double m2_scale =
-          std::max({1.0, norm_inf(state.x), norm_inf(state.y)});
-      const double representable =
-          options.full_scale_headroom * m2_scale * 1.5 /
-          static_cast<double>(options.hardware.crossbar.conductance_levels -
-                              1);
-      for (std::size_t j = 0; j < n; ++j)
-        backend2.update_cell(
-            j, j, std::max(schur ? x_hat[j] : state.x[j], representable));
-      for (std::size_t i = 0; i < m; ++i)
-        backend2.update_cell(
-            n + i, n + i,
-            std::max(schur ? y_hat[i] : state.y[i], representable));
-
-      // r2 = [µe; µe] − M2·[z; w] (the XZe / YWe products come from the M2
-      // array itself), minus the Z∘∆x / W∘∆y cross terms from the analog
-      // multipliers when exact recovery is on.
-      const Vec s2 = concat({state.z, state.w});
-      const Vec ms2 =
-          backend2.multiply(s2, AnalogBackend::IoBoundary::kInputOnly);
-      Vec r2 = amps.sub(Vec(n + m, mu), ms2);
-      if (options.exact_recovery) {
-        const Vec zdx = amps.multiply_elementwise(state.z, dx);
-        const Vec wdy = amps.multiply_elementwise(state.w, dy);
-        const Vec cross = concat({zdx, wdy});
-        r2 = amps.sub(r2, cross);
-      }
-      const auto ds2 =
-          backend2.solve(r2, AnalogBackend::IoBoundary::kOutputOnly);
-      if (!ds2) {
-        attempt.outcome = AttemptOutcome::kHardwareFailure;
-        emit_iteration();
-        return attempt;
-      }
-      dz = slice(*ds2, 0, n);
-      dw = slice(*ds2, n, m);
-    }
-
-    // --- Constant-θ update of every component group (§3.4).
-    axpy(options.theta, dx, state.x);
-    axpy(options.theta, dy, state.y);
-    axpy(options.theta, dz, state.z);
-    axpy(options.theta, dw, state.w);
-    state.clamp_floor(options.state_floor);
-    emit_iteration();
-  }
-  attempt.outcome = classify_exit(AttemptOutcome::kIterationLimit);
-  return attempt;
 }
 
 }  // namespace
@@ -477,101 +117,28 @@ XbarSolveOutcome solve_ls_pdip(const lp::LinearProgram& original,
   auto backend2 = make_backend(options.hardware, n + m, rng.split());
   xbar::AmplifierBank amps;
 
-  XbarSolveOutcome out;
-  out.stats.system_dim = negfree1.dim();
-  out.stats.compensations = negfree1.num_compensations();
-  out.result.status = lp::SolveStatus::kNumericalFailure;
+  // The iteration loop itself lives in core/engine.hpp; this entry point
+  // configures the least-squares policy (constant θ of §3.4, no Mehrotra
+  // corrector) and the retry/acceptance driver.
+  EngineConfig config;
+  config.solver_name = "ls";
+  config.supports_mehrotra = false;
+  config.constant_theta = options.theta;
+  config.state_floor = options.state_floor;
+  config.attempt_mode = true;
+  config.acceptance_merit = options.acceptance_merit;
+  config.stall_window = options.stall_window;
 
-  // The solution lives on the *programmed* (varied) constraint matrix, so
-  // the final check against the true A must tolerate the representational
-  // error: α grows with the process-variation magnitude (§3.2's "close to
-  // but greater than 1" presumes ideal devices).
-  const double alpha_effective =
-      std::max(options.alpha,
-               1.0 + 1.5 * options.hardware.crossbar.variation.magnitude());
+  AnalogSolveSpec spec;
+  spec.solver_name = "ls";
+  spec.max_retries = options.max_retries;
+  spec.acceptance_merit = options.acceptance_merit;
+  spec.alpha = options.alpha;
+  spec.variation_magnitude = options.hardware.crossbar.variation.magnitude();
 
-  for (std::size_t attempt_index = 0; attempt_index <= options.max_retries;
-       ++attempt_index) {
-    out.stats.attempts = attempt_index + 1;
-    const AttemptResult attempt =
-        run_attempt(problem, options, negfree1, *backend1, *backend2, amps,
-                    out.stats.programming, sink, attempt_index + 1);
-    out.stats.iterations += attempt.iterations;
-
-    // A divergence verdict is only credible when the attempt never came
-    // close to solving; a late blow-up after a near-converged iterate (a
-    // wild step off a near-singular quantized array) falls through to the
-    // acceptance path below.
-    const bool diverged_credibly =
-        attempt.best_merit > options.acceptance_merit;
-    if (attempt.outcome == AttemptOutcome::kInfeasible && diverged_credibly) {
-      out.result.status = lp::SolveStatus::kInfeasible;
-      out.result.iterations = out.stats.iterations;
-      break;
-    }
-    if (attempt.outcome == AttemptOutcome::kUnbounded && diverged_credibly) {
-      out.result.status = lp::SolveStatus::kUnbounded;
-      out.result.iterations = out.stats.iterations;
-      break;
-    }
-    const bool accepted =
-        (attempt.outcome == AttemptOutcome::kConverged ||
-         attempt.best_merit <= options.acceptance_merit) &&
-        !attempt.best_state.x.empty() &&
-        // The check tolerates the solver's own achieved accuracy (the merit
-        // bounds the scaled residuals): its job is to reject *wrong*
-        // solutions, not to demand precision beyond the analog noise floor.
-        problem.satisfies_constraints(
-            attempt.best_state.x, alpha_effective,
-            2.0 * attempt.best_merit * (1.0 + norm_inf(problem.b)) + 1e-9);
-    if (accepted) {
-      out.result.status = lp::SolveStatus::kOptimal;
-      out.result.x = attempt.best_state.x;
-      out.result.y = attempt.best_state.y;
-      out.result.w = attempt.best_state.w;
-      out.result.z = attempt.best_state.z;
-      out.result.objective = problem.objective(attempt.best_state.x);
-      out.result.iterations = out.stats.iterations;
-      break;
-    }
-    out.result.status = attempt.outcome == AttemptOutcome::kIterationLimit
-                            ? lp::SolveStatus::kIterationLimit
-                            : lp::SolveStatus::kNumericalFailure;
-    out.result.iterations = out.stats.iterations;
-  }
-
-  BackendStats merged = backend1->stats();
-  merged += backend2->stats();
-  out.stats.backend = merged;
-  out.stats.amps = amps.stats();
-  scaling.unscale(out.result);
-
-  if (sink != nullptr) {
-    obs::SolveSummary summary;
-    summary.solver = "ls";
-    summary.status = lp::to_string(out.result.status);
-    summary.iterations = out.stats.iterations;
-    summary.objective = out.result.objective;
-    obs::Event event = summary.to_event();
-    event.with("attempts", out.stats.attempts)
-        .with("system_dim", out.stats.system_dim)
-        .with("compensations", out.stats.compensations)
-        .with("programming.full_programs", out.stats.programming.xbar.full_programs)
-        .with("programming.cells_written", out.stats.programming.xbar.cells_written)
-        .with("programming.write_pulses", out.stats.programming.xbar.write_pulses)
-        .with("backend.cells_written", out.stats.backend.xbar.cells_written)
-        .with("backend.mvm_ops", out.stats.backend.xbar.mvm_ops)
-        .with("backend.solve_ops", out.stats.backend.xbar.solve_ops)
-        .with("backend.num_tiles", out.stats.backend.num_tiles);
-    sink->emit(event);
-    sink->flush();
-  }
-  auto& registry = obs::MetricsRegistry::global();
-  registry.counter("ls.solves").add();
-  registry.counter("ls.iterations").add(out.stats.iterations);
-  registry.counter("ls.attempts").add(out.stats.attempts);
-  if (out.result.optimal()) registry.counter("ls.optimal").add();
-  return out;
+  LsNewton newton(problem, options, negfree1, *backend1, *backend2, amps);
+  return solve_analog_pdip(problem, scaling, options.pdip, config, spec,
+                           newton, sink);
 }
 
 }  // namespace memlp::core

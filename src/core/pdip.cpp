@@ -1,322 +1,52 @@
 #include "core/pdip.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
-
-#include "common/par.hpp"
 #include "common/stopwatch.hpp"
+#include "core/engine.hpp"
 #include "core/kkt.hpp"
-#include "linalg/ldlt.hpp"
-#include "linalg/lu.hpp"
-#include "linalg/ops.hpp"
+#include "core/newton_software.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace memlp::core {
-namespace {
-
-/// Schur assembly (A·Θ·Aᵀ, O(m²n)) goes parallel from this many constraints.
-constexpr std::size_t kParallelSchurCutoff = 64;
-
-/// One iteration's Newton machinery via the m×m normal equations
-/// (see PdipOptions::newton):
-///   (A·Θ·Aᵀ + Y⁻¹W)·∆y = A·(Θ∘(rd + rµ1./x)) + rµ2./y − rp,  Θ = Z⁻¹X,
-///   ∆x = Θ∘(rd + rµ1./x − Aᵀ∆y),
-///   ∆z = (rµ1 − z∘∆x)./x,   ∆w = (rµ2 − w∘∆y)./y,
-/// with rµ1 = µe − XZe − corr1 and rµ2 = µe − YWe − corr2 (the corrections
-/// carry Mehrotra's second-order term; empty = plain Newton).
-/// The Schur factorization is built once and reused for every right-hand
-/// side of the iteration.
-class NormalEquationsSolver {
- public:
-  NormalEquationsSolver(const lp::LinearProgram& problem,
-                        const PdipState& state)
-      : problem_(problem), state_(state) {
-    const std::size_t n = problem.num_variables();
-    const std::size_t m = problem.num_constraints();
-    const Vec ax = gemv(problem.a, state.x);
-    const Vec aty = gemv_transposed(problem.a, state.y);
-    rp_.resize(m);
-    for (std::size_t i = 0; i < m; ++i)
-      rp_[i] = problem.b[i] - ax[i] - state.w[i];
-    rd_.resize(n);
-    for (std::size_t j = 0; j < n; ++j)
-      rd_[j] = problem.c[j] - aty[j] + state.z[j];
-    theta_.resize(n);
-    for (std::size_t j = 0; j < n; ++j)
-      theta_[j] = state.x[j] / state.z[j];
-
-    Matrix s(m, m);  // S = A·Θ·Aᵀ + diag(w/y)
-    // Assembled in parallel above a size cutoff. Row task i writes exactly
-    // the cells {(i, k), (k, i) : k ≤ i}; any off-diagonal cell (r, c) is
-    // owned by task max(r, c) and the diagonal by task i, so tasks never
-    // collide and every cell's arithmetic is independent of thread count.
-    const auto assemble_row = [&](std::size_t i) {
-      for (std::size_t k = 0; k <= i; ++k) {
-        double sum = 0.0;
-        for (std::size_t j = 0; j < n; ++j)
-          sum += problem.a(i, j) * theta_[j] * problem.a(k, j);
-        s(i, k) = sum;
-        s(k, i) = sum;
-      }
-      s(i, i) += state.w[i] / state.y[i];
-    };
-    if (m >= kParallelSchurCutoff) {
-      par::parallel_for(m, assemble_row);
-    } else {
-      for (std::size_t i = 0; i < m; ++i) assemble_row(i);
-    }
-    ldlt_.emplace(s);
-  }
-
-  [[nodiscard]] bool usable() const { return !ldlt_->failed(); }
-
-  /// Conditioning proxy of the factored Schur complement (tracing).
-  [[nodiscard]] double condition_estimate() const {
-    return ldlt_->condition_proxy();
-  }
-
-  [[nodiscard]] std::optional<StepDirection> step(
-      double mu, std::span<const double> corr1,
-      std::span<const double> corr2) const {
-    if (!usable()) return std::nullopt;
-    const std::size_t n = problem_.num_variables();
-    const std::size_t m = problem_.num_constraints();
-    const auto c1 = [&](std::size_t j) {
-      return corr1.empty() ? 0.0 : corr1[j];
-    };
-    const auto c2 = [&](std::size_t i) {
-      return corr2.empty() ? 0.0 : corr2[i];
-    };
-    Vec u(n);  // Θ∘(rd + rµ1./x)
-    for (std::size_t j = 0; j < n; ++j) {
-      const double rmu1_over_x =
-          (mu - state_.x[j] * state_.z[j] - c1(j)) / state_.x[j];
-      u[j] = theta_[j] * (rd_[j] + rmu1_over_x);
-    }
-    Vec rhs = gemv(problem_.a, u);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double rmu2_over_y =
-          (mu - state_.y[i] * state_.w[i] - c2(i)) / state_.y[i];
-      rhs[i] += rmu2_over_y - rp_[i];
-    }
-    StepDirection step;
-    step.dy = ldlt_->solve(rhs);
-    const Vec atdy = gemv_transposed(problem_.a, step.dy);
-    step.dx.resize(n);
-    step.dz.resize(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      const double rmu1 = mu - state_.x[j] * state_.z[j] - c1(j);
-      step.dx[j] = u[j] - theta_[j] * atdy[j];
-      step.dz[j] = (rmu1 - state_.z[j] * step.dx[j]) / state_.x[j];
-    }
-    step.dw.resize(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double rmu2 = mu - state_.y[i] * state_.w[i] - c2(i);
-      step.dw[i] = (rmu2 - state_.w[i] * step.dy[i]) / state_.y[i];
-    }
-    return step;
-  }
-
- private:
-  const lp::LinearProgram& problem_;
-  const PdipState& state_;
-  Vec rp_;
-  Vec rd_;
-  Vec theta_;
-  std::optional<LdltFactorization> ldlt_;
-};
-
-/// Subtracts Mehrotra's second-order corrections from the complementarity
-/// rows of an Eq. (9) right-hand side.
-void apply_corrections(const KktLayout& layout, std::span<const double> corr1,
-                       std::span<const double> corr2, Vec& rhs) {
-  for (std::size_t j = 0; j < corr1.size(); ++j)
-    rhs[layout.row_xz() + j] -= corr1[j];
-  for (std::size_t i = 0; i < corr2.size(); ++i)
-    rhs[layout.row_yw() + i] -= corr2[i];
-}
-
-/// Largest θ ∈ (0, 1] keeping the state positive for this step (the exact
-/// Eq. (11) bound with r = 1, used by the Mehrotra predictor).
-double max_feasible_theta(const PdipState& state, const StepDirection& step) {
-  double blocking = 0.0;
-  const auto scan = [&blocking](const Vec& v, const Vec& dv) {
-    for (std::size_t i = 0; i < v.size(); ++i)
-      blocking = std::max(blocking, -dv[i] / v[i]);
-  };
-  scan(state.x, step.dx);
-  scan(state.y, step.dy);
-  scan(state.w, step.dw);
-  scan(state.z, step.dz);
-  return blocking <= 0.0 ? 1.0 : std::min(1.0, 1.0 / blocking);
-}
-
-/// Duality gap of the state after a θ-step (for Mehrotra's σ).
-double gap_after(const PdipState& state, const StepDirection& step,
-                 double theta) {
-  double gap = 0.0;
-  for (std::size_t j = 0; j < state.x.size(); ++j)
-    gap += (state.x[j] + theta * step.dx[j]) *
-           (state.z[j] + theta * step.dz[j]);
-  for (std::size_t i = 0; i < state.y.size(); ++i)
-    gap += (state.y[i] + theta * step.dy[i]) *
-           (state.w[i] + theta * step.dw[i]);
-  return gap;
-}
-
-/// ‖A‖₁ (max column absolute sum) — pairs with LuFactorization's Hager
-/// ‖A⁻¹‖₁ estimate for a condition-number estimate. Traced path only.
-double matrix_norm_1(const Matrix& a) {
-  double best = 0.0;
-  for (std::size_t j = 0; j < a.cols(); ++j) {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < a.rows(); ++i) sum += std::abs(a(i, j));
-    best = std::max(best, sum);
-  }
-  return best;
-}
-
-}  // namespace
 
 lp::SolveResult solve_pdip(const lp::LinearProgram& problem,
                            const PdipOptions& options) {
   problem.validate();
   obs::ProfileSpan profile_root("pdip");
   Stopwatch timer;
-  const KktLayout layout{problem.num_variables(), problem.num_constraints()};
-  PdipState state = PdipState::ones(layout.n, layout.m);
-  Matrix kkt = assemble_kkt(problem, state);
-
-  const double b_scale = 1.0 + norm_inf(problem.b);
-  const double c_scale = 1.0 + norm_inf(problem.c);
-  const double size =
-      static_cast<double>(layout.n + layout.m);
-
+  PdipState state =
+      PdipState::ones(problem.num_variables(), problem.num_constraints());
   obs::TraceSink* sink =
       options.trace != nullptr ? options.trace : obs::default_trace_sink();
 
+  // The whole iteration loop lives in core/engine.hpp; this entry point only
+  // picks the software Newton policy and translates the outcome.
+  EngineConfig config;
+  config.solver_name = "pdip";
+  SoftwareNewton newton(problem, options);
+  PdipEngine engine(problem, options, config, sink);
+  const PdipEngine::Outcome outcome = engine.run(newton, state);
+
   lp::SolveResult result;
-  result.status = lp::SolveStatus::kIterationLimit;
-  for (std::size_t iteration = 1; iteration <= options.max_iterations;
-       ++iteration) {
-    result.iterations = iteration;
-
-    // Convergence test on the true residuals.
-    const double primal_inf = problem.primal_infeasibility(state.x, state.w);
-    const double dual_inf = problem.dual_infeasibility(state.y, state.z);
-    const double gap = state.gap();
-    const double objective = problem.objective(state.x);
-    // Exactly one `iteration` event per loop entry; step lengths and the
-    // condition estimate are filled in once known.
-    obs::IterationRecord rec;
-    if (sink != nullptr) {
-      rec.solver = "pdip";
-      rec.iteration = iteration;
-      rec.mu = options.delta * gap / size;  // Eq. (8)
-      rec.primal_inf = primal_inf;
-      rec.dual_inf = dual_inf;
-      rec.gap = gap;
-      rec.objective = objective;
-    }
-    const auto emit_iteration = [&] {
-      if (sink != nullptr) sink->emit(rec.to_event());
-    };
-    if (primal_inf <= options.eps_primal * b_scale &&
-        dual_inf <= options.eps_dual * c_scale &&
-        gap <= options.eps_gap * (1.0 + std::abs(objective))) {
+  switch (outcome.outcome) {
+    case AttemptOutcome::kConverged:
       result.status = lp::SolveStatus::kOptimal;
-      emit_iteration();
       break;
-    }
-    // Divergence ⇒ infeasibility (§3.1): an unbounded dual iterate signals a
-    // primal-infeasible problem; an unbounded primal iterate signals an
-    // unbounded objective.
-    if (const auto diverged = classify_divergence(
-            state, options.divergence_bound, options.divergence_bound)) {
-      result.status = *diverged;
-      emit_iteration();
+    case AttemptOutcome::kInfeasible:
+      result.status = lp::SolveStatus::kInfeasible;
       break;
-    }
-
-    // One factorization per iteration, reused for every right-hand side.
-    std::optional<NormalEquationsSolver> normal;
-    std::optional<LuFactorization> lu;
-    {
-      obs::ProfileSpan factor_span("factorize");
-      if (options.newton == NewtonSystem::kNormalEquations) {
-        normal.emplace(problem, state);
-        if (!normal->usable()) normal.reset();
-      } else {
-        update_kkt_diagonals(kkt, problem, state);
-        lu.emplace(kkt);
-        if (lu->singular()) lu.reset();
-      }
-    }
-    if (sink != nullptr) {
-      // Newton-system condition estimate, traced path only: Hager's ‖A⁻¹‖₁
-      // estimate × ‖A‖₁ for the full KKT LU, the D-diagonal spread for the
-      // normal-equations LDLᵀ.
-      if (normal) {
-        rec.condition = normal->condition_estimate();
-      } else if (lu) {
-        if (const auto inv_norm = lu->inverse_norm_estimate())
-          rec.condition = *inv_norm * matrix_norm_1(kkt);
-      }
-    }
-    const auto solve_newton =
-        [&](double mu, std::span<const double> corr1,
-            std::span<const double> corr2) -> std::optional<StepDirection> {
-      obs::ProfileSpan newton_span("newton");
-      if (normal) return normal->step(mu, corr1, corr2);
-      if (!lu) return std::nullopt;
-      Vec rhs = kkt_rhs(problem, state, mu);
-      apply_corrections(layout, corr1, corr2, rhs);
-      return split_step(layout, lu->solve(rhs));
-    };
-
-    std::optional<StepDirection> step;
-    if (options.predictor_corrector) {
-      // Mehrotra: affine predictor (µ = 0) picks the centering weight σ and
-      // supplies the second-order correction ∆X_aff·∆Z_aff·e.
-      const auto affine = solve_newton(0.0, {}, {});
-      if (affine) {
-        const double theta_affine = max_feasible_theta(state, *affine);
-        const double mu_mean = gap / size;
-        const double mu_affine = gap_after(state, *affine, theta_affine) / size;
-        const double ratio = std::clamp(mu_affine / mu_mean, 0.0, 1.0);
-        const double sigma = ratio * ratio * ratio;
-        const Vec corr1 = hadamard(affine->dx, affine->dz);
-        const Vec corr2 = hadamard(affine->dy, affine->dw);
-        step = solve_newton(sigma * mu_mean, corr1, corr2);
-        // Trace the µ the corrector actually solved with (σ·µ_mean), not the
-        // Eq. (8) default — plus the affine diagnostics behind σ.
-        rec.mu = sigma * mu_mean;
-        rec.mu_affine = mu_affine;
-        rec.sigma = sigma;
-      }
-    } else {
-      step = solve_newton(state.mu(options.delta), {}, {});
-    }
-    if (!step) {
-      // On an infeasible/unbounded problem the central path does not exist
-      // and the diverging iterates drive the Newton system singular well
-      // before the hard bound; classify with a soft bound first.
-      result.status =
-          classify_relative_divergence(state, b_scale, c_scale)
-              .value_or(lp::SolveStatus::kNumericalFailure);
-      emit_iteration();
+    case AttemptOutcome::kUnbounded:
+      result.status = lp::SolveStatus::kUnbounded;
       break;
-    }
-    const double theta = step_length(state, *step, options.step_ratio);
-    rec.alpha_p = theta;
-    rec.alpha_d = theta;
-    emit_iteration();
-    apply_step(state, *step, theta);
+    case AttemptOutcome::kHardwareFailure:
+      result.status = lp::SolveStatus::kNumericalFailure;
+      break;
+    default:
+      result.status = lp::SolveStatus::kIterationLimit;
+      break;
   }
-
+  result.iterations = outcome.iterations;
   result.x = state.x;
   result.y = state.y;
   result.w = state.w;

@@ -20,7 +20,7 @@ class TraceSink;
 namespace memlp::core {
 
 /// How the software baseline solves the per-iteration Newton system.
-enum class NewtonSystem {
+enum class NewtonFactorization {
   /// The full 2(n+m) Eq. (12) system via dense LU — the paper's O(N³)
   /// software reference.
   kFullKkt,
@@ -31,7 +31,7 @@ enum class NewtonSystem {
 
 /// Tuning of the software PDIP method (defaults follow the text).
 struct PdipOptions {
-  NewtonSystem newton = NewtonSystem::kFullKkt;
+  NewtonFactorization newton = NewtonFactorization::kFullKkt;
   /// Mehrotra predictor–corrector (extension): an affine predictor step
   /// chooses the centering weight adaptively and a corrector reuses the
   /// iteration's factorization; typically halves the iteration count.

@@ -1,357 +1,18 @@
 #include "core/xbar_pdip.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <optional>
 
 #include "common/contracts.hpp"
+#include "core/engine.hpp"
 #include "core/kkt.hpp"
 #include "core/negfree.hpp"
+#include "core/newton_xbar.hpp"
 #include "core/scaling.hpp"
-#include "linalg/ops.hpp"
-#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace memlp::core {
 namespace {
-
-/// Internal outcome of one solve attempt (one crossbar programming).
-enum class AttemptOutcome {
-  kConverged,        ///< residuals below tolerance.
-  kStalled,          ///< analog noise floor reached (no recent improvement).
-  kInfeasible,       ///< dual iterate diverged.
-  kUnbounded,        ///< primal iterate diverged.
-  kHardwareFailure,  ///< crossbar failed to settle (singular effective M).
-  kIterationLimit,
-};
-
-struct AttemptResult {
-  AttemptOutcome outcome = AttemptOutcome::kIterationLimit;
-  PdipState best_state;
-  double best_merit = std::numeric_limits<double>::infinity();
-  std::size_t iterations = 0;
-};
-
-/// Writes the current X, Y, Z, W diagonal blocks into both the bookkeeping
-/// structure and the analog backend. Cell count: 2(n+m) — the O(N) update
-/// of §3.5 (the crossbar itself skips cells whose level is unchanged).
-/// `write_floor` keeps every diagonal cell at one representable conductance
-/// level or above: near convergence both x_j and z_j shrink like √µ, and if
-/// both quantized to level zero their complementarity row would go all-zero
-/// and the array could no longer settle.
-void write_diagonal_blocks(const KktLayout& layout, const PdipState& state,
-                           NegativeFreeSystem& negfree,
-                           AnalogBackend& backend, bool also_backend,
-                           double write_floor) {
-  const auto put = [&](std::size_t i, std::size_t j, double value) {
-    value = std::max(value, write_floor);
-    negfree.update_base_cell(i, j, value);
-    if (also_backend) backend.update_cell(i, j, value);
-  };
-  for (std::size_t j = 0; j < layout.n; ++j) {
-    put(layout.row_xz() + j, layout.col_x() + j, state.z[j]);
-    put(layout.row_xz() + j, layout.col_z() + j, state.x[j]);
-  }
-  for (std::size_t i = 0; i < layout.m; ++i) {
-    put(layout.row_yw() + i, layout.col_y() + i, state.w[i]);
-    put(layout.row_yw() + i, layout.col_w() + i, state.y[i]);
-  }
-}
-
-AttemptResult run_attempt(const lp::LinearProgram& problem,
-                          const XbarPdipOptions& options,
-                          const KktLayout& layout,
-                          NegativeFreeSystem& negfree, AnalogBackend& backend,
-                          xbar::AmplifierBank& amps, bool array_holds_m,
-                          BackendStats& programming, obs::TraceSink* sink,
-                          std::size_t attempt_index) {
-  AttemptResult attempt;
-  PdipState state = PdipState::ones(layout.n, layout.m);
-  const double full_scale =
-      options.full_scale_headroom * negfree.matrix().max_abs();
-  // 0.75 of one level step: just enough that the cell rounds to level 1
-  // rather than level 0, with minimal extra distortion.
-  const double write_floor =
-      0.75 * full_scale /
-      static_cast<double>(options.hardware.crossbar.conductance_levels - 1);
-  if (array_holds_m) {
-    // Session reuse: the array already holds M's structural blocks; only the
-    // O(N) state diagonals need (re)writing.
-    obs::ProfileSpan write_span("write_state");
-    write_diagonal_blocks(layout, state, negfree, backend,
-                          /*also_backend=*/true, write_floor);
-  } else {
-    {
-      obs::ProfileSpan write_span("write_state");
-      write_diagonal_blocks(layout, state, negfree, backend,
-                            /*also_backend=*/false, write_floor);
-    }
-    obs::PhaseSpan span(sink, "xbar", "programming");
-    span.note("attempt", attempt_index);
-    const BackendStats before_program = backend.stats();
-    backend.program(negfree.matrix(), full_scale);
-    const BackendStats programmed = backend.stats().since(before_program);
-    programming += programmed;
-    annotate_backend_stats(span, programmed);
-  }
-
-  // The per-attempt iteration phase closes on every exit path below (RAII),
-  // annotated with the backend traffic it generated — against `programming`
-  // this is the paper's O(N)-per-iteration vs O(N²)-per-program split.
-  obs::PhaseSpan iteration_span(sink, "xbar", "iterations");
-  if (iteration_span.active()) {
-    iteration_span.note("attempt", attempt_index);
-    const BackendStats before_iterations = backend.stats();
-    const xbar::AmplifierStats amps_before = amps.stats();
-    iteration_span.on_close([&backend, &amps, &attempt, before_iterations,
-                             amps_before](obs::PhaseSpan& span) {
-      span.note("iterations", attempt.iterations);
-      // The amplifier bank sits outside the backend on single-crossbar
-      // runs; merge its delta so the phase covers all analog traffic.
-      BackendStats delta = backend.stats().since(before_iterations);
-      delta.amps += amps.stats().since(amps_before);
-      annotate_backend_stats(span, delta);
-    });
-  }
-
-  const double b_scale = 1.0 + norm_inf(problem.b);
-  const double c_scale = 1.0 + norm_inf(problem.c);
-  const std::size_t n = layout.n;
-  const std::size_t m = layout.m;
-  std::size_t best_iteration = 0;
-  // Classifies a non-converged exit. A clearly failing attempt (merit far
-  // above any acceptable level) whose dual iterate dwarfs the primal one is
-  // the paper's infeasibility signature (§3.1) — and vice versa for an
-  // unbounded objective. Analog noise freezes diverging iterates (θ → 0
-  // against floored state components) long before any absolute bound, so
-  // dominance is the reliable signal.
-  const auto classify_exit = [&](AttemptOutcome fallback) {
-    if (attempt.best_merit > options.acceptance_merit) {
-      // The problem is pre-normalized (core/scaling.hpp), so legitimate
-      // optima have x, y of order 1; an iterate an order of magnitude past
-      // that AND dominating the other group is the §3.1 divergence
-      // signature. Only consulted after the attempt failed to solve.
-      const double x_norm = norm_inf(state.x);
-      const double y_norm = norm_inf(state.y);
-      if (y_norm > 8.0 && y_norm > 4.0 * (1.0 + x_norm))
-        return AttemptOutcome::kInfeasible;
-      if (x_norm > 8.0 && x_norm > 4.0 * (1.0 + y_norm))
-        return AttemptOutcome::kUnbounded;
-    }
-    if (const auto diverged =
-            classify_relative_divergence(state, b_scale, c_scale))
-      return *diverged == lp::SolveStatus::kInfeasible
-                 ? AttemptOutcome::kInfeasible
-                 : AttemptOutcome::kUnbounded;
-    return fallback;
-  };
-  std::size_t frozen_steps = 0;
-
-  double previous_x_norm = 1.0;
-  double previous_y_norm = 1.0;
-  double best_x_norm = 1.0;
-  double best_y_norm = 1.0;
-  for (std::size_t iteration = 1; iteration <= options.pdip.max_iterations;
-       ++iteration) {
-    attempt.iterations = iteration;
-    if (iteration > 1) {
-      obs::ProfileSpan write_span("write_state");
-      write_diagonal_blocks(layout, state, negfree, backend,
-                            /*also_backend=*/true, write_floor);
-    }
-
-    // --- r = [b; c; µe; µe; 0] − M·s with rows 3/4 halved (Eq. 15a/15b).
-    const double mu = state.mu(options.pdip.delta);
-    const Vec s = concat({state.x, state.y, state.w, state.z});
-    // DAC at the state input; the MVM output stays analog into the amps.
-    obs::ProfileSpan mvm_span("mvm");
-    Vec ms = backend.multiply(negfree.extend(s),
-                              AnalogBackend::IoBoundary::kInputOnly);
-    mvm_span.close();
-    {
-      const Vec halved = amps.halve(
-          std::span<const double>(ms).subspan(layout.row_xz(), n + m));
-      std::copy(halved.begin(), halved.end(),
-                ms.begin() + static_cast<std::ptrdiff_t>(layout.row_xz()));
-    }
-    // r at a given centering weight: the µ rows of the constant vector are
-    // retargeted by the amps without another settle.
-    const auto rhs_at = [&](double mu_target) {
-      Vec fixed(negfree.dim(), 0.0);
-      std::copy(
-          problem.b.begin(), problem.b.end(),
-          fixed.begin() + static_cast<std::ptrdiff_t>(layout.row_primal()));
-      std::copy(problem.c.begin(), problem.c.end(),
-                fixed.begin() + static_cast<std::ptrdiff_t>(layout.row_dual()));
-      std::fill_n(
-          fixed.begin() + static_cast<std::ptrdiff_t>(layout.row_xz()),
-          n + m, mu_target);
-      Vec rhs = amps.sub(fixed, ms);
-      // The augmentation rows are exact zeros by construction (Eq. 15a);
-      // the controller does not measure them.
-      std::fill(rhs.begin() + static_cast<std::ptrdiff_t>(layout.dim()),
-                rhs.end(), 0.0);
-      return rhs;
-    };
-    Vec r = rhs_at(mu);
-
-    // --- Convergence / divergence bookkeeping on the analog residuals.
-    const double primal_inf =
-        norm_inf(std::span<const double>(r).subspan(layout.row_primal(), m));
-    const double dual_inf =
-        norm_inf(std::span<const double>(r).subspan(layout.row_dual(), n));
-    const double gap = state.gap();
-    const double objective = problem.objective(state.x);
-    const double merit =
-        std::max({primal_inf / b_scale, dual_inf / c_scale,
-                  gap / (1.0 + std::abs(objective))});
-    if (merit < attempt.best_merit) {
-      attempt.best_merit = merit;
-      attempt.best_state = state;
-      best_iteration = iteration;
-      best_x_norm = std::max(norm_inf(state.x), 1e-3);
-      best_y_norm = std::max(norm_inf(state.y), 1e-3);
-    }
-    // One `iteration` record per loop entry, emitted at whichever exit the
-    // iteration takes (step lengths are only known on the stepping path).
-    obs::IterationRecord rec;
-    if (sink != nullptr) {
-      rec.solver = "xbar";
-      rec.iteration = iteration;
-      rec.attempt = attempt_index;
-      rec.mu = mu;
-      rec.primal_inf = primal_inf;
-      rec.dual_inf = dual_inf;
-      rec.gap = gap;
-      rec.objective = objective;
-      rec.merit = merit;
-    }
-    const auto emit_iteration = [&] {
-      if (sink != nullptr) sink->emit(rec.to_event());
-    };
-    if (primal_inf <= options.pdip.eps_primal * b_scale &&
-        dual_inf <= options.pdip.eps_dual * c_scale &&
-        gap <= options.pdip.eps_gap * (1.0 + std::abs(objective))) {
-      attempt.outcome = AttemptOutcome::kConverged;
-      emit_iteration();
-      return attempt;
-    }
-    const double x_norm_now = norm_inf(state.x);
-    const double y_norm_now = norm_inf(state.y);
-    if (const auto diverged =
-            classify_divergence(state, options.pdip.divergence_bound,
-                                options.pdip.divergence_bound)) {
-      // Genuine divergence is directional: one group blows up while the
-      // other stays bounded (§3.1). Both groups having jumped orders of
-      // magnitude — whether in one step or since the best iterate — is a
-      // wild solve off a near-singular effective array: retry, don't
-      // misclassify.
-      if ((x_norm_now > 100.0 * previous_x_norm &&
-           y_norm_now > 100.0 * previous_y_norm) ||
-          (x_norm_now > 100.0 * best_x_norm &&
-           y_norm_now > 100.0 * best_y_norm)) {
-        attempt.outcome = AttemptOutcome::kHardwareFailure;
-        emit_iteration();
-        return attempt;
-      }
-      attempt.outcome = *diverged == lp::SolveStatus::kInfeasible
-                            ? AttemptOutcome::kInfeasible
-                            : AttemptOutcome::kUnbounded;
-      emit_iteration();
-      return attempt;
-    }
-    previous_x_norm = std::max(x_norm_now, 1.0);
-    previous_y_norm = std::max(y_norm_now, 1.0);
-    if (iteration - best_iteration > options.stall_window) {
-      attempt.outcome = classify_exit(AttemptOutcome::kStalled);
-      emit_iteration();
-      return attempt;
-    }
-
-    // --- Solve M·∆s = r on the crossbar and step. r arrives in analog
-    // from the amps; ADC only on the solution read-out. With the Mehrotra
-    // extension an affine settle (µ = 0) picks the centering weight and a
-    // second-order correction; the corrector settles on the same
-    // programmed array.
-    obs::ProfileSpan settle_span("settle");
-    auto delta_aug =
-        backend.solve(r, AnalogBackend::IoBoundary::kOutputOnly);
-    settle_span.close();
-    if (!delta_aug) {
-      // A diverging iterate drives the (varied) system singular well before
-      // the hard bound — classify before falling back to a hardware retry.
-      attempt.outcome = classify_exit(AttemptOutcome::kHardwareFailure);
-      emit_iteration();
-      return attempt;
-    }
-    if (options.pdip.predictor_corrector) {
-      obs::ProfileSpan affine_span("settle");
-      const auto affine_aug = backend.solve(
-          rhs_at(0.0), AnalogBackend::IoBoundary::kOutputOnly);
-      affine_span.close();
-      if (affine_aug) {
-        const StepDirection affine =
-            split_step(layout, negfree.restrict(*affine_aug));
-        const double theta_affine =
-            step_length(state, affine, options.pdip.step_ratio,
-                        100.0 * options.state_floor);
-        double mu_affine = 0.0;
-        for (std::size_t j = 0; j < n; ++j)
-          mu_affine += (state.x[j] + theta_affine * affine.dx[j]) *
-                       (state.z[j] + theta_affine * affine.dz[j]);
-        for (std::size_t i = 0; i < m; ++i)
-          mu_affine += (state.y[i] + theta_affine * affine.dy[i]) *
-                       (state.w[i] + theta_affine * affine.dw[i]);
-        mu_affine /= static_cast<double>(n + m);
-        const double mu_mean = gap / static_cast<double>(n + m);
-        const double ratio =
-            std::clamp(mu_affine / std::max(mu_mean, 1e-300), 0.0, 1.0);
-        const double sigma = ratio * ratio * ratio;
-        // Corrector rhs: retarget µ and subtract ∆X_aff∆Z_aff e (amps).
-        Vec r_corrector = rhs_at(sigma * mu_mean);
-        const Vec corr1 = amps.multiply_elementwise(affine.dx, affine.dz);
-        const Vec corr2 = amps.multiply_elementwise(affine.dy, affine.dw);
-        for (std::size_t j = 0; j < n; ++j)
-          r_corrector[layout.row_xz() + j] -= corr1[j];
-        for (std::size_t i = 0; i < m; ++i)
-          r_corrector[layout.row_yw() + i] -= corr2[i];
-        obs::ProfileSpan corrector_span("settle");
-        auto corrected = backend.solve(
-            r_corrector, AnalogBackend::IoBoundary::kOutputOnly);
-        corrector_span.close();
-        if (corrected) {
-          delta_aug = std::move(corrected);
-          // The step taken came from the corrector settle: trace the µ it
-          // solved with (σ·µ_mean, not the Eq. (8) default) and the affine
-          // diagnostics. When the corrector fails we keep the plain-Newton
-          // settle at µ = δ·gap/size, so rec.mu stays as initialized.
-          rec.mu = sigma * mu_mean;
-          rec.mu_affine = mu_affine;
-          rec.sigma = sigma;
-        }
-      }
-    }
-    const StepDirection step =
-        split_step(layout, negfree.restrict(*delta_aug));
-    const double theta = step_length(state, step, options.pdip.step_ratio,
-                                     100.0 * options.state_floor);
-    // θ collapsing for several iterations means a floored state component is
-    // blocking every step — the frozen signature of a diverged iterate under
-    // analog noise.
-    frozen_steps = theta < 1e-7 ? frozen_steps + 1 : 0;
-    rec.alpha_p = rec.alpha_d = theta;
-    if (frozen_steps >= 5) {
-      attempt.outcome = classify_exit(AttemptOutcome::kStalled);
-      emit_iteration();
-      return attempt;
-    }
-    apply_step(state, step, theta);
-    state.clamp_floor(options.state_floor);
-    emit_iteration();
-  }
-  attempt.outcome = classify_exit(AttemptOutcome::kIterationLimit);
-  return attempt;
-}
 
 /// Reusable solve machinery shared by solve_xbar_pdip (one-shot) and
 /// XbarPdipSession (persistent array).
@@ -359,7 +20,7 @@ struct SolveContext {
   std::optional<NegativeFreeSystem> negfree;
   std::unique_ptr<AnalogBackend> backend;
   xbar::AmplifierBank amps;
-  Matrix a_scaled;             ///< the constraint matrix the array holds.
+  Matrix a_scaled;  ///< the constraint matrix the array holds.
   bool array_programmed = false;
 };
 
@@ -394,111 +55,36 @@ XbarSolveOutcome solve_with_context(const lp::LinearProgram& original,
     context.array_programmed = false;
     context.amps.reset_stats();
   }
-  NegativeFreeSystem& negfree = *context.negfree;
-  AnalogBackend& backend = *context.backend;
-  xbar::AmplifierBank& amps = context.amps;
-  backend.reset_stats();
-  amps.reset_stats();
+  context.backend->reset_stats();
+  context.amps.reset_stats();
 
-  XbarSolveOutcome out;
-  out.stats.system_dim = negfree.dim();
-  out.stats.compensations = negfree.num_compensations();
-  out.result.status = lp::SolveStatus::kNumericalFailure;
+  // The iteration loop itself lives in core/engine.hpp; this entry point
+  // configures the crossbar policy (corrector-refine Mehrotra, damped affine
+  // step, frozen/stall heuristics) and the retry/acceptance driver.
+  EngineConfig config;
+  config.solver_name = "xbar";
+  config.mehrotra = MehrotraMode::kCorrectorRefine;
+  config.affine_exact = false;
+  config.mu_mean_floor = 1e-300;
+  config.step_dead_floor = 100.0 * options.state_floor;
+  config.state_floor = options.state_floor;
+  config.frozen_limit = 5;
+  config.attempt_mode = true;
+  config.acceptance_merit = options.acceptance_merit;
+  config.stall_window = options.stall_window;
 
-  // The solution lives on the *programmed* (varied) constraint matrix, so
-  // the final check against the true A must tolerate the representational
-  // error: α grows with the process-variation magnitude (§3.2's "close to
-  // but greater than 1" presumes ideal devices).
-  const double alpha_effective =
-      std::max(options.alpha,
-               1.0 + 1.5 * options.hardware.crossbar.variation.magnitude());
+  AnalogSolveSpec spec;
+  spec.solver_name = "xbar";
+  spec.max_retries = options.max_retries;
+  spec.acceptance_merit = options.acceptance_merit;
+  spec.alpha = options.alpha;
+  spec.variation_magnitude = options.hardware.crossbar.variation.magnitude();
+  spec.array_programmed = &context.array_programmed;
 
-  for (std::size_t attempt_index = 0;
-       attempt_index <= options.max_retries; ++attempt_index) {
-    out.stats.attempts = attempt_index + 1;
-    const bool reuse_array = attempt_index == 0 && context.array_programmed;
-    const AttemptResult attempt =
-        run_attempt(problem, options, layout, negfree, backend, amps,
-                    reuse_array, out.stats.programming, sink,
-                    attempt_index + 1);
-    context.array_programmed = true;
-    out.stats.iterations += attempt.iterations;
-
-    // A divergence verdict is only credible when the attempt never came
-    // close to solving; a late blow-up after a near-converged iterate (a
-    // wild step off a near-singular quantized array) falls through to the
-    // acceptance path below.
-    const bool diverged_credibly =
-        attempt.best_merit > options.acceptance_merit;
-    if (attempt.outcome == AttemptOutcome::kInfeasible && diverged_credibly) {
-      out.result.status = lp::SolveStatus::kInfeasible;
-      out.result.iterations = out.stats.iterations;
-      break;
-    }
-    if (attempt.outcome == AttemptOutcome::kUnbounded && diverged_credibly) {
-      out.result.status = lp::SolveStatus::kUnbounded;
-      out.result.iterations = out.stats.iterations;
-      break;
-    }
-    const bool accepted =
-        (attempt.outcome == AttemptOutcome::kConverged ||
-         attempt.best_merit <= options.acceptance_merit) &&
-        !attempt.best_state.x.empty() &&
-        // The check tolerates the solver's own achieved accuracy (the merit
-        // bounds the scaled residuals): its job is to reject *wrong*
-        // solutions, not to demand precision beyond the analog noise floor.
-        problem.satisfies_constraints(
-            attempt.best_state.x, alpha_effective,
-            2.0 * attempt.best_merit * (1.0 + norm_inf(problem.b)) + 1e-9);
-    if (accepted) {
-      out.result.status = lp::SolveStatus::kOptimal;
-      out.result.x = attempt.best_state.x;
-      out.result.y = attempt.best_state.y;
-      out.result.w = attempt.best_state.w;
-      out.result.z = attempt.best_state.z;
-      out.result.objective = problem.objective(attempt.best_state.x);
-      out.result.iterations = out.stats.iterations;
-      break;
-    }
-    // Otherwise: retry with a freshly programmed crossbar — process
-    // variation differs on every write (§4.3), so the next attempt sees a
-    // different effective matrix.
-    out.result.status = attempt.outcome == AttemptOutcome::kIterationLimit
-                            ? lp::SolveStatus::kIterationLimit
-                            : lp::SolveStatus::kNumericalFailure;
-    out.result.iterations = out.stats.iterations;
-  }
-
-  out.stats.backend = backend.stats();
-  out.stats.amps = amps.stats();
-  scaling.unscale(out.result);
-
-  if (sink != nullptr) {
-    obs::SolveSummary summary;
-    summary.solver = "xbar";
-    summary.status = lp::to_string(out.result.status);
-    summary.iterations = out.stats.iterations;
-    summary.objective = out.result.objective;
-    obs::Event event = summary.to_event();
-    event.with("attempts", out.stats.attempts)
-        .with("system_dim", out.stats.system_dim)
-        .with("compensations", out.stats.compensations)
-        .with("programming.full_programs", out.stats.programming.xbar.full_programs)
-        .with("programming.cells_written", out.stats.programming.xbar.cells_written)
-        .with("programming.write_pulses", out.stats.programming.xbar.write_pulses)
-        .with("backend.cells_written", out.stats.backend.xbar.cells_written)
-        .with("backend.mvm_ops", out.stats.backend.xbar.mvm_ops)
-        .with("backend.solve_ops", out.stats.backend.xbar.solve_ops)
-        .with("backend.num_tiles", out.stats.backend.num_tiles);
-    sink->emit(event);
-    sink->flush();
-  }
-  auto& registry = obs::MetricsRegistry::global();
-  registry.counter("xbar.solves").add();
-  registry.counter("xbar.iterations").add(out.stats.iterations);
-  registry.counter("xbar.attempts").add(out.stats.attempts);
-  if (out.result.optimal()) registry.counter("xbar.optimal").add();
-  return out;
+  XbarNewton newton(problem, options, layout, *context.negfree,
+                    *context.backend, context.amps);
+  return solve_analog_pdip(problem, scaling, options.pdip, config, spec,
+                           newton, sink);
 }
 
 }  // namespace

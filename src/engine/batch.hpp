@@ -1,0 +1,39 @@
+// Heterogeneous batched solves over the registry: fan independent LP solves
+// — of ANY registered solver, mixed freely — across the memlp::par pool.
+//
+// Each item resolves its solver by name and owns its crossbar state and RNG
+// stream, so the fan-out is embarrassingly parallel and bit-identical at
+// every thread count: item i's report depends only on (problem i, request
+// i), never on scheduling. The homogeneous crossbar-only overloads of
+// core/batch.hpp are thin shims over this front door.
+//
+// Tiled backends inside a batch run their per-tile loops inline (nested
+// parallel regions serialize, see common/par.hpp) — the batch level owns
+// the threads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "lp/problem.hpp"
+
+namespace memlp::engine {
+
+/// One entry of the batch: a problem with its own request (its own solver
+/// kind, seed, hardware, tracing, ...).
+struct BatchItem {
+  const lp::LinearProgram* problem = nullptr;
+  SolveRequest request{};
+};
+
+/// Solves every item through SolverRegistry::global() across the memlp::par
+/// pool (`threads` 0 = par::default_threads()). Report i corresponds to
+/// items[i] regardless of thread count. Every item's problem must be
+/// non-null and every item's solver name registered (checked up front, so a
+/// bad batch fails before any work starts).
+std::vector<SolveReport> solve_batch(std::span<const BatchItem> items,
+                                     std::size_t threads = 0);
+
+}  // namespace memlp::engine

@@ -1,0 +1,5 @@
+// R7 near-miss fixture: src/core/ itself may include the engine internals.
+#include "core/engine.hpp"
+#include "core/newton_xbar.hpp"
+
+int engine_internal_ok() { return 0; }

@@ -1,0 +1,6 @@
+// R7 fixture: library code outside src/core/ reaching into the engine's
+// internals. A doc-comment mention of core/engine.hpp alone stays clean.
+#include "core/engine.hpp"
+#include "core/newton_software.hpp"
+
+int r7_engine_include() { return 0; }

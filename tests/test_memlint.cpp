@@ -103,6 +103,28 @@ TEST(Memlint, R6FlagsHeaderWithoutPragmaOnce) {
       << run.output;
 }
 
+TEST(Memlint, R7FlagsEngineInternalIncludesOutsideCore) {
+  const RunResult run = run_memlint("src/r7_engine_include.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(
+      run.output.find("src/r7_engine_include.cpp:3: [R7/engine-encapsulation]"),
+      std::string::npos)
+      << run.output;
+  EXPECT_NE(
+      run.output.find("src/r7_engine_include.cpp:4: [R7/engine-encapsulation]"),
+      std::string::npos)
+      << run.output;
+  // The doc-comment mention on line 2 must not count.
+  EXPECT_EQ(count_occurrences(run.output, "[R7/engine-encapsulation]"), 2)
+      << run.output;
+}
+
+TEST(Memlint, R7AllowsEngineInternalIncludesInsideCore) {
+  const RunResult run = run_memlint("src/core/engine_internal_ok.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
 TEST(Memlint, SuppressionsByIdAndNameSilenceFindings) {
   const RunResult run = run_memlint("src/suppressed.cpp");
   EXPECT_EQ(run.exit_code, 0) << run.output;
@@ -127,11 +149,11 @@ TEST(Memlint, FullFixtureTreeReportsEveryRuleOnce) {
   for (const char* tag :
        {"[R1/parallelism-discipline]", "[R2/rng-discipline]",
         "[R3/io-discipline]", "[R4/error-discipline]", "[R5/unit-suffix]",
-        "[R6/header-hygiene]"})
+        "[R6/header-hygiene]", "[R7/engine-encapsulation]"})
     EXPECT_NE(run.output.find(tag), std::string::npos)
         << tag << '\n'
         << run.output;
-  EXPECT_NE(run.output.find("memlint: 10 violation(s)"), std::string::npos)
+  EXPECT_NE(run.output.find("memlint: 12 violation(s)"), std::string::npos)
       << run.output;
 }
 
@@ -140,7 +162,8 @@ TEST(Memlint, ListRulesDocumentsTheCatalogue) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
   for (const char* slug :
        {"R1/parallelism-discipline", "R2/rng-discipline", "R3/io-discipline",
-        "R4/error-discipline", "R5/unit-suffix", "R6/header-hygiene"})
+        "R4/error-discipline", "R5/unit-suffix", "R6/header-hygiene",
+        "R7/engine-encapsulation"})
     EXPECT_NE(run.output.find(slug), std::string::npos) << run.output;
 }
 

@@ -159,7 +159,7 @@ TEST_P(PredictorCorrectorSweep, MatchesPlainRuleWithFewerIterations) {
   // And combined with the normal-equations system.
   PdipOptions both;
   both.predictor_corrector = true;
-  both.newton = NewtonSystem::kNormalEquations;
+  both.newton = NewtonFactorization::kNormalEquations;
   const auto combined = solve_pdip(problem, both);
   ASSERT_EQ(combined.status, lp::SolveStatus::kOptimal);
   EXPECT_LT(lp::relative_error(combined.objective, reference.objective),

@@ -187,7 +187,8 @@ TEST(Profiler, PhaseSpanOpensAMatchingProfilerFrame) {
     memlp::obs::PhaseSpan phase(&sink, "pdip", "iterations");
     spin();
   }
-  const auto* nested = find_path(profiler.aggregate(), "pdip/iterations");
+  const auto stats = profiler.aggregate();
+  const auto* nested = find_path(stats, "pdip/iterations");
   ASSERT_NE(nested, nullptr);
   EXPECT_EQ(nested->count, 1u);
   // The sink still sees the phase event (name survives the profiler hook).
@@ -200,7 +201,8 @@ TEST(Profiler, PhaseSpanWithoutSinkStillProfiles) {
   Profiler profiler;
   ActiveProfiler active(&profiler);
   { memlp::obs::PhaseSpan phase(nullptr, "pdip", "factorize"); }
-  const auto* entry = find_path(profiler.aggregate(), "factorize");
+  const auto stats = profiler.aggregate();
+  const auto* entry = find_path(stats, "factorize");
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->count, 1u);
 }

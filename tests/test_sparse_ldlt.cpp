@@ -117,7 +117,7 @@ TEST_P(NormalEquationsSweep, MatchesFullKktVariant) {
   ASSERT_EQ(reference.status, lp::SolveStatus::kOptimal);
 
   core::PdipOptions normal;
-  normal.newton = core::NewtonSystem::kNormalEquations;
+  normal.newton = core::NewtonFactorization::kNormalEquations;
   const auto via_normal = core::solve_pdip(problem, normal);
   ASSERT_EQ(via_normal.status, lp::SolveStatus::kOptimal);
   EXPECT_LT(lp::relative_error(via_normal.objective, reference.objective),
@@ -138,7 +138,7 @@ TEST(NormalEquations, DetectsInfeasibility) {
   generator.constraints = 12;
   const auto problem = lp::random_infeasible(generator, rng);
   core::PdipOptions options;
-  options.newton = core::NewtonSystem::kNormalEquations;
+  options.newton = core::NewtonFactorization::kNormalEquations;
   EXPECT_EQ(core::solve_pdip(problem, options).status,
             lp::SolveStatus::kInfeasible);
 }

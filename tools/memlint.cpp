@@ -29,6 +29,13 @@
 //   R6 header-hygiene          every header must contain #pragma once.
 //                              (Deep self-containment is verified by the
 //                              generated memlp_header_check target.)
+//   R7 engine-encapsulation    the PDIP iteration engine and its
+//                              NewtonSystem policies (core/engine.hpp and
+//                              the core/newton_* pairs) are private to
+//                              src/core/ — everything else goes through
+//                              the solver wrappers or engine/registry.hpp,
+//                              so the bit-exactness contract has one
+//                              surface to audit.
 //
 // Diagnostics are file:line with the rule id; a finding on a line whose
 // trailing comment contains `memlint:allow(R<n>)` (comma-separated ids
@@ -55,7 +62,7 @@ namespace fs = std::filesystem;
 namespace {
 
 struct Rule {
-  int id;                // 1..6 — printed as R<id>.
+  int id;                // 1..7 — printed as R<id>.
   const char* name;      // kebab-case slug.
   const char* summary;   // one-line rationale for --list-rules.
 };
@@ -77,6 +84,9 @@ constexpr Rule kRules[] = {
      "physical-quantity identifiers (energy/latency/power) must carry a "
      "unit suffix such as _j, _pj, _s, _ns, _w"},
     {6, "header-hygiene", "headers must contain #pragma once"},
+    {7, "engine-encapsulation",
+     "core/engine.hpp and core/newton_* are private to src/core/; include "
+     "the solver wrappers or engine/registry.hpp instead"},
 };
 
 const Rule* find_rule(int id) {
@@ -238,6 +248,7 @@ struct FileContext {
   std::string rel;     // forward-slash, root-relative path.
   bool in_src;         // under src/.
   bool in_obs;         // under src/obs/.
+  bool in_core;        // under src/core/ (the engine's home, see R7).
   bool is_par_file;    // src/common/par.hpp or par.cpp.
   bool is_rng_file;    // src/common/rng.hpp or rng.cpp.
   bool is_header;      // .hpp/.h.
@@ -248,6 +259,7 @@ FileContext make_context(const std::string& rel) {
   context.rel = rel;
   context.in_src = rel.rfind("src/", 0) == 0;
   context.in_obs = rel.rfind("src/obs/", 0) == 0;
+  context.in_core = rel.rfind("src/core/", 0) == 0;
   context.is_par_file =
       rel == "src/common/par.hpp" || rel == "src/common/par.cpp";
   context.is_rng_file =
@@ -274,6 +286,15 @@ const char* const kR2Tokens[] = {
 const char* const kR3Tokens[] = {
     "std::cout", "std::cerr", "std::clog", "printf",
     "fprintf",   "puts",      "putchar",   "fputs",
+};
+
+/// Engine-internal headers (R7): private to src/core/. Matched against the
+/// RAW line (an include path is a string literal, which the stripper blanks)
+/// together with an include directive on the same line — which is also why
+/// this table does not flag itself.
+const char* const kR7Tokens[] = {
+    "\"core/engine.hpp\"",
+    "\"core/newton_",
 };
 
 /// Unit suffixes accepted by R5 (longest-match not needed; any match wins).
@@ -334,7 +355,7 @@ class Linter {
           code.find("once") != std::string::npos)
         saw_pragma_once = true;
       const std::set<int> allowed = parse_suppressions(raw);
-      check_line(context, code, line_no, allowed);
+      check_line(context, code, raw, line_no, allowed);
     }
     if (context.is_header && !saw_pragma_once)
       report(context, 0, 6, "header is missing #pragma once");
@@ -372,7 +393,8 @@ class Linter {
   }
 
   void check_line(const FileContext& context, const std::string& code,
-                  std::size_t line_no, const std::set<int>& allowed) {
+                  const std::string& raw, std::size_t line_no,
+                  const std::set<int>& allowed) {
     // R1 — parallelism discipline (everywhere except src/common/par.*).
     if (!context.is_par_file && !allowed.contains(1)) {
       for (const char* token : kR1Tokens) {
@@ -453,6 +475,20 @@ class Linter {
                  "'" + name +
                      "' names a physical quantity but has no unit suffix "
                      "(_j, _pj, _s, _ns, _w, ...)");
+      }
+    }
+    // R7 — engine encapsulation (everywhere except src/core/ itself). The
+    // include path is a string literal, which the stripper blanks out of
+    // `code`, so this rule matches on the raw line; requiring the directive
+    // and the path on one line keeps doc-comment mentions clean.
+    if (!context.in_core && !allowed.contains(7) &&
+        raw.find("#include") != std::string::npos) {
+      for (const char* token : kR7Tokens) {
+        if (raw.find(token) != std::string::npos)
+          report(context, line_no, 7,
+                 std::string(token) +
+                     " is engine-internal (private to src/core/); include "
+                     "the solver wrappers or engine/registry.hpp");
       }
     }
   }

@@ -2,7 +2,10 @@
 //
 //   memlp_solve [options] <problem.lp | ->
 //
-//   --solver simplex|pdip|xbar|ls   solver to use (default xbar)
+//   --solver <name>                 any solver registered in the
+//                                   memlp::engine registry (default xbar;
+//                                   built-ins: simplex, pdip, xbar, ls —
+//                                   a bad name lists what is registered)
 //   --variation <fraction>          process-variation level (default 0.10)
 //   --seed <n>                      hardware seed (default 42)
 //   --tile-dim <n>                  force the NoC with this tile size
@@ -30,23 +33,31 @@
 #include <sstream>
 #include <string>
 
-#include "core/ls_pdip.hpp"
-#include "core/pdip.hpp"
-#include "core/xbar_pdip.hpp"
+#include "engine/registry.hpp"
 #include "lp/text_format.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "perf/hardware_model.hpp"
-#include "solvers/simplex.hpp"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: memlp_solve [--solver simplex|pdip|xbar|ls] "
+               "usage: memlp_solve [--solver name] "
                "[--variation f] [--seed n] [--tile-dim n] [--trace path] "
                "[--convergence] [--profile] [--chrome-trace path] [--quiet] "
                "<problem.lp | ->\n");
+}
+
+/// Comma-joined names of every registered solver (for the bad-name path).
+std::string registered_solvers() {
+  std::string joined;
+  for (const std::string& name :
+       memlp::engine::SolverRegistry::global().names()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
 }
 
 void print_result(const memlp::lp::SolveResult& result, bool quiet) {
@@ -78,18 +89,21 @@ void print_convergence(const memlp::obs::MemoryTraceSink& sink) {
         "solve summary)\n");
     return;
   }
-  std::printf("%5s %4s %12s %12s %12s %12s %9s\n", "it", "att", "mu",
-              "primal_inf", "dual_inf", "gap", "alpha");
+  std::printf("%5s %4s %12s %12s %12s %12s %9s %9s\n", "it", "att", "mu",
+              "primal_inf", "dual_inf", "gap", "alpha_p", "alpha_d");
   for (const auto& event : records) {
     const double attempt = event.number("attempt", 0.0);
     std::printf("%5.0f %4.0f %12.4e %12.4e %12.4e %12.4e",
                 event.number("iteration"), attempt, event.number("mu"),
                 event.number("primal_inf"), event.number("dual_inf"),
                 event.number("gap"));
-    if (event.find("alpha_p") != nullptr)
-      std::printf(" %9.3e\n", event.number("alpha_p"));
-    else
-      std::printf(" %9s\n", "-");
+    for (const char* key : {"alpha_p", "alpha_d"}) {
+      if (event.find(key) != nullptr)
+        std::printf(" %9.3e", event.number(key));
+      else
+        std::printf(" %9s", "-");
+    }
+    std::printf("\n");
   }
 }
 
@@ -146,6 +160,14 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
+    usage();
+    return 2;
+  }
+  // Resolve the solver name before any work: a typo should fail fast and
+  // tell the user what IS registered.
+  if (!memlp::engine::SolverRegistry::global().contains(solver)) {
+    std::fprintf(stderr, "unknown solver '%s' (registered: %s)\n",
+                 solver.c_str(), registered_solvers().c_str());
     usage();
     return 2;
   }
@@ -212,56 +234,31 @@ int main(int argc, char** argv) {
       variation > 0.0 ? memlp::mem::VariationModel::uniform(variation)
                       : memlp::mem::VariationModel::none();
 
-  const memlp::perf::HardwareModel hardware;
-  memlp::lp::SolveResult result;
-  if (solver == "simplex") {
-    memlp::solvers::SimplexOptions options;
-    options.trace = sink;
-    result = memlp::solvers::solve_simplex(problem, options);
-    print_result(result, quiet);
-  } else if (solver == "pdip") {
-    memlp::core::PdipOptions options;
-    options.trace = sink;
-    result = memlp::core::solve_pdip(problem, options);
-    print_result(result, quiet);
-  } else if (solver == "xbar") {
-    memlp::core::XbarPdipOptions options;
-    options.hardware.crossbar.variation = variation_model;
-    options.seed = seed;
-    options.pdip.trace = sink;
-    if (tile_dim > 0) {
-      options.hardware.force_noc = true;
-      options.hardware.tile_dim = tile_dim;
-    }
-    const auto outcome = memlp::core::solve_xbar_pdip(problem, options);
-    result = outcome.result;
-    print_result(result, quiet);
-    if (!quiet && result.optimal()) {
-      const auto cost = hardware.estimate(outcome.stats);
-      std::printf("hardware:   %zux%zu system, %zu cells written, "
-                  "%zu settles, est. %.3f ms / %.3f mJ\n",
-                  outcome.stats.system_dim, outcome.stats.system_dim,
-                  outcome.stats.backend.xbar.cells_written,
-                  outcome.stats.backend.xbar.mvm_ops +
-                      outcome.stats.backend.xbar.solve_ops,
-                  cost.latency_s * 1e3, cost.energy_j * 1e3);
-    }
-  } else if (solver == "ls") {
-    memlp::core::LsPdipOptions options;
-    options.hardware.crossbar.variation = variation_model;
-    options.seed = seed;
-    options.pdip.trace = sink;
-    if (tile_dim > 0) {
-      options.hardware.force_noc = true;
-      options.hardware.tile_dim = tile_dim;
-    }
-    const auto outcome = memlp::core::solve_ls_pdip(problem, options);
-    result = outcome.result;
-    print_result(result, quiet);
-  } else {
-    std::fprintf(stderr, "unknown solver '%s'\n", solver.c_str());
-    usage();
-    return 2;
+  // One uniform request; the registry maps the name to the solver and the
+  // report carries the hardware record when the solver has one.
+  memlp::engine::SolveRequest request;
+  request.solver = solver;
+  request.pdip.trace = sink;
+  request.seed = seed;
+  request.hardware.crossbar.variation = variation_model;
+  if (tile_dim > 0) {
+    request.hardware.force_noc = true;
+    request.hardware.tile_dim = tile_dim;
+  }
+  const memlp::engine::SolveReport report =
+      memlp::engine::solve(problem, request);
+  const memlp::lp::SolveResult& result = report.result;
+  print_result(result, quiet);
+  if (!quiet && result.optimal() && report.has_hardware_stats) {
+    const memlp::perf::HardwareModel hardware;
+    const auto cost = hardware.estimate(report.stats);
+    std::printf("hardware:   %zux%zu system, %zu cells written, "
+                "%zu settles, est. %.3f ms / %.3f mJ\n",
+                report.stats.system_dim, report.stats.system_dim,
+                report.stats.backend.xbar.cells_written,
+                report.stats.backend.xbar.mvm_ops +
+                    report.stats.backend.xbar.solve_ops,
+                cost.latency_s * 1e3, cost.energy_j * 1e3);
   }
 
   if (convergence) print_convergence(*memory_sink);
