@@ -44,6 +44,18 @@ std::string doubles_json(const std::vector<double>& values) {
 
 }  // namespace
 
+obs::CostTree cost_tree_delta(const obs::CostTree& before,
+                              const obs::CostTree& after) {
+  obs::CostTree delta;
+  for (const auto& [path, counters] : after) {
+    const auto it = before.find(path);
+    const obs::CostCounters moved =
+        it == before.end() ? counters : counters.since(it->second);
+    if (!moved.zero()) delta[path] = moved;
+  }
+  return delta;
+}
+
 BenchRun::BenchRun(std::string name, std::string experiment,
                    std::string paper_ref, SweepConfig config)
     : name_(std::move(name)),
@@ -54,6 +66,10 @@ BenchRun::BenchRun(std::string name, std::string experiment,
   if (obs::Profiler::active() == nullptr) {
     obs::Profiler::set_active(&profiler_);
     owns_active_ = true;
+  }
+  if (obs::CostLedger::active() == nullptr) {
+    obs::CostLedger::set_active(&ledger_);
+    owns_ledger_ = true;
   }
 }
 
@@ -114,12 +130,46 @@ std::string BenchRun::to_json() const {
     append_member(phase, "total_s", json_number(stats.total_s));
     append_member(phase, "p50_s", json_number(stats.p50_s));
     append_member(phase, "p95_s", json_number(stats.p95_s));
+    append_member(phase, "p99_s", json_number(stats.p99_s));
     append_member(phase, "max_s", json_number(stats.max_s));
     phase += "}";
     phases += phase;
   }
   phases += "]";
   append_member(out, "phases", phases);
+
+  // The run's cost tree: integer counters per call path plus their priced
+  // energy/latency (perf::HardwareModel default constants — the same table
+  // recorded under "hardware_constants" below).
+  const perf::HardwareModel pricing;
+  std::string cost_tree = "[";
+  bool first_cost = true;
+  for (const auto& [path, counters] : ledger_.tree()) {
+    if (!first_cost) cost_tree += ",";
+    first_cost = false;
+    const perf::CostEstimate priced = pricing.price_counters(counters);
+    std::string entry = "{";
+    append_member(entry, "path", json_string(path), true);
+    const auto count = [&](const char* key, std::uint64_t value) {
+      append_member(entry, key,
+                    json_number(static_cast<std::int64_t>(value)));
+    };
+    count("settles", counters.settles);
+    count("cells_written", counters.cells_written);
+    count("write_pulses", counters.write_pulses);
+    count("amp_vector_ops", counters.amp_vector_ops);
+    count("amp_element_ops", counters.amp_element_ops);
+    count("noc_value_hops", counters.noc_value_hops);
+    count("controller_iterations", counters.controller_iterations);
+    count("flops", counters.flops);
+    count("bytes", counters.bytes);
+    append_member(entry, "energy_j", json_number(priced.energy_j));
+    append_member(entry, "latency_s", json_number(priced.latency_s));
+    entry += "}";
+    cost_tree += entry;
+  }
+  cost_tree += "]";
+  append_member(out, "cost_tree", cost_tree);
 
   std::string metrics = "[";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
@@ -158,6 +208,23 @@ std::string BenchRun::to_json() const {
   }
   gauges += "}";
   append_member(out, "gauges", gauges);
+  std::string histograms = "{";
+  first = true;
+  for (const auto& [name, stats] : registry.histogram_values()) {
+    std::string entry = "{";
+    append_member(entry, "count",
+                  json_number(static_cast<std::int64_t>(stats.count)), true);
+    append_member(entry, "total", json_number(stats.total));
+    append_member(entry, "p50", json_number(stats.p50));
+    append_member(entry, "p95", json_number(stats.p95));
+    append_member(entry, "p99", json_number(stats.p99));
+    append_member(entry, "max", json_number(stats.max));
+    entry += "}";
+    append_member(histograms, name.c_str(), entry, first);
+    first = false;
+  }
+  histograms += "}";
+  append_member(out, "histograms", histograms);
 
   const perf::HardwareCostConstants constants;
   std::string hardware = "{";
@@ -223,6 +290,10 @@ int BenchRun::finish() {
   if (owns_active_) {
     obs::Profiler::set_active(nullptr);
     owns_active_ = false;
+  }
+  if (owns_ledger_) {
+    obs::CostLedger::set_active(nullptr);
+    owns_ledger_ = false;
   }
   const std::string dir = artifact_dir();
   std::error_code ec;

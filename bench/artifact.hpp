@@ -16,9 +16,16 @@
 #include "bench_util.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
+#include "obs/cost_ledger.hpp"
 #include "obs/profiler.hpp"
 
 namespace memlp::bench {
+
+/// Counter-wise difference of two ledger snapshots (`after` − `before`),
+/// dropping paths whose counters did not move. Harnesses bracket one solve
+/// with `run.ledger().tree()` snapshots to get that solve's cost tree.
+[[nodiscard]] obs::CostTree cost_tree_delta(const obs::CostTree& before,
+                                            const obs::CostTree& after);
 
 /// How a metric should be compared by memlp_report.
 struct MetricOptions {
@@ -30,8 +37,9 @@ struct MetricOptions {
 
 /// One bench run: prints the standard header on construction, collects
 /// tables and metrics, and writes BENCH_<name>.json on finish(). Also
-/// activates an (aggregation-only) obs::Profiler for the run when none is
-/// active, so artifacts carry solver phase breakdowns for free.
+/// activates an (aggregation-only) obs::Profiler and obs::CostLedger for
+/// the run when none are active, so artifacts carry solver phase
+/// breakdowns and per-phase cost trees for free.
 class BenchRun {
  public:
   /// `name` keys the artifact file; `experiment`/`paper_ref` mirror the old
@@ -54,6 +62,12 @@ class BenchRun {
   /// `return run.finish();`. Idempotent; the destructor calls it.
   int finish();
 
+  /// The run's cost ledger (harnesses snapshot/diff it to derive per-solve
+  /// energy from the attribution instead of recomputing inline).
+  [[nodiscard]] const obs::CostLedger& ledger() const noexcept {
+    return ledger_;
+  }
+
  private:
   struct Metric {
     std::string name;
@@ -69,7 +83,9 @@ class BenchRun {
   SweepConfig config_;
   Stopwatch wall_;
   obs::Profiler profiler_;
+  obs::CostLedger ledger_;
   bool owns_active_ = false;
+  bool owns_ledger_ = false;
   bool finished_ = false;
   std::vector<Metric> metrics_;
   std::vector<TextTable> tables_;

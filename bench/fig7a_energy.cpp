@@ -4,7 +4,10 @@
 // Paper reference points at m = 1024: linprog 218.1 J; crossbar solver
 // 0.9 J (ideal), 6.2 J (5%), 8.9 J (10%), 12.1 J (20%) — ≥24x reduction.
 // CPU energy = measured wall time × the package power implied by the
-// paper's own latency/energy pairs (35 W).
+// paper's own latency/energy pairs (35 W). Crossbar energy is derived from
+// the cost ledger: each solve is bracketed with ledger snapshots and the
+// delta's iterative bucket (perf::split_programming) is priced — the same
+// number HardwareModel::estimate(stats) produces, but attributed per phase.
 #include <cstdio>
 #include <vector>
 
@@ -12,6 +15,7 @@
 #include "bench_util.hpp"
 #include "core/pdip.hpp"
 #include "core/xbar_pdip.hpp"
+#include "perf/cost_tree.hpp"
 #include "perf/hardware_model.hpp"
 #include "solvers/simplex.hpp"
 
@@ -52,9 +56,14 @@ int main() {
                 ? mem::VariationModel::uniform(config.variations[v])
                 : mem::VariationModel::none();
         options.seed = config.seed + 1000 * m + trial;
+        const auto before = run.ledger().tree();
         const auto outcome = core::solve_xbar_pdip(problem, options);
-        if (outcome.result.optimal())
-          xbar_j[v].push_back(hardware.estimate(outcome.stats).energy_j);
+        if (outcome.result.optimal()) {
+          const auto delta =
+              bench::cost_tree_delta(before, run.ledger().tree());
+          xbar_j[v].push_back(
+              perf::split_programming(delta, hardware).iterative_cost.energy_j);
+        }
       }
     }
     std::vector<std::string> row{TextTable::num((long long)m),

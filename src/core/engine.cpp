@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "linalg/ops.hpp"
+#include "obs/cost_ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 
@@ -383,6 +384,10 @@ XbarSolveOutcome solve_analog_pdip(const lp::LinearProgram& problem,
       attempt_config.attempt_index = attempt_index + 1;
       PdipEngine engine(problem, options, attempt_config, sink);
       attempt = engine.run(newton, state);
+      // CMOS controller sequencing cost, charged while the iteration span
+      // is still open so it lands under "<solver>/iterations".
+      obs::CostLedger::charge_active(
+          {.controller_iterations = attempt.iterations});
     }
     out.stats.iterations += attempt.iterations;
 

@@ -5,6 +5,7 @@
 
 #include "common/par.hpp"
 #include "linalg/ops.hpp"
+#include "obs/cost_ledger.hpp"
 #include "obs/profiler.hpp"
 
 namespace memlp::core {
@@ -73,6 +74,16 @@ NormalEquationsSolver::NormalEquationsSolver(const lp::LinearProgram& problem,
     par::parallel_for(m, assemble_row);
   } else {
     for (std::size_t i = 0; i < m; ++i) assemble_row(i);
+  }
+  {
+    // Schur flops (3 per triple-product term over m(m+1)/2 dot products of
+    // length n, plus the diagonal shift), charged closed-form outside the
+    // parallel region so the attribution is deterministic.
+    const auto rows = static_cast<std::uint64_t>(m);
+    const auto cols = static_cast<std::uint64_t>(n);
+    obs::CostLedger::charge_active(
+        {.flops = 3 * cols * (rows * (rows + 1) / 2) + 2 * rows,
+         .bytes = 8 * (rows * cols + rows * rows)});
   }
   ldlt_.emplace(s);
 }

@@ -1,8 +1,16 @@
 #include "crossbar/amplifier.hpp"
 
 #include "common/contracts.hpp"
+#include "obs/cost_ledger.hpp"
 
 namespace memlp::xbar {
+
+void AmplifierBank::count(std::size_t elements) noexcept {
+  stats_.element_ops += elements;
+  ++stats_.vector_ops;
+  obs::CostLedger::charge_active(
+      {.amp_vector_ops = 1, .amp_element_ops = elements});
+}
 
 Vec AmplifierBank::add(std::span<const double> a, std::span<const double> b) {
   MEMLP_EXPECT(a.size() == b.size());

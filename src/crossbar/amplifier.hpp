@@ -72,10 +72,10 @@ class AmplifierBank {
   void absorb(const AmplifierStats& other) noexcept { stats_ += other; }
 
  private:
-  void count(std::size_t elements) noexcept {
-    stats_.element_ops += elements;
-    ++stats_.vector_ops;
-  }
+  /// Counts one bank operation over `elements` lanes and charges the
+  /// active cost ledger (defined in amplifier.cpp to keep the obs
+  /// dependency out of this header).
+  void count(std::size_t elements) noexcept;
 
   AmplifierStats stats_;
 };

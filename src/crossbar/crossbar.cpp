@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 #include "linalg/ops.hpp"
+#include "obs/cost_ledger.hpp"
 
 namespace memlp::xbar {
 
@@ -95,6 +96,8 @@ void Crossbar::program(const Matrix& a, double full_scale_hint) {
       (programming_.g_max() - programming_.g_min()) / full_scale_;
 
   ++stats_.full_programs;
+  const std::size_t cells_before = stats_.cells_written;
+  const std::size_t pulses_before = stats_.write_pulses;
   // A full program erases and rewrites every occupied cell, so each one gets
   // a fresh variation draw — the basis of the paper's re-solve scheme
   // (§4.3). Cells that are zero both before and after stay at the erased
@@ -106,6 +109,9 @@ void Crossbar::program(const Matrix& a, double full_scale_hint) {
           a(i, j) == 0.0 && level_g_(i, j) <= programming_.g_min();
       write_cell(i, j, a(i, j), /*force=*/!structurally_zero);
     }
+  obs::CostLedger::charge_active(
+      {.cells_written = stats_.cells_written - cells_before,
+       .write_pulses = stats_.write_pulses - pulses_before});
   solve_cache_.reset();
 }
 
@@ -135,6 +141,8 @@ void Crossbar::update_block(std::size_t r0, std::size_t c0,
     program(updated, 2.0 * block.max_abs());
     return;
   }
+  const std::size_t cells_before = stats_.cells_written;
+  const std::size_t pulses_before = stats_.write_pulses;
   for (std::size_t i = 0; i < block.rows(); ++i)
     for (std::size_t j = 0; j < block.cols(); ++j) {
       ideal_(r0 + i, c0 + j) = block(i, j);
@@ -143,6 +151,9 @@ void Crossbar::update_block(std::size_t r0, std::size_t c0,
       if (stats_.cells_written != written_before)
         apply_half_select_disturb(r0 + i, c0 + j);
     }
+  obs::CostLedger::charge_active(
+      {.cells_written = stats_.cells_written - cells_before,
+       .write_pulses = stats_.write_pulses - pulses_before});
   solve_cache_.reset();
 }
 
@@ -276,6 +287,7 @@ Vec Crossbar::multiply(std::span<const double> x, IoBoundary io) {
   apply_read_noise(out);
   if (quantize_output(io)) io_.quantize(out);
   ++stats_.mvm_ops;
+  obs::CostLedger::charge_active({.settles = 1});
   return out;
 }
 
@@ -288,6 +300,7 @@ Vec Crossbar::multiply_transposed(std::span<const double> x, IoBoundary io) {
   apply_read_noise(out);
   if (quantize_output(io)) io_.quantize(out);
   ++stats_.mvm_ops;
+  obs::CostLedger::charge_active({.settles = 1});
   return out;
 }
 
@@ -297,6 +310,7 @@ std::optional<Vec> Crossbar::solve(std::span<const double> b, IoBoundary io) {
   MEMLP_EXPECT_MSG(b.size() == rows(), "solve: size mismatch");
   if (!solve_cache_) solve_cache_.emplace(effective_);
   ++stats_.solve_ops;
+  obs::CostLedger::charge_active({.settles = 1});
   if (solve_cache_->singular()) return std::nullopt;
   Vec rhs = quantize_input(io) ? io_.quantized(b) : Vec(b.begin(), b.end());
   Vec x = solve_cache_->solve(rhs);

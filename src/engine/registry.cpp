@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
 
 namespace memlp::engine {
 
@@ -75,7 +77,14 @@ SolveReport SolverRegistry::solve(const lp::LinearProgram& problem,
   const std::optional<SolveFn> fn = find(request.solver);
   MEMLP_EXPECT_MSG(fn.has_value(), "SolverRegistry: unknown solver '"
                                        << request.solver << "'");
-  return (*fn)(problem, request);
+  const Stopwatch clock;
+  SolveReport report = (*fn)(problem, request);
+  // Per-solve latency distribution (p50/p95/p99 for serving-style loads);
+  // one histogram observation per solve, never per iteration.
+  obs::MetricsRegistry::global()
+      .histogram(request.solver + ".solve_seconds")
+      .observe(clock.seconds());
+  return report;
 }
 
 namespace {

@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "obs/cost_ledger.hpp"
 
 namespace memlp {
 
@@ -16,11 +17,22 @@ LdltFactorization::LdltFactorization(const Matrix& a) {
   d_.assign(n, 0.0);
   const double scale = std::max(a.max_abs(), 1.0);
 
+  // Column flops (3 per dot-product term, one divide per subdiagonal
+  // entry), accumulated closed-form per column, charged once (~n³/3 total).
+  std::uint64_t flops = 0;
+  const auto dim = static_cast<std::uint64_t>(n);
+  const auto charge_factorization = [&] {
+    obs::CostLedger::charge_active({.flops = flops, .bytes = 8 * dim * dim});
+  };
+
   for (std::size_t j = 0; j < n; ++j) {
+    const auto col = static_cast<std::uint64_t>(j);
+    flops += 3 * col + (dim - 1 - col) * (3 * col + 1);
     double dj = a(j, j);
     for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
     if (std::abs(dj) <= 1e-13 * scale) {
       failed_ = true;
+      charge_factorization();
       return;
     }
     d_[j] = dj;
@@ -30,6 +42,7 @@ LdltFactorization::LdltFactorization(const Matrix& a) {
       l_(i, j) = lij / dj;
     }
   }
+  charge_factorization();
 }
 
 double LdltFactorization::condition_proxy() const noexcept {
@@ -50,6 +63,9 @@ Vec LdltFactorization::solve(std::span<const double> b) const {
   MEMLP_EXPECT_MSG(!failed_, "solve() on a failed LDLT factorization");
   MEMLP_EXPECT(b.size() == l_.rows());
   const std::size_t n = l_.rows();
+  const auto dim = static_cast<std::uint64_t>(n);
+  obs::CostLedger::charge_active(
+      {.flops = 2 * dim * dim + dim, .bytes = 8 * (dim * dim + 2 * dim)});
   // L·y = b (forward), D·z = y, Lᵀ·x = z (backward).
   Vec x(b.begin(), b.end());
   for (std::size_t i = 0; i < n; ++i)

@@ -9,9 +9,18 @@
 #include "common/error.hpp"
 #include "common/par.hpp"
 #include "linalg/ops.hpp"
+#include "obs/cost_ledger.hpp"
 
 namespace memlp {
 namespace {
+
+/// Charges one triangular solve pair (forward + back substitution,
+/// ~2·n² flops over the factor's n² stored entries).
+void charge_triangular_solve(std::size_t n) {
+  const auto dim = static_cast<std::uint64_t>(n);
+  obs::CostLedger::charge_active(
+      {.flops = 2 * dim * dim, .bytes = 8 * (dim * dim + 2 * dim)});
+}
 
 // A pivot below this (relative to the matrix scale) is treated as zero.
 constexpr double kPivotTolerance = 1e-13;
@@ -28,6 +37,15 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
 
+  // Elimination flops (1 division + 2 flops per trailing element per row),
+  // accumulated closed-form per pivot and charged once — outside the
+  // parallel elimination region, so the attribution is deterministic.
+  std::uint64_t flops = 0;
+  const auto dim = static_cast<std::uint64_t>(n);
+  const auto charge_factorization = [&] {
+    obs::CostLedger::charge_active({.flops = flops, .bytes = 8 * dim * dim});
+  };
+
   const double scale = std::max(lu_.max_abs(), 1.0);
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: pick the largest |value| in column k at/below row k.
@@ -42,6 +60,7 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
     }
     if (pivot_mag <= kPivotTolerance * scale) {
       singular_ = true;
+      charge_factorization();
       return;
     }
     if (pivot_row != k) {
@@ -54,6 +73,8 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
     // Rows below the pivot update independently (each task touches only row
     // k+1+r), and the per-row arithmetic is identical at any thread count.
     const std::size_t remaining = n - (k + 1);
+    const auto rem = static_cast<std::uint64_t>(remaining);
+    flops += rem * (1 + 2 * rem);
     const auto eliminate_row = [&](std::size_t i) {
       const double lik = lu_(i, k) * inv_pivot;
       lu_(i, k) = lik;
@@ -73,12 +94,14 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
       for (std::size_t i = k + 1; i < n; ++i) eliminate_row(i);
     }
   }
+  charge_factorization();
 }
 
 Vec LuFactorization::solve(std::span<const double> b) const {
   MEMLP_EXPECT_MSG(!singular_, "solve() on a singular factorization");
   MEMLP_EXPECT(b.size() == lu_.rows());
   const std::size_t n = lu_.rows();
+  charge_triangular_solve(n);
   Vec x(n);
   // Forward substitution with permuted b: L y = P b.
   for (std::size_t i = 0; i < n; ++i) {
@@ -101,6 +124,7 @@ Vec LuFactorization::solve_transposed(std::span<const double> b) const {
   MEMLP_EXPECT_MSG(!singular_, "solve_transposed() on singular factorization");
   MEMLP_EXPECT(b.size() == lu_.rows());
   const std::size_t n = lu_.rows();
+  charge_triangular_solve(n);
   // Solve U^T y = b (forward), then L^T z = y (backward), then x = P^T z.
   Vec y(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -4,13 +4,28 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "obs/cost_ledger.hpp"
 
 namespace memlp {
+namespace {
+
+/// Charges one dense MVM (flops = 2·rows·cols, bytes = the matrix plus
+/// both vectors) to the active cost ledger. Closed-form and charged once
+/// per call, so the attribution is thread-count-invariant.
+void charge_mvm(std::size_t rows, std::size_t cols) {
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  obs::CostLedger::charge_active(
+      {.flops = 2 * cells, .bytes = 8 * (cells + rows + cols)});
+}
+
+}  // namespace
 
 Vec gemv(const Matrix& a, std::span<const double> x) {
   MEMLP_EXPECT_MSG(a.cols() == x.size(), "gemv: " << a.rows() << "x"
                                                   << a.cols() << " * "
                                                   << x.size());
+  charge_mvm(a.rows(), a.cols());
   Vec y(a.rows(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const auto row = a.row(i);
@@ -25,6 +40,7 @@ Vec gemv_transposed(const Matrix& a, std::span<const double> x) {
   MEMLP_EXPECT_MSG(a.rows() == x.size(), "gemv_transposed: "
                                              << a.rows() << "x" << a.cols()
                                              << "^T * " << x.size());
+  charge_mvm(a.rows(), a.cols());
   Vec y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const auto row = a.row(i);
@@ -40,6 +56,14 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
                                                   << a.cols() << " * "
                                                   << b.rows() << "x"
                                                   << b.cols());
+  {
+    const auto ra = static_cast<std::uint64_t>(a.rows());
+    const auto ca = static_cast<std::uint64_t>(a.cols());
+    const auto cb = static_cast<std::uint64_t>(b.cols());
+    obs::CostLedger::charge_active(
+        {.flops = 2 * ra * ca * cb,
+         .bytes = 8 * (ra * ca + ca * cb + ra * cb)});
+  }
   Matrix c(a.rows(), b.cols());
   // i-k-j loop order keeps the inner loop contiguous in both B and C.
   for (std::size_t i = 0; i < a.rows(); ++i) {

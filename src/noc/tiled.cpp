@@ -7,15 +7,19 @@
 #include "common/error.hpp"
 #include "common/par.hpp"
 #include "linalg/ops.hpp"
+#include "obs/cost_ledger.hpp"
 
 namespace memlp::noc {
 namespace {
 
 /// Per-thread counterpart of TiledCrossbarMatrix::charge_transfer: tasks in
 /// a parallel region charge a local NocStats, merged in tile order after.
+/// The cost ledger is charged directly — its per-thread slots and call-path
+/// inheritance keep the attribution thread-count-invariant.
 void charge(NocStats& stats, std::size_t values, std::size_t hops) noexcept {
   ++stats.transfers;
   stats.value_hops += values * hops;
+  obs::CostLedger::charge_active({.noc_value_hops = values * hops});
 }
 
 }  // namespace
@@ -234,6 +238,7 @@ std::optional<Vec> TiledCrossbarMatrix::solve(std::span<const double> b,
     charge_transfer(tiles_[t].rows() + tiles_[t].cols(),
                     topology_->hops_to_root(t));
   ++stats_.global_settles;
+  obs::CostLedger::charge_active({.settles = 1});
   if (!solve_cache_) solve_cache_.emplace(assemble_effective());
   if (solve_cache_->singular()) return std::nullopt;
   // Voltage I/O crosses the structure boundary with the tiles' precision.
@@ -345,6 +350,7 @@ void TiledCrossbarMatrix::charge_transfer(std::size_t values,
                                           std::size_t hops) noexcept {
   ++stats_.transfers;
   stats_.value_hops += values * hops;
+  obs::CostLedger::charge_active({.noc_value_hops = values * hops});
 }
 
 }  // namespace memlp::noc

@@ -39,7 +39,19 @@ void ChromeTraceSink::emit(const Event& event) {
   // stamped with this sink's clock as an instant mark.
   std::string record = "{";
   std::string args;
-  if (event.type() == "span") {
+  if (event.type() == "counter") {
+    // Cost-ledger counter tracks: same clock as spans (profiler epoch).
+    const Field* name = event.find("name");
+    const std::string label =
+        name != nullptr && std::holds_alternative<std::string>(name->value)
+            ? std::get<std::string>(name->value)
+            : std::string("counter");
+    record += "\"name\":" + json_string(label);
+    record += ",\"cat\":\"counter\",\"ph\":\"C\"";
+    record += ",\"ts\":" + json_number(event.number("ts_us"));
+    record += ",\"pid\":0";
+    args = "\"value\":" + json_number(event.number("value"));
+  } else if (event.type() == "span") {
     const Field* name = event.find("name");
     const std::string label =
         name != nullptr && std::holds_alternative<std::string>(name->value)

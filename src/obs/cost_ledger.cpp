@@ -1,0 +1,121 @@
+#include "obs/cost_ledger.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/par.hpp"
+#include "obs/profiler.hpp"
+
+namespace memlp::obs {
+namespace {
+
+/// Per-slot raw-charge cap in timeline mode (drops are counted).
+constexpr std::size_t kMaxTimelinePerSlot = 1 << 18;
+
+std::atomic<CostLedger*> g_active{nullptr};
+
+}  // namespace
+
+/// Per-thread recording slot; same locking rationale as Profiler::Slot
+/// (slot sharing past the thread cap and the merge in tree() need a lock,
+/// contention is nil).
+struct CostLedger::Slot {
+  std::mutex mutex;  // memlint:allow(R1): ledger slot-internal lock
+  std::unordered_map<std::string, CostCounters> paths;
+  std::vector<CostSample> timeline;
+  std::uint64_t timeline_dropped = 0;
+};
+
+CostLedger::CostLedger(bool record_timeline)
+    : record_timeline_(record_timeline) {
+  slots_.reserve(par::thread_slot_limit());
+  for (std::size_t i = 0; i < par::thread_slot_limit(); ++i)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+CostLedger::~CostLedger() {
+  if (active() == this) set_active(nullptr);
+}
+
+void CostLedger::charge(const CostCounters& amount) {
+  if (amount.zero()) return;
+  // Resolve the call path exactly as Profiler::enter would nest a frame:
+  // a pool worker inherits the launching thread's path, so attributions
+  // are thread-count-invariant (see the header's determinism notes).
+  std::string path = Profiler::current_call_path();
+  if (path.empty()) path = kUnattributed;
+  Slot& slot = *slots_[par::thread_slot()];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.paths[path] += amount;
+  if (record_timeline_) {
+    if (slot.timeline.size() < kMaxTimelinePerSlot) {
+      Profiler* profiler = Profiler::active();
+      const double ts_s =
+          profiler != nullptr ? profiler->now_s() : clock_.seconds();
+      slot.timeline.push_back({std::move(path), ts_s, amount});
+    } else {
+      ++slot.timeline_dropped;
+    }
+  }
+}
+
+CostTree CostLedger::tree() const {
+  // Slots merged in increasing index order (the deterministic-merge order
+  // of the par contract); integer sums make the order immaterial, but the
+  // convention matches Profiler::aggregate.
+  CostTree merged;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    for (const auto& [path, counters] : slot->paths) merged[path] += counters;
+  }
+  return merged;
+}
+
+CostCounters CostLedger::total() const {
+  CostCounters sum;
+  for (const auto& [path, counters] : tree()) sum += counters;
+  return sum;
+}
+
+std::vector<CostSample> CostLedger::timeline() const {
+  std::vector<CostSample> out;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    out.insert(out.end(), slot->timeline.begin(), slot->timeline.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CostSample& a, const CostSample& b) {
+                     return a.ts_s < b.ts_s;
+                   });
+  return out;
+}
+
+std::uint64_t CostLedger::timeline_dropped() const {
+  std::uint64_t dropped = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    dropped += slot->timeline_dropped;
+  }
+  return dropped;
+}
+
+void CostLedger::reset() {
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->paths.clear();
+    slot->timeline.clear();
+    slot->timeline_dropped = 0;
+  }
+}
+
+CostLedger* CostLedger::active() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void CostLedger::set_active(CostLedger* ledger) noexcept {
+  g_active.store(ledger, std::memory_order_release);
+}
+
+}  // namespace memlp::obs

@@ -1,9 +1,48 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/json.hpp"
 #include "obs/trace.hpp"
 
 namespace memlp::obs {
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ += 1;
+  total_ += value;
+  max_ = std::max(max_, value);
+  if (samples_.size() < kMaxSamples) samples_.push_back(value);
+}
+
+HistogramStats Histogram::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramStats out;
+  out.count = count_;
+  out.total = total_;
+  out.max = max_;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto nearest_rank = [&](double q) {
+    if (sorted.empty()) return 0.0;
+    const auto n = static_cast<double>(sorted.size());
+    const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    return sorted[rank == 0 ? 0 : rank - 1];
+  };
+  out.p50 = nearest_rank(0.50);
+  out.p95 = nearest_rank(0.95);
+  out.p99 = nearest_rank(0.99);
+  return out;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  total_ = 0.0;
+  max_ = 0.0;
+  samples_.clear();
+}
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -19,6 +58,13 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return *slot;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 std::map<std::string, std::uint64_t> MetricsRegistry::counter_values() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, std::uint64_t> out;
@@ -30,6 +76,15 @@ std::map<std::string, double> MetricsRegistry::gauge_values() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, double> out;
   for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, HistogramStats> MetricsRegistry::histogram_values()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramStats> out;
+  for (const auto& [name, histogram] : histograms_)
+    out[name] = histogram->stats();
   return out;
 }
 
@@ -49,6 +104,19 @@ std::string MetricsRegistry::snapshot_json() const {
     first = false;
     out += json_string(name) + ":" + json_number(value);
   }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, stats] : histogram_values()) {
+    if (!first) out += ",";
+    first = false;
+    out += json_string(name) + ":{\"count\":" +
+           json_number(static_cast<std::int64_t>(stats.count)) +
+           ",\"total\":" + json_number(stats.total) +
+           ",\"p50\":" + json_number(stats.p50) +
+           ",\"p95\":" + json_number(stats.p95) +
+           ",\"p99\":" + json_number(stats.p99) +
+           ",\"max\":" + json_number(stats.max) + "}";
+  }
   out += "}}";
   return out;
 }
@@ -57,6 +125,13 @@ Event MetricsRegistry::snapshot_event() const {
   Event event("metrics");
   for (const auto& [name, value] : counter_values()) event.with(name, value);
   for (const auto& [name, value] : gauge_values()) event.with(name, value);
+  for (const auto& [name, stats] : histogram_values()) {
+    event.with(name + ".count", stats.count);
+    event.with(name + ".p50", stats.p50);
+    event.with(name + ".p95", stats.p95);
+    event.with(name + ".p99", stats.p99);
+    event.with(name + ".max", stats.max);
+  }
   return event;
 }
 
@@ -64,6 +139,7 @@ void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -13,10 +13,43 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace memlp::obs {
 
 class Event;
+
+/// Summary of one histogram's observations. Units are whatever the caller
+/// observed (the histogram's name carries the unit suffix by convention,
+/// e.g. "xbar.solve_seconds").
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double total = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Capped-reservoir distribution tracker: count/total/max stay exact, the
+/// quantiles (nearest-rank p50/p95/p99) come from the first
+/// `kMaxSamples` observations. observe() takes one uncontended mutex —
+/// record at solve granularity, never inside per-iteration hot paths.
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxSamples = 2048;
+
+  void observe(double value);
+  [[nodiscard]] HistogramStats stats() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;  // memlint:allow(R1): histogram-internal lock
+  std::uint64_t count_ = 0;
+  double total_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;  ///< capped at kMaxSamples.
+};
 
 /// Monotonically increasing counter. add() is lock-free.
 class Counter {
@@ -59,11 +92,15 @@ class MetricsRegistry {
   /// Returns (creating on first use) the gauge named `name`.
   Gauge& gauge(const std::string& name);
 
+  /// Returns (creating on first use) the histogram named `name`.
+  Histogram& histogram(const std::string& name);
+
   /// Current values, name-sorted.
   [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
   [[nodiscard]] std::map<std::string, double> gauge_values() const;
+  [[nodiscard]] std::map<std::string, HistogramStats> histogram_values() const;
 
-  /// JSON export: {"counters":{...},"gauges":{...}}.
+  /// JSON export: {"counters":{...},"gauges":{...},"histograms":{...}}.
   [[nodiscard]] std::string snapshot_json() const;
 
   /// The snapshot as a flat `metrics` trace event (counters then gauges).
@@ -79,6 +116,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;  // memlint:allow(R1): registry-internal lock
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace memlp::obs

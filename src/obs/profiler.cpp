@@ -190,6 +190,7 @@ std::vector<CallPathStats> Profiler::aggregate() const {
     };
     stats.p50_s = nearest_rank(0.50);
     stats.p95_s = nearest_rank(0.95);
+    stats.p99_s = nearest_rank(0.99);
     out.push_back(std::move(stats));
   }
   return out;
@@ -220,7 +221,7 @@ TextTable Profiler::table() const {
     if (s.path.find('/') == std::string::npos) root_total_s += s.total_s;
   TextTable table("profile: phase breakdown (per call path)");
   table.set_header({"path", "count", "total [ms]", "p50 [ms]", "p95 [ms]",
-                    "max [ms]", "share"});
+                    "p99 [ms]", "max [ms]", "share"});
   for (const CallPathStats& s : stats) {
     const double share =
         root_total_s > 0.0 ? s.total_s / root_total_s : 0.0;
@@ -230,6 +231,7 @@ TextTable Profiler::table() const {
                    TextTable::num(s.total_s * 1e3, 4),
                    TextTable::num(s.p50_s * 1e3, 4),
                    TextTable::num(s.p95_s * 1e3, 4),
+                   TextTable::num(s.p99_s * 1e3, 4),
                    TextTable::num(s.max_s * 1e3, 4), share_cell});
   }
   return table;
@@ -265,6 +267,16 @@ void Profiler::reset() {
     slot->timeline.clear();
     slot->timeline_dropped = 0;
   }
+}
+
+std::string Profiler::current_call_path() {
+  if (!t_path.empty()) return t_path;
+  // Mirror enter()'s inheritance: a pool worker that has not opened a
+  // frame yet still attributes to the launching thread's path.
+  if (t_frames.empty() && par::in_parallel_region() &&
+      !g_region_prefix.empty())
+    return g_region_prefix;
+  return {};
 }
 
 Profiler* Profiler::active() noexcept {

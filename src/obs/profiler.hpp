@@ -50,6 +50,7 @@ struct CallPathStats {
   double total_s = 0.0;
   double p50_s = 0.0;
   double p95_s = 0.0;
+  double p99_s = 0.0;
   double max_s = 0.0;
 };
 
@@ -115,6 +116,13 @@ class Profiler {
 
   /// Discards all recorded data (the epoch is kept).
   void reset();
+
+  /// The calling thread's current call path ("" when no frame is open),
+  /// with the parallel-region prefix inheritance `enter()` applies: inside
+  /// a pooled region a worker with no open frame reports the launching
+  /// thread's path. This is how the CostLedger (obs/cost_ledger.hpp)
+  /// attributes charges identically at every thread count.
+  [[nodiscard]] static std::string current_call_path();
 
   /// The process-wide profiler (nullptr when profiling is off). Reads are
   /// one relaxed atomic load — safe on hot paths.

@@ -1,0 +1,94 @@
+#include "perf/cost_tree.hpp"
+
+#include "obs/trace.hpp"
+
+namespace memlp::perf {
+
+std::vector<CostTreeRow> price_tree(const obs::CostTree& tree,
+                                    const HardwareModel& model) {
+  std::vector<CostTreeRow> rows;
+  rows.reserve(tree.size());
+  for (const auto& [path, counters] : tree)
+    rows.push_back({path, counters, model.price_counters(counters)});
+  return rows;
+}
+
+bool is_programming_path(const std::string& path) {
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    std::size_t end = path.find('/', begin);
+    if (end == std::string::npos) end = path.size();
+    if (path.compare(begin, end - begin, "programming") == 0) return true;
+    begin = end + 1;
+  }
+  return false;
+}
+
+CostSplit split_programming(const obs::CostTree& tree,
+                            const HardwareModel& model) {
+  CostSplit split;
+  for (const auto& [path, counters] : tree) {
+    if (is_programming_path(path))
+      split.programming += counters;
+    else
+      split.iterative += counters;
+  }
+  split.programming_cost = model.price_counters(split.programming);
+  split.iterative_cost = model.price_counters(split.iterative);
+  return split;
+}
+
+TextTable cost_table(const obs::CostTree& tree, const HardwareModel& model) {
+  const auto rows = price_tree(tree, model);
+  obs::CostCounters total;
+  CostEstimate total_cost;
+  for (const CostTreeRow& row : rows) {
+    total += row.counters;
+    total_cost += row.cost;
+  }
+  TextTable table("cost: phase x component breakdown (per call path)");
+  table.set_header({"path", "energy [mJ]", "latency [ms]", "settles", "cells",
+                    "pulses", "amp ops", "hops", "iters", "flops", "bytes"});
+  const auto count = [](std::uint64_t v) {
+    return TextTable::num(static_cast<long long>(v));
+  };
+  const auto add = [&](const std::string& path,
+                       const obs::CostCounters& counters,
+                       const CostEstimate& cost) {
+    table.add_row({path, TextTable::num(cost.energy_j * 1e3, 4),
+                   TextTable::num(cost.latency_s * 1e3, 4),
+                   count(counters.settles), count(counters.cells_written),
+                   count(counters.write_pulses),
+                   count(counters.amp_vector_ops),
+                   count(counters.noc_value_hops),
+                   count(counters.controller_iterations),
+                   count(counters.flops), count(counters.bytes)});
+  };
+  for (const CostTreeRow& row : rows) add(row.path, row.counters, row.cost);
+  add("TOTAL", total, total_cost);
+  return table;
+}
+
+void export_counter_tracks(const obs::CostLedger& ledger,
+                           const HardwareModel& model, obs::TraceSink& sink) {
+  if (!ledger.timeline_enabled()) return;
+  double energy_j = 0.0;
+  std::uint64_t flops = 0;
+  for (const obs::CostSample& sample : ledger.timeline()) {
+    energy_j += model.price_counters(sample.delta).energy_j;
+    flops += sample.delta.flops;
+    const double ts_us = sample.ts_s * 1e6;
+    obs::Event energy_event("counter");
+    energy_event.with("name", "cost.energy_j")
+        .with("ts_us", ts_us)
+        .with("value", energy_j);
+    sink.emit(energy_event);
+    obs::Event flop_event("counter");
+    flop_event.with("name", "cost.flops")
+        .with("ts_us", ts_us)
+        .with("value", static_cast<double>(flops));
+    sink.emit(flop_event);
+  }
+}
+
+}  // namespace memlp::perf

@@ -1,0 +1,72 @@
+// Priced views of the cost ledger (obs::CostLedger).
+//
+// The ledger records integer operation counters per profiler call path;
+// this module turns that tree into priced, human/machine-readable forms:
+//   * price_tree()          — one CostEstimate per path, path-sorted.
+//   * split_programming()   — programming vs iterative buckets, matching
+//                             HardwareModel::estimate{,_programming}()'s
+//                             §3.5 split: any path with a "programming"
+//                             segment is the one-off O(N²) initialization,
+//                             everything else is the iterative phase.
+//   * cost_table()          — the `memlp_solve --cost` phase×component
+//                             breakdown table.
+//   * export_counter_tracks() — cumulative "cost.energy_j" / "cost.flops"
+//                             counter events from a ledger timeline
+//                             (ChromeTraceSink renders them as "C" tracks).
+//
+// Pricing is linear in the counters, so the sum of priced rows equals the
+// priced tree total, and — because every analog charge site mirrors a
+// HardwareStats counter — the ledger's total analog cost reproduces
+// estimate() + estimate_programming() exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/cost_ledger.hpp"
+#include "perf/hardware_model.hpp"
+
+namespace memlp::obs {
+class TraceSink;
+}  // namespace memlp::obs
+
+namespace memlp::perf {
+
+/// One priced row of a ledger tree.
+struct CostTreeRow {
+  std::string path;
+  obs::CostCounters counters;
+  CostEstimate cost;
+};
+
+/// Prices every path of `tree`, path-sorted (the tree's own order).
+[[nodiscard]] std::vector<CostTreeRow> price_tree(const obs::CostTree& tree,
+                                                  const HardwareModel& model);
+
+/// True when `path` has a "programming" segment (e.g. "xbar/programming"),
+/// i.e. belongs to the one-off array-initialization bucket.
+[[nodiscard]] bool is_programming_path(const std::string& path);
+
+/// The §3.5 split of a ledger tree (see file comment).
+struct CostSplit {
+  obs::CostCounters programming;
+  obs::CostCounters iterative;
+  CostEstimate programming_cost;
+  CostEstimate iterative_cost;
+};
+
+[[nodiscard]] CostSplit split_programming(const obs::CostTree& tree,
+                                          const HardwareModel& model);
+
+/// The `--cost` phase×component breakdown table.
+[[nodiscard]] TextTable cost_table(const obs::CostTree& tree,
+                                   const HardwareModel& model);
+
+/// Replays a ledger timeline into `sink` as cumulative `counter` events:
+/// tracks "cost.energy_j" and "cost.flops", fields `name`, `ts_us`,
+/// `value`. No-op when the ledger's timeline is off.
+void export_counter_tracks(const obs::CostLedger& ledger,
+                           const HardwareModel& model, obs::TraceSink& sink);
+
+}  // namespace memlp::perf

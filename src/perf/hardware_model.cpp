@@ -30,6 +30,29 @@ CostEstimate HardwareModel::price(const core::BackendStats& backend,
   return cost;
 }
 
+CostEstimate HardwareModel::price_counters(
+    const obs::CostCounters& counters) const {
+  const auto& k = constants_;
+  CostEstimate cost;
+
+  const double settles = static_cast<double>(counters.settles);
+  const double cells = static_cast<double>(counters.cells_written);
+  const double pulses = static_cast<double>(counters.write_pulses);
+  const double amp_ops = static_cast<double>(counters.amp_vector_ops);
+  const double amp_elements = static_cast<double>(counters.amp_element_ops);
+  const double hops = static_cast<double>(counters.noc_value_hops);
+  const double iters = static_cast<double>(counters.controller_iterations);
+
+  cost.latency_s = settles * k.settle_s + cells * k.write_cell_s +
+                   pulses * k.write_pulse_s + amp_ops * k.amp_vector_op_s +
+                   hops * k.noc_value_hop_s +
+                   iters * k.controller_iteration_s;
+  cost.energy_j = settles * k.settle_j + cells * k.write_cell_j +
+                  pulses * k.write_pulse_j + amp_elements * k.amp_element_j +
+                  hops * k.noc_value_hop_j + iters * k.controller_iteration_j;
+  return cost;
+}
+
 CostEstimate HardwareModel::estimate(const core::XbarSolveStats& stats) const {
   const core::BackendStats iterative =
       stats.backend.since(stats.programming);

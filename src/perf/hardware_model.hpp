@@ -32,6 +32,7 @@
 #pragma once
 
 #include "core/xbar_pdip.hpp"
+#include "obs/cost_ledger.hpp"
 
 namespace memlp::perf {
 
@@ -78,6 +79,13 @@ class HardwareModel {
   [[nodiscard]] CostEstimate price(const core::BackendStats& backend,
                                    const xbar::AmplifierStats& amps,
                                    std::size_t iterations) const;
+
+  /// Prices one cost-ledger counter set with the same constants. The
+  /// pricing is linear, so summing priced rows of a ledger tree equals
+  /// pricing the tree's total. Digital `flops`/`bytes` carry no analog
+  /// cost (the CPU baseline prices wall time, not operation counts).
+  [[nodiscard]] CostEstimate price_counters(
+      const obs::CostCounters& counters) const;
 
   /// Iterative-phase estimate of a solve (excludes initial programming),
   /// the quantity Figs. 6/7 report.

@@ -3,5 +3,7 @@ double settle_cost() {
   double energy = 0.0;       // line 3: R5
   double latency_s = 1e-7;   // suffixed: clean
   energy += latency_s * 35.0;
-  return energy;
+  double wall = energy;        // line 6: R5 (extended quantity word)
+  double wall_seconds = wall;  // spelled-out suffix: clean
+  return energy + wall_seconds;
 }

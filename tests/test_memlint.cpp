@@ -90,8 +90,12 @@ TEST(Memlint, R5FlagsSuffixlessQuantityOnly) {
   EXPECT_NE(run.output.find("src/r5_units.cpp:3: [R5/unit-suffix]"),
             std::string::npos)
       << run.output;
-  // latency_s on line 4 is properly suffixed.
-  EXPECT_EQ(count_occurrences(run.output, "[R5/unit-suffix]"), 1)
+  // "wall" is a quantity word too (cost-ledger fields).
+  EXPECT_NE(run.output.find("src/r5_units.cpp:6: [R5/unit-suffix]"),
+            std::string::npos)
+      << run.output;
+  // latency_s (line 4) and wall_seconds (line 7) are properly suffixed.
+  EXPECT_EQ(count_occurrences(run.output, "[R5/unit-suffix]"), 2)
       << run.output;
 }
 
@@ -153,7 +157,7 @@ TEST(Memlint, FullFixtureTreeReportsEveryRuleOnce) {
     EXPECT_NE(run.output.find(tag), std::string::npos)
         << tag << '\n'
         << run.output;
-  EXPECT_NE(run.output.find("memlint: 12 violation(s)"), std::string::npos)
+  EXPECT_NE(run.output.find("memlint: 13 violation(s)"), std::string::npos)
       << run.output;
 }
 

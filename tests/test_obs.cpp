@@ -20,8 +20,12 @@
 #include "lp/problem.hpp"
 #include "lp/result.hpp"
 #include "memristor/variation.hpp"
+#include "obs/cost_ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "perf/cost_tree.hpp"
+#include "perf/hardware_model.hpp"
 
 namespace memlp::obs {
 namespace {
@@ -301,6 +305,26 @@ TEST(MetricsRegistry, SnapshotExports) {
   EXPECT_EQ(registry.counter_values().at("a.count"), 0u);
 }
 
+TEST(MetricsRegistry, HistogramQuantilesAndExport) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("solve_seconds");
+  for (int i = 100; i >= 1; --i) histogram.observe(i * 0.001);
+  const auto stats = registry.histogram_values().at("solve_seconds");
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_NEAR(stats.total, 5.05, 1e-9);
+  // Nearest-rank quantiles over 100 samples 0.001..0.100.
+  EXPECT_DOUBLE_EQ(stats.p50, 0.050);
+  EXPECT_DOUBLE_EQ(stats.p95, 0.095);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.099);
+  EXPECT_DOUBLE_EQ(stats.max, 0.100);
+  const std::string json = registry.snapshot_json();
+  EXPECT_NE(json.find("\"histograms\":{\"solve_seconds\":{\"count\":100"),
+            std::string::npos)
+      << json;
+  registry.reset();
+  EXPECT_EQ(registry.histogram_values().at("solve_seconds").count, 0u);
+}
+
 // --- crossbar pulse histogram ----------------------------------------------
 
 TEST(CrossbarStats, PulseHistogramBuckets) {
@@ -447,6 +471,59 @@ TEST(SolverTrace, XbarPhaseDeltasMatchSolveStats) {
             static_cast<double>(outcome.stats.attempts));
   EXPECT_EQ(summaries[0].number("system_dim"),
             static_cast<double>(outcome.stats.system_dim));
+}
+
+// The fig7 harnesses derive crossbar energy from the ledger instead of
+// HardwareModel::estimate(stats); the two paths must agree. Pricing is
+// linear in the counters and every analog charge site mirrors a
+// HardwareStats counter, so the ledger total reproduces
+// estimate() + estimate_programming() and the §3.5 split reproduces each
+// bucket — to well within the 1e-9 acceptance tolerance.
+TEST(CostLedger, XbarLedgerTotalMatchesHardwareEstimate) {
+  Profiler profiler;
+  Profiler::set_active(&profiler);
+  CostLedger ledger;
+  CostLedger::set_active(&ledger);
+  core::XbarPdipOptions options;
+  options.seed = 7;
+  options.hardware.crossbar.variation = mem::VariationModel::uniform(0.05);
+  const auto outcome = core::solve_xbar_pdip(textbook_problem(), options);
+  CostLedger::set_active(nullptr);
+  Profiler::set_active(nullptr);
+  ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
+
+  const perf::HardwareModel model;
+  const auto relative_diff = [](double a, double b) {
+    return std::abs(a - b) / std::max(std::abs(b), 1e-300);
+  };
+  const perf::CostEstimate iterative = model.estimate(outcome.stats);
+  const perf::CostEstimate programming =
+      model.estimate_programming(outcome.stats);
+
+  const perf::CostEstimate total = model.price_counters(ledger.total());
+  EXPECT_LT(relative_diff(total.energy_j,
+                          iterative.energy_j + programming.energy_j),
+            1e-9);
+  EXPECT_LT(relative_diff(total.latency_s,
+                          iterative.latency_s + programming.latency_s),
+            1e-9);
+
+  const perf::CostSplit split =
+      perf::split_programming(ledger.tree(), model);
+  EXPECT_LT(relative_diff(split.iterative_cost.energy_j, iterative.energy_j),
+            1e-9);
+  EXPECT_LT(
+      relative_diff(split.programming_cost.energy_j, programming.energy_j),
+      1e-9);
+
+  // The attribution is hierarchical: the solve's phases appear as distinct
+  // paths, and digital flops were charged alongside the analog events.
+  const auto tree = ledger.tree();
+  EXPECT_TRUE(tree.contains("xbar/programming"));
+  EXPECT_TRUE(tree.contains("xbar/iterations"));
+  std::uint64_t flops = 0;
+  for (const auto& [path, counters] : tree) flops += counters.flops;
+  EXPECT_GT(flops, 0u);
 }
 
 }  // namespace

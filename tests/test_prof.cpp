@@ -1,9 +1,13 @@
 // Tests for memlp::obs::Profiler (obs/profiler.hpp): span nesting and
 // aggregation, the thread-count invariance of the aggregate (the memlp::par
 // determinism contract extended to observability, docs/parallelism.md), the
-// timeline/Chrome-trace exporter, and the PhaseSpan bridge.
+// timeline/Chrome-trace exporter, and the PhaseSpan bridge — plus the cost
+// ledger (obs/cost_ledger.hpp): call-path attribution, the same thread-count
+// invariance for its integer counter trees, and the Chrome counter-track
+// export (perf/cost_tree.hpp).
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -15,12 +19,19 @@
 
 #include "common/json.hpp"
 #include "common/par.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/cost_ledger.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "perf/cost_tree.hpp"
+#include "perf/hardware_model.hpp"
 
 namespace {
 
 using memlp::obs::CallPathStats;
+using memlp::obs::CostCounters;
+using memlp::obs::CostLedger;
+using memlp::obs::CostTree;
 using memlp::obs::ProfileSpan;
 using memlp::obs::Profiler;
 
@@ -258,6 +269,148 @@ TEST(Profiler, ChromeTraceIsWellFormedJson) {
   }
   EXPECT_TRUE(names.count("solve"));
   EXPECT_TRUE(names.count("tile"));
+  std::remove(path.c_str());
+}
+
+// --- cost ledger ------------------------------------------------------------
+
+/// Scoped CostLedger::set_active, mirroring ActiveProfiler.
+class ActiveLedger {
+ public:
+  explicit ActiveLedger(CostLedger* ledger) { CostLedger::set_active(ledger); }
+  ~ActiveLedger() { CostLedger::set_active(nullptr); }
+  ActiveLedger(const ActiveLedger&) = delete;
+  ActiveLedger& operator=(const ActiveLedger&) = delete;
+};
+
+TEST(CostLedger, ChargesAttributeToTheOpenCallPath) {
+  Profiler profiler;
+  ActiveProfiler active(&profiler);
+  CostLedger ledger;
+  ActiveLedger active_ledger(&ledger);
+  CostLedger::charge_active({.flops = 1});  // no frame open → unattributed
+  {
+    ProfileSpan root("solve");
+    CostLedger::charge_active({.settles = 2, .flops = 10});
+    {
+      ProfileSpan inner("factor");
+      CostLedger::charge_active({.flops = 100, .bytes = 800});
+      CostLedger::charge_active({});  // zero amounts are dropped
+    }
+  }
+  const CostTree tree = ledger.tree();
+  ASSERT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.at(CostLedger::kUnattributed).flops, 1u);
+  EXPECT_EQ(tree.at("solve").settles, 2u);
+  EXPECT_EQ(tree.at("solve").flops, 10u);
+  EXPECT_EQ(tree.at("solve/factor").flops, 100u);
+  EXPECT_EQ(tree.at("solve/factor").bytes, 800u);
+  const CostCounters total = ledger.total();
+  EXPECT_EQ(total.flops, 111u);
+  EXPECT_EQ(total.settles, 2u);
+  ledger.reset();
+  EXPECT_TRUE(ledger.tree().empty());
+}
+
+TEST(CostLedger, ChargeWithNoActiveLedgerIsANoOp) {
+  ASSERT_EQ(CostLedger::active(), nullptr);
+  CostLedger::charge_active({.settles = 1});  // must not crash
+}
+
+/// Runs the same instrumented parallel workload at `threads` and returns the
+/// ledger tree. Worker charges must land on the launching thread's path.
+CostTree charged_parallel_run(std::size_t threads) {
+  Profiler profiler;
+  ActiveProfiler active(&profiler);
+  CostLedger ledger;
+  ActiveLedger active_ledger(&ledger);
+  {
+    ProfileSpan root("solve");
+    memlp::par::parallel_for(
+        32,
+        [](std::size_t i) {
+          ProfileSpan item("tile");
+          CostLedger::charge_active({.settles = 1, .flops = 2 * (i + 1)});
+          spin();
+        },
+        threads);
+    CostLedger::charge_active({.controller_iterations = 1});
+  }
+  return ledger.tree();
+}
+
+TEST(CostLedger, TreeIsIdenticalAcrossThreadCounts) {
+  const CostTree serial = charged_parallel_run(1);
+  const CostTree pooled = charged_parallel_run(4);
+  // Exact equality — integer counters merged in slot order, so the tree is
+  // bit-identical at every MEMLP_THREADS value (the memlp::par contract).
+  EXPECT_EQ(serial, pooled);
+  ASSERT_TRUE(pooled.contains("solve/tile"));
+  EXPECT_EQ(pooled.at("solve/tile").settles, 32u);
+  EXPECT_EQ(pooled.at("solve/tile").flops, 2u * (32u * 33u / 2u));
+  EXPECT_EQ(pooled.at("solve").controller_iterations, 1u);
+}
+
+TEST(CostLedger, ChromeCounterTracksAreWellFormedJson) {
+  Profiler profiler(/*record_timeline=*/true);
+  ActiveProfiler active(&profiler);
+  CostLedger ledger(/*record_timeline=*/true);
+  ActiveLedger active_ledger(&ledger);
+  {
+    ProfileSpan root("solve");
+    for (int i = 0; i < 4; ++i) {
+      ProfileSpan item("tile");
+      CostLedger::charge_active({.settles = 1, .flops = 16});
+      spin();
+    }
+  }
+  EXPECT_TRUE(ledger.timeline_enabled());
+  EXPECT_EQ(ledger.timeline_dropped(), 0u);
+
+  const std::string path = testing::TempDir() + "/test_cost.chrome.json";
+  {
+    memlp::obs::ChromeTraceSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    profiler.export_spans(sink);
+    const memlp::perf::HardwareModel model;
+    memlp::perf::export_counter_tracks(ledger, model, sink);
+    sink.flush();
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = memlp::json::parse(buffer.str());
+  ASSERT_TRUE(doc.is_object());
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Counter events: ph "C", a known track name, a numeric cumulative value
+  // that never decreases within a track.
+  std::map<std::string, double> last_value;
+  std::size_t counters = 0;
+  for (const auto& event : events->as_array()) {
+    ASSERT_TRUE(event.is_object());
+    if (event.string_or("ph", "") != "C") continue;
+    ++counters;
+    const std::string name = event.string_or("name", "");
+    EXPECT_TRUE(name == "cost.energy_j" || name == "cost.flops") << name;
+    EXPECT_GE(event.number_or("ts", -1.0), 0.0);
+    const auto* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_TRUE(args->is_object());
+    const auto* value = args->find("value");
+    ASSERT_NE(value, nullptr);
+    ASSERT_TRUE(value->is_number());
+    const auto it = last_value.find(name);
+    if (it != last_value.end()) EXPECT_GE(value->as_number(), it->second);
+    last_value[name] = value->as_number();
+  }
+  // Every charge contributes one sample per track.
+  EXPECT_EQ(counters, 2u * 4u);
+  EXPECT_GT(last_value["cost.flops"], 0.0);
+  EXPECT_GT(last_value["cost.energy_j"], 0.0);
   std::remove(path.c_str());
 }
 

@@ -303,6 +303,7 @@ const char* const kUnitSuffixes[] = {
     "_s",  "_ms", "_us", "_ns", "_ps", "_fs",             // time
     "_w",  "_kw", "_mw", "_uw", "_nw",                    // power
     "_hz", "_khz", "_mhz", "_ghz",                        // rate
+    "_seconds", "_joules",                                // spelled out
 };
 
 bool has_unit_suffix(std::string_view ident) {
@@ -311,7 +312,8 @@ bool has_unit_suffix(std::string_view ident) {
   return false;
 }
 
-const char* const kQuantityWords[] = {"energy", "latency", "power"};
+const char* const kQuantityWords[] = {"energy", "latency", "power", "wall",
+                                      "duration"};
 
 /// Extracts identifier tokens with their start offsets.
 std::vector<std::pair<std::size_t, std::string>> identifiers(

@@ -144,6 +144,30 @@ std::optional<Artifact> load_artifact(const std::filesystem::path& path) {
                       measured->as_bool();
     artifact.metrics[name] = metric;
   }
+  // Cost-ledger tree (schema addition; optional so older artifacts still
+  // load): each path's energy/flops become synthetic deterministic metrics
+  // "cost_tree.<path>.<field>", so the direction-aware compare and
+  // --require-coverage treat per-phase energy like any other metric.
+  const Value* cost_tree = doc.find("cost_tree");
+  if (cost_tree != nullptr && cost_tree->is_array()) {
+    for (const Value& entry : cost_tree->as_array()) {
+      if (!entry.is_object()) continue;
+      const std::string path = entry.string_or("path", "");
+      if (path.empty()) continue;
+      const auto add = [&](const char* key, const char* unit) {
+        const Value* value = entry.find(key);
+        if (value == nullptr || !value->is_number()) return;
+        Metric metric;
+        metric.value = value->as_number();
+        metric.unit = unit;
+        metric.lower_is_better = true;
+        metric.measured = false;
+        artifact.metrics["cost_tree." + path + "." + key] = metric;
+      };
+      add("energy_j", "J");
+      add("flops", "flops");
+    }
+  }
   return artifact;
 }
 

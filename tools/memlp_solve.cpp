@@ -15,8 +15,12 @@
 //   --convergence                   print the per-iteration convergence table
 //   --profile                       print the phase breakdown table
 //                                   (obs::Profiler call-path aggregate)
+//   --cost                          print the phase×component cost breakdown
+//                                   (obs::CostLedger attribution priced by
+//                                   perf::HardwareModel; implies profiling)
 //   --chrome-trace <path>           write the profiled solve's span timeline
-//                                   as Chrome trace-event JSON (implies
+//                                   as Chrome trace-event JSON, with
+//                                   cost-ledger counter tracks (implies
 //                                   profiling; open in chrome://tracing or
 //                                   https://ui.perfetto.dev)
 //   --quiet                         print only the objective value
@@ -25,6 +29,8 @@
 // status, objective, solution vector, and — for the crossbar solvers — the
 // hardware operation record and latency/energy estimates. Exits 0 only when
 // the solve reached a verified optimum (2 on usage/parse errors).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,8 +41,11 @@
 
 #include "engine/registry.hpp"
 #include "lp/text_format.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/cost_ledger.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "perf/cost_tree.hpp"
 #include "perf/hardware_model.hpp"
 
 namespace {
@@ -45,8 +54,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: memlp_solve [--solver name] "
                "[--variation f] [--seed n] [--tile-dim n] [--trace path] "
-               "[--convergence] [--profile] [--chrome-trace path] [--quiet] "
-               "<problem.lp | ->\n");
+               "[--convergence] [--profile] [--cost] [--chrome-trace path] "
+               "[--quiet] <problem.lp | ->\n");
 }
 
 /// Comma-joined names of every registered solver (for the bad-name path).
@@ -117,6 +126,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool convergence = false;
   bool profile = false;
+  bool cost = false;
   std::string chrome_trace_path;
   std::string trace_spec;
   std::string path;
@@ -144,6 +154,8 @@ int main(int argc, char** argv) {
       convergence = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--cost") {
+      cost = true;
     } else if (arg == "--chrome-trace") {
       chrome_trace_path = next();
     } else if (arg == "--quiet") {
@@ -199,12 +211,20 @@ int main(int argc, char** argv) {
   }
 
   // The profiler must be active before the solve starts; the Chrome trace
-  // export needs the raw span timeline, the table only the aggregate.
+  // export needs the raw span timeline, the table only the aggregate. The
+  // cost ledger attributes to the profiler's call paths, so --cost implies
+  // profiling (aggregation only).
   std::unique_ptr<memlp::obs::Profiler> profiler;
-  if (profile || !chrome_trace_path.empty()) {
+  if (profile || cost || !chrome_trace_path.empty()) {
     profiler = std::make_unique<memlp::obs::Profiler>(
         /*record_timeline=*/!chrome_trace_path.empty());
     memlp::obs::Profiler::set_active(profiler.get());
+  }
+  std::unique_ptr<memlp::obs::CostLedger> ledger;
+  if (cost || !chrome_trace_path.empty()) {
+    ledger = std::make_unique<memlp::obs::CostLedger>(
+        /*record_timeline=*/!chrome_trace_path.empty());
+    memlp::obs::CostLedger::set_active(ledger.get());
   }
 
   memlp::lp::LinearProgram problem;
@@ -262,15 +282,44 @@ int main(int argc, char** argv) {
   }
 
   if (convergence) print_convergence(*memory_sink);
+  if (ledger != nullptr) memlp::obs::CostLedger::set_active(nullptr);
+  if (cost) {
+    const memlp::perf::HardwareModel hardware;
+    std::printf("\n%s",
+                memlp::perf::cost_table(ledger->tree(), hardware)
+                    .str()
+                    .c_str());
+    if (report.has_hardware_stats) {
+      // The ledger's analog counters must reproduce the HardwareStats
+      // totals: iterative estimate + one-off programming estimate.
+      const auto ledger_cost = hardware.price_counters(ledger->total());
+      auto check = hardware.estimate(report.stats);
+      check += hardware.estimate_programming(report.stats);
+      const double scale = std::max(std::abs(check.energy_j), 1e-300);
+      std::printf(
+          "cost check: ledger %.6f mJ vs hardware estimate %.6f mJ "
+          "(rel diff %.3e)\n",
+          ledger_cost.energy_j * 1e3, check.energy_j * 1e3,
+          std::abs(ledger_cost.energy_j - check.energy_j) / scale);
+    }
+  }
   if (profiler != nullptr) {
     memlp::obs::Profiler::set_active(nullptr);
     if (profile) std::printf("\n%s", profiler->table().str().c_str());
     if (!chrome_trace_path.empty()) {
-      if (profiler->write_chrome_trace(chrome_trace_path))
+      memlp::obs::ChromeTraceSink trace_sink(chrome_trace_path);
+      if (trace_sink.ok()) {
+        profiler->export_spans(trace_sink);
+        if (ledger != nullptr) {
+          const memlp::perf::HardwareModel hardware;
+          memlp::perf::export_counter_tracks(*ledger, hardware, trace_sink);
+        }
+        trace_sink.flush();
         std::printf("chrome trace: %s\n", chrome_trace_path.c_str());
-      else
+      } else {
         std::fprintf(stderr, "cannot write chrome trace %s\n",
                      chrome_trace_path.c_str());
+      }
     }
   }
   if (file_sink != nullptr) file_sink->flush();
