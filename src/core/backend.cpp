@@ -17,8 +17,8 @@ class SingleCrossbarBackend final : public AnalogBackend {
   void program(const Matrix& a, double full_scale_hint) override {
     crossbar_.program(a, full_scale_hint);
   }
-  void update_cell(std::size_t r, std::size_t c, double value) override {
-    crossbar_.update_cell(r, c, value);
+  void update_cells(std::span<const xbar::CellUpdate> updates) override {
+    crossbar_.update_cells(updates);
   }
   Vec multiply(std::span<const double> x, IoBoundary io) override {
     return crossbar_.multiply(x, io);
@@ -30,6 +30,7 @@ class SingleCrossbarBackend final : public AnalogBackend {
   BackendStats stats() const override {
     BackendStats s;
     s.xbar = crossbar_.stats();
+    s.settle_cache = crossbar_.settle_cache_stats();
     s.num_tiles = 1;
     return s;
   }
@@ -54,10 +55,8 @@ class TiledNocBackend final : public AnalogBackend {
   void program(const Matrix& a, double full_scale_hint) override {
     tiled_.program(a, full_scale_hint);
   }
-  void update_cell(std::size_t r, std::size_t c, double value) override {
-    Matrix single(1, 1);
-    single(0, 0) = value;
-    tiled_.update_block(r, c, single);
+  void update_cells(std::span<const xbar::CellUpdate> updates) override {
+    tiled_.update_cells(updates);
   }
   Vec multiply(std::span<const double> x, IoBoundary io) override {
     return tiled_.multiply(x, io);
@@ -71,6 +70,7 @@ class TiledNocBackend final : public AnalogBackend {
     s.xbar = tiled_.crossbar_stats();
     s.amps = tiled_.amplifier_stats();
     s.noc = tiled_.noc_stats();
+    s.settle_cache = tiled_.settle_cache_stats();
     s.num_tiles = tiled_.num_tiles();
     return s;
   }
@@ -98,6 +98,10 @@ void annotate_backend_stats(obs::PhaseSpan& span, const BackendStats& delta) {
   span.note("xbar.write_pulses", delta.xbar.write_pulses);
   span.note("xbar.mvm_ops", delta.xbar.mvm_ops);
   span.note("xbar.solve_ops", delta.xbar.solve_ops);
+  // Failure counters appear only when something failed, keeping healthy
+  // traces (and the pinned golden ones) unchanged.
+  if (delta.xbar.failed_settles != 0)
+    span.note("xbar.failed_settles", delta.xbar.failed_settles);
   for (std::size_t k = 0; k < xbar::CrossbarStats::kPulseHistogramBuckets; ++k)
     if (delta.xbar.pulse_histogram[k] != 0)
       span.note("xbar.pulse_hist.b" + std::to_string(k),
@@ -110,6 +114,8 @@ void annotate_backend_stats(obs::PhaseSpan& span, const BackendStats& delta) {
     span.note("noc.value_hops", delta.noc.value_hops);
     span.note("noc.global_settles", delta.noc.global_settles);
     span.note("noc.tile_settles", delta.noc.tile_settles);
+    if (delta.noc.failed_global_settles != 0)
+      span.note("noc.failed_global_settles", delta.noc.failed_global_settles);
   }
 }
 

@@ -26,12 +26,15 @@ struct BackendStats {
   xbar::CrossbarStats xbar;
   xbar::AmplifierStats amps;
   noc::NocStats noc;
+  /// Settle-cache reuse counters (full LUs vs rank-k patches vs pure hits).
+  FactorCacheStats settle_cache;
   std::size_t num_tiles = 1;
 
   BackendStats& operator+=(const BackendStats& other) noexcept {
     xbar += other.xbar;
     amps += other.amps;
     noc += other.noc;
+    settle_cache += other.settle_cache;
     num_tiles = num_tiles > other.num_tiles ? num_tiles : other.num_tiles;
     return *this;
   }
@@ -42,6 +45,7 @@ struct BackendStats {
     d.xbar = xbar.since(earlier.xbar);
     d.amps = amps.since(earlier.amps);
     d.noc = noc.since(earlier.noc);
+    d.settle_cache = settle_cache.since(earlier.settle_cache);
     d.num_tiles = num_tiles;
     return d;
   }
@@ -65,7 +69,15 @@ class AnalogBackend {
   using IoBoundary = xbar::Crossbar::IoBoundary;
 
   virtual void program(const Matrix& a, double full_scale_hint) = 0;
-  virtual void update_cell(std::size_t r, std::size_t c, double value) = 0;
+  /// Rewrites a batch of scattered cells in one controller transaction —
+  /// the per-PDIP-iteration diagonal refresh. One aggregated ledger charge
+  /// and one settle-cache notification pass instead of per-cell bookkeeping.
+  virtual void update_cells(std::span<const xbar::CellUpdate> updates) = 0;
+  /// Single-cell convenience wrapper over update_cells().
+  virtual void update_cell(std::size_t r, std::size_t c, double value) {
+    const xbar::CellUpdate update{r, c, value};
+    update_cells({&update, 1});
+  }
   [[nodiscard]] virtual Vec multiply(std::span<const double> x,
                                      IoBoundary io = IoBoundary::kBoth) = 0;
   [[nodiscard]] virtual std::optional<Vec> solve(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <vector>
 
 #include "linalg/ops.hpp"
 
@@ -37,12 +38,16 @@ void write_corner_diagonals(const lp::LinearProgram& problem,
                             AnalogBackend& backend1, bool also_backend) {
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
+  // One batched controller transaction instead of 2(n+m) per-cell writes.
+  std::vector<xbar::CellUpdate> updates;
+  if (also_backend) updates.reserve(2 * (n + m));
   const auto put = [&](std::size_t i, std::size_t j, double value) {
     for (const auto& write : negfree1.update_base_cell_signed(i, j, value))
-      if (also_backend) backend1.update_cell(write.row, write.col, write.value);
+      if (also_backend) updates.push_back({write.row, write.col, write.value});
   };
   for (std::size_t i = 0; i < m; ++i) put(i, n + i, -state.w[i] / y_hat[i]);
   for (std::size_t j = 0; j < n; ++j) put(m + j, j, state.z[j] / x_hat[j]);
+  if (also_backend) backend1.update_cells(updates);
 }
 
 }  // namespace
@@ -196,13 +201,16 @@ NewtonStep LsNewton::solve(const PdipState& state, double mu,
     const double representable =
         options_.full_scale_headroom * m2_scale * 1.5 /
         static_cast<double>(options_.hardware.crossbar.conductance_levels - 1);
+    std::vector<xbar::CellUpdate> diagonal;
+    diagonal.reserve(n + m);
     for (std::size_t j = 0; j < n; ++j)
-      backend2_.update_cell(
-          j, j, std::max(schur_ ? x_hat_[j] : state.x[j], representable));
+      diagonal.push_back(
+          {j, j, std::max(schur_ ? x_hat_[j] : state.x[j], representable)});
     for (std::size_t i = 0; i < m; ++i)
-      backend2_.update_cell(
-          n + i, n + i,
-          std::max(schur_ ? y_hat_[i] : state.y[i], representable));
+      diagonal.push_back(
+          {n + i, n + i,
+           std::max(schur_ ? y_hat_[i] : state.y[i], representable)});
+    backend2_.update_cells(diagonal);
 
     // r2 = [µe; µe] − M2·[z; w] (the XZe / YWe products come from the M2
     // array itself), minus the Z∘∆x / W∘∆y cross terms from the analog

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <vector>
 
 #include "linalg/ops.hpp"
 #include "obs/profiler.hpp"
@@ -20,10 +21,15 @@ void write_diagonal_blocks(const KktLayout& layout, const PdipState& state,
                            NegativeFreeSystem& negfree,
                            AnalogBackend& backend, bool also_backend,
                            double write_floor) {
+  // The backend writes go out as ONE batched controller transaction: a
+  // single aggregated ledger charge and one settle-cache notification pass
+  // instead of 2(n+m) rounds of per-cell bookkeeping.
+  std::vector<xbar::CellUpdate> updates;
+  if (also_backend) updates.reserve(2 * (layout.n + layout.m));
   const auto put = [&](std::size_t i, std::size_t j, double value) {
     value = std::max(value, write_floor);
     negfree.update_base_cell(i, j, value);
-    if (also_backend) backend.update_cell(i, j, value);
+    if (also_backend) updates.push_back({i, j, value});
   };
   for (std::size_t j = 0; j < layout.n; ++j) {
     put(layout.row_xz() + j, layout.col_x() + j, state.z[j]);
@@ -33,6 +39,7 @@ void write_diagonal_blocks(const KktLayout& layout, const PdipState& state,
     put(layout.row_yw() + i, layout.col_y() + i, state.w[i]);
     put(layout.row_yw() + i, layout.col_w() + i, state.y[i]);
   }
+  if (also_backend) backend.update_cells(updates);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
@@ -47,6 +48,7 @@ CrossbarStats& CrossbarStats::operator+=(const CrossbarStats& other) noexcept {
   write_pulses += other.write_pulses;
   mvm_ops += other.mvm_ops;
   solve_ops += other.solve_ops;
+  failed_settles += other.failed_settles;
   for (std::size_t k = 0; k < kPulseHistogramBuckets; ++k)
     pulse_histogram[k] += other.pulse_histogram[k];
   return *this;
@@ -59,16 +61,26 @@ CrossbarStats CrossbarStats::since(const CrossbarStats& earlier) const noexcept 
   d.write_pulses = write_pulses - earlier.write_pulses;
   d.mvm_ops = mvm_ops - earlier.mvm_ops;
   d.solve_ops = solve_ops - earlier.solve_ops;
+  d.failed_settles = failed_settles - earlier.failed_settles;
   for (std::size_t k = 0; k < kPulseHistogramBuckets; ++k)
     d.pulse_histogram[k] = pulse_histogram[k] - earlier.pulse_histogram[k];
   return d;
+}
+
+FactorCacheOptions settle_cache_options(SettleMode mode) {
+  FactorCacheOptions options;
+  options.incremental = mode == SettleMode::kReuse;
+  options.iterative_refinement = false;
+  options.refresh_interval = 64;
+  return options;
 }
 
 Crossbar::Crossbar(CrossbarConfig config, Rng rng)
     : config_(config),
       rng_(rng),
       programming_(config.device, config.conductance_levels),
-      io_(config.io_bits) {
+      io_(config.io_bits),
+      settle_cache_(settle_cache_options(config.settle_mode)) {
   config_.validate();
 }
 
@@ -112,7 +124,9 @@ void Crossbar::program(const Matrix& a, double full_scale_hint) {
   obs::CostLedger::charge_active(
       {.cells_written = stats_.cells_written - cells_before,
        .write_pulses = stats_.write_pulses - pulses_before});
-  solve_cache_.reset();
+  // Every cell was re-drawn: the cached factorization is of a different
+  // matrix (and possibly a different shape) — drop it wholesale.
+  settle_cache_.invalidate();
 }
 
 void Crossbar::update_block(std::size_t r0, std::size_t c0,
@@ -141,29 +155,70 @@ void Crossbar::update_block(std::size_t r0, std::size_t c0,
     program(updated, 2.0 * block.max_abs());
     return;
   }
-  const std::size_t cells_before = stats_.cells_written;
-  const std::size_t pulses_before = stats_.write_pulses;
+  std::vector<CellUpdate> updates;
+  updates.reserve(block.rows() * block.cols());
   for (std::size_t i = 0; i < block.rows(); ++i)
-    for (std::size_t j = 0; j < block.cols(); ++j) {
-      ideal_(r0 + i, c0 + j) = block(i, j);
-      const std::size_t written_before = stats_.cells_written;
-      write_cell(r0 + i, c0 + j, block(i, j), /*force=*/false);
-      if (stats_.cells_written != written_before)
-        apply_half_select_disturb(r0 + i, c0 + j);
-    }
-  obs::CostLedger::charge_active(
-      {.cells_written = stats_.cells_written - cells_before,
-       .write_pulses = stats_.write_pulses - pulses_before});
-  solve_cache_.reset();
+    for (std::size_t j = 0; j < block.cols(); ++j)
+      updates.push_back({r0 + i, c0 + j, block(i, j)});
+  apply_updates(updates);
 }
 
 void Crossbar::update_cell(std::size_t r, std::size_t c, double value) {
-  Matrix single(1, 1);
-  single(0, 0) = value;
-  update_block(r, c, single);
+  const CellUpdate update{r, c, value};
+  update_cells({&update, 1});
 }
 
-void Crossbar::write_cell(std::size_t r, std::size_t c, double value,
+std::size_t Crossbar::update_cells(std::span<const CellUpdate> updates) {
+  MEMLP_EXPECT(programmed());
+  for (const CellUpdate& u : updates) {
+    MEMLP_EXPECT_MSG(u.value >= 0.0, "crossbar cells are non-negative");
+    MEMLP_EXPECT(u.row < rows() && u.col < cols());
+  }
+  const std::size_t cells_before = stats_.cells_written;
+  std::size_t start = 0;
+  if (!config_.per_cell_gain_ranging) {
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (updates[i].value <= full_scale_) continue;
+      // The mapping full-scale no longer covers this cell: flush the cells
+      // before it, then transparently re-map the whole array — at exactly
+      // the point a sequential per-cell writer would have, so the write
+      // (and variation-draw) sequence is identical to update_cell in a
+      // loop. program() invalidates the cached factorization.
+      apply_updates(updates.subspan(start, i - start));
+      Matrix updated = ideal_;
+      updated(updates[i].row, updates[i].col) = updates[i].value;
+      program(updated, 2.0 * updates[i].value);
+      start = i + 1;
+    }
+  }
+  apply_updates(updates.subspan(start));
+  return stats_.cells_written - cells_before;
+}
+
+std::size_t Crossbar::apply_updates(std::span<const CellUpdate> updates) {
+  const std::size_t cells_before = stats_.cells_written;
+  const std::size_t pulses_before = stats_.write_pulses;
+  std::size_t changed = 0;
+  for (const CellUpdate& u : updates) {
+    ideal_(u.row, u.col) = u.value;
+    if (write_cell(u.row, u.col, u.value, /*force=*/false)) {
+      ++changed;
+      // Precise invalidation: only a cell whose programmed level actually
+      // changed can move the effective matrix, so only then does the settle
+      // cache hear about its row. A no-op rewrite (same quantized level, the
+      // common case for slowly-moving PDIP diagonals) keeps the cached
+      // factorization fully valid.
+      settle_cache_.note_row(u.row);
+      apply_half_select_disturb(u.row, u.col);
+    }
+  }
+  obs::CostLedger::charge_active(
+      {.cells_written = stats_.cells_written - cells_before,
+       .write_pulses = stats_.write_pulses - pulses_before});
+  return changed;
+}
+
+bool Crossbar::write_cell(std::size_t r, std::size_t c, double value,
                           bool force) {
   MEMLP_ASSERT(value >= 0.0);
   if (config_.per_cell_gain_ranging) {
@@ -177,7 +232,7 @@ void Crossbar::write_cell(std::size_t r, std::size_t c, double value,
       const auto steps = static_cast<double>(config_.conductance_levels);
       quantized = std::ldexp(std::round(mantissa * steps) / steps, exponent);
     }
-    if (!force && quantized == level_g_(r, c)) return;  // keeps its draw
+    if (!force && quantized == level_g_(r, c)) return false;  // keeps its draw
     // One pulse per mantissa bit of the gain-ranged write.
     stats_.record_write(static_cast<std::size_t>(
         std::max(1.0, std::log2(static_cast<double>(
@@ -188,8 +243,7 @@ void Crossbar::write_cell(std::size_t r, std::size_t c, double value,
     // Keep a consistent conductance view for stats/divider bookkeeping.
     effective_g_(r, c) = std::max(
         programming_.g_min() + value_eff * slope_, 1e-300);
-    solve_cache_.reset();
-    return;
+    return true;
   }
   const double g_ideal = programming_.g_min() + value * slope_;
   const double g_prog = programming_.quantize(g_ideal);
@@ -197,9 +251,10 @@ void Crossbar::write_cell(std::size_t r, std::size_t c, double value,
   if (!force &&
       programming_.level_for(g_old) == programming_.level_for(g_prog)) {
     // Same programmed level: the cell is not re-written, so it keeps its
-    // previous variation draw (no write, no new draw).
+    // previous variation draw (no write, no new draw) and the effective
+    // matrix is untouched.
     effective_(r, c) = logical_from_conductance(effective_g_(r, c), r, c);
-    return;
+    return false;
   }
   stats_.record_write(programming_.pulses_for(g_old, g_prog));
   level_g_(r, c) = g_prog;
@@ -207,6 +262,7 @@ void Crossbar::write_cell(std::size_t r, std::size_t c, double value,
       std::max(config_.variation.perturb(g_prog, rng_), 1e-300);
   effective_g_(r, c) = g_eff;
   effective_(r, c) = logical_from_conductance(g_eff, r, c);
+  return true;
 }
 
 double Crossbar::logical_from_conductance(double g_eff, std::size_t r,
@@ -246,7 +302,9 @@ void Crossbar::apply_half_select_disturb(std::size_t r, std::size_t c) {
     if (j != c) nudge(r, j);
   for (std::size_t i = 0; i < rows(); ++i)
     if (i != r) nudge(i, c);
-  solve_cache_.reset();
+  // Disturb smears across a whole row and column — too wide a dirty set for
+  // a rank-k patch, so the next settle fully re-factors.
+  settle_cache_.note_all();
 }
 
 void Crossbar::apply_sense_divider(Vec& out, bool transposed) const {
@@ -308,15 +366,22 @@ std::optional<Vec> Crossbar::solve(std::span<const double> b, IoBoundary io) {
   MEMLP_EXPECT(programmed());
   MEMLP_EXPECT_MSG(effective_.square(), "solve requires a square array");
   MEMLP_EXPECT_MSG(b.size() == rows(), "solve: size mismatch");
-  if (!solve_cache_) solve_cache_.emplace(effective_);
+  if (!settle_cache_.prepare(effective_)) {
+    // A singular effective array never settles: no solve happened, so
+    // nothing is charged to the energy ledger and solve_ops stays put.
+    ++stats_.failed_settles;
+    return std::nullopt;
+  }
   ++stats_.solve_ops;
   obs::CostLedger::charge_active({.settles = 1});
-  if (solve_cache_->singular()) return std::nullopt;
   Vec rhs = quantize_input(io) ? io_.quantized(b) : Vec(b.begin(), b.end());
-  Vec x = solve_cache_->solve(rhs);
+  Vec x = settle_cache_.solve(rhs);
   if (!std::all_of(x.begin(), x.end(),
-                   [](double v) { return std::isfinite(v); }))
+                   [](double v) { return std::isfinite(v); })) {
+    // The settle physically ran (and was charged) but read out garbage.
+    ++stats_.failed_settles;
     return std::nullopt;
+  }
   apply_read_noise(x);
   if (quantize_output(io)) io_.quantize(x);
   return x;

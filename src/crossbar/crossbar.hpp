@@ -38,13 +38,40 @@
 #include "common/rng.hpp"
 #include "crossbar/quantizer.hpp"
 #include "crossbar/write_scheme.hpp"
-#include "linalg/lu.hpp"
+#include "linalg/factor_cache.hpp"
 #include "linalg/matrix.hpp"
 #include "memristor/device.hpp"
 #include "memristor/programming.hpp"
 #include "memristor/variation.hpp"
 
 namespace memlp::xbar {
+
+/// How the simulator models the analog solve settle.
+enum class SettleMode {
+  /// Re-factor the effective matrix whenever any cell changed — the legacy
+  /// bit-exact behavior (golden traces are pinned to it).
+  kExact,
+  /// Reuse the cached factorization across settles: per-iteration diagonal
+  /// rewrites become a rank-k Sherman–Morrison correction, with a full
+  /// refactor fallback (see linalg/factor_cache.hpp). Results differ from
+  /// kExact only by factorization round-off.
+  kReuse,
+};
+
+/// Settle-cache tuning for an analog array in the given mode. The readout
+/// of a settle is bounded by read noise and ADC quantization — far above
+/// the rank-k correction's round-off — so the per-solve iterative
+/// refinement step (two extra O(N²) passes per settle) buys precision the
+/// physics cannot observe and is disabled; a generous refresh interval
+/// bounds correction drift instead.
+[[nodiscard]] FactorCacheOptions settle_cache_options(SettleMode mode);
+
+/// One cell rewrite of a batched update (see Crossbar::update_cells).
+struct CellUpdate {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
 
 /// Static configuration of a crossbar array.
 struct CrossbarConfig {
@@ -88,6 +115,11 @@ struct CrossbarConfig {
   /// periphery per cell; the default (false) is the paper's plain
   /// globally-mapped array. Requires compensate_sense_divider.
   bool per_cell_gain_ranging = false;
+  /// Settle-simulation policy for solve(): kExact (default) re-factors the
+  /// effective array whenever it changed; kReuse patches the cached
+  /// factorization with the dirty rows (Sherman–Morrison rank-k) and falls
+  /// back to a full LU when the update is large or ill-conditioned.
+  SettleMode settle_mode = SettleMode::kExact;
 
   void validate() const;
 };
@@ -104,6 +136,10 @@ struct CrossbarStats {
   std::size_t write_pulses = 0;    ///< total pulses across those cells.
   std::size_t mvm_ops = 0;         ///< analog multiply settles.
   std::size_t solve_ops = 0;       ///< analog solve settles.
+  /// Solve attempts that produced no usable solution: a singular effective
+  /// array fails to settle (no settle happens, so nothing is charged to the
+  /// energy ledger) and a non-finite readout is discarded.
+  std::size_t failed_settles = 0;
   /// Per-cell-write pulse distribution across the write scheme (§3.3): the
   /// shape separates cheap level-neighbor updates (the O(N) per-iteration
   /// diagonal rewrites) from expensive full-range programming writes.
@@ -150,6 +186,18 @@ class Crossbar {
   /// Rewrites a single cell (same contract as update_block).
   void update_cell(std::size_t r, std::size_t c, double value);
 
+  /// Rewrites a batch of scattered cells in one pass — the per-PDIP-iteration
+  /// diagonal refresh path. Semantically each entry behaves like
+  /// update_cell(), but pulse/cell accounting is aggregated into a single
+  /// ledger charge and the settle cache is notified once per actually-changed
+  /// cell. Returns the number of cells whose programmed level changed.
+  std::size_t update_cells(std::span<const CellUpdate> updates);
+
+  /// Settle-cache behavior counters (full refactors vs incremental patches).
+  [[nodiscard]] const FactorCacheStats& settle_cache_stats() const noexcept {
+    return settle_cache_.stats();
+  }
+
   /// Which I/O conversion boundaries an operation crosses. Voltages are
   /// quantized (io_bits) only where they pass a DAC/ADC; chained analog
   /// stages (MVM output feeding summing amps feeding a solve input) stay at
@@ -193,7 +241,15 @@ class Crossbar {
   /// level/effective storage and pulse counters. `force` rewrites (and
   /// redraws variation for) the cell even when its level is unchanged — a
   /// full program erases the array first, so every cell is a fresh write.
-  void write_cell(std::size_t r, std::size_t c, double value, bool force);
+  /// Returns true when the cell was actually rewritten (its effective value
+  /// may have changed); a no-op write leaves the settle cache untouched.
+  bool write_cell(std::size_t r, std::size_t c, double value, bool force);
+
+  /// Shared core of update_block/update_cells: applies the updates (bounds
+  /// already checked, full-scale already covers them), notifies the settle
+  /// cache per changed cell, and charges the aggregated write cost once.
+  /// Returns the number of cells whose programmed level changed.
+  std::size_t apply_updates(std::span<const CellUpdate> updates);
 
   /// Recomputes `effective_` entry from the varied conductance, including
   /// the position-dependent IR-drop degradation.
@@ -224,7 +280,10 @@ class Crossbar {
   double slope_ = 0.0;       // (g_max-g_min)/a_max
 
   CrossbarStats stats_;
-  mutable std::optional<LuFactorization> solve_cache_;
+  /// Caches the effective-matrix factorization across settles. Exact mode
+  /// re-factors only when a write really changed a cell; reuse mode patches
+  /// the cached factor with the dirty rows (see linalg/factor_cache.hpp).
+  FactorizationCache settle_cache_;
 };
 
 }  // namespace memlp::xbar

@@ -25,9 +25,12 @@ void charge_triangular_solve(std::size_t n) {
 // A pivot below this (relative to the matrix scale) is treated as zero.
 constexpr double kPivotTolerance = 1e-13;
 
-// Row elimination goes parallel only when at least this many rows remain
-// below the pivot; smaller trailing blocks are not worth the region setup.
+// Trailing-block update goes parallel only when at least this many rows lie
+// below the panel; smaller trailing blocks are not worth the region setup.
 constexpr std::size_t kParallelEliminationCutoff = 96;
+
+// Pivot columns factored per panel before the deferred trailing update.
+constexpr std::size_t kLuPanelWidth = 32;
 
 }  // namespace
 
@@ -47,51 +50,85 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
   };
 
   const double scale = std::max(lu_.max_abs(), 1.0);
-  for (std::size_t k = 0; k < n; ++k) {
-    // Partial pivoting: pick the largest |value| in column k at/below row k.
-    std::size_t pivot_row = k;
-    double pivot_mag = std::abs(lu_(k, k));
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const double mag = std::abs(lu_(i, k));
-      if (mag > pivot_mag) {
-        pivot_mag = mag;
-        pivot_row = i;
+  // Panel-blocked right-looking elimination. Each element receives its
+  // rank-1 updates in increasing pivot order, pivot columns are searched on
+  // fully-updated values, and swaps exchange whole rows — exactly the
+  // unblocked algorithm's arithmetic, so the factor is bitwise identical to
+  // it; only the trailing updates are deferred and batched per panel (one
+  // streaming pass over the trailing block instead of one per pivot).
+  for (std::size_t p0 = 0; p0 < n; p0 += kLuPanelWidth) {
+    const std::size_t p1 = std::min(p0 + kLuPanelWidth, n);
+    // Panel factorization: pivots [p0, p1), eagerly updating only the panel
+    // columns (so pivot searches and multipliers see final values).
+    for (std::size_t k = p0; k < p1; ++k) {
+      // Partial pivoting: largest |value| in column k at/below row k.
+      std::size_t pivot_row = k;
+      double pivot_mag = std::abs(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double mag = std::abs(lu_(i, k));
+        if (mag > pivot_mag) {
+          pivot_mag = mag;
+          pivot_row = i;
+        }
+      }
+      if (pivot_mag <= kPivotTolerance * scale) {
+        singular_ = true;
+        charge_factorization();
+        return;
+      }
+      if (pivot_row != k) {
+        std::swap_ranges(lu_.row(k).begin(), lu_.row(k).end(),
+                         lu_.row(pivot_row).begin());
+        std::swap(perm_[k], perm_[pivot_row]);
+        perm_sign_ = -perm_sign_;
+      }
+      const double inv_pivot = 1.0 / lu_(k, k);
+      const std::size_t remaining = n - (k + 1);
+      const auto rem = static_cast<std::uint64_t>(remaining);
+      flops += rem * (1 + 2 * rem);
+      const auto krow = lu_.row(k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double lik = lu_(i, k) * inv_pivot;
+        lu_(i, k) = lik;
+        if (lik == 0.0) continue;
+        auto irow = lu_.row(i);
+        for (std::size_t j = k + 1; j < p1; ++j) irow[j] -= lik * krow[j];
       }
     }
-    if (pivot_mag <= kPivotTolerance * scale) {
-      singular_ = true;
-      charge_factorization();
-      return;
-    }
-    if (pivot_row != k) {
-      std::swap_ranges(lu_.row(k).begin(), lu_.row(k).end(),
-                       lu_.row(pivot_row).begin());
-      std::swap(perm_[k], perm_[pivot_row]);
-      perm_sign_ = -perm_sign_;
-    }
-    const double inv_pivot = 1.0 / lu_(k, k);
-    // Rows below the pivot update independently (each task touches only row
-    // k+1+r), and the per-row arithmetic is identical at any thread count.
-    const std::size_t remaining = n - (k + 1);
-    const auto rem = static_cast<std::uint64_t>(remaining);
-    flops += rem * (1 + 2 * rem);
-    const auto eliminate_row = [&](std::size_t i) {
-      const double lik = lu_(i, k) * inv_pivot;
-      lu_(i, k) = lik;
-      if (lik == 0.0) return;
+    if (p1 == n) break;
+    // Complete the panel's U rows right of the panel: row k needs the
+    // updates of pivots [p0, k), applied in increasing pivot order — by the
+    // time row k serves as the pivot row below, its trailing part is final.
+    for (std::size_t k = p0; k < p1; ++k) {
       const auto krow = lu_.row(k);
+      for (std::size_t i = k + 1; i < p1; ++i) {
+        const double lik = lu_(i, k);
+        if (lik == 0.0) continue;
+        auto irow = lu_.row(i);
+        for (std::size_t j = p1; j < n; ++j) irow[j] -= lik * krow[j];
+      }
+    }
+    // Deferred trailing update: each row below the panel absorbs all panel
+    // pivots in order. Rows update independently (each task touches only its
+    // own rows), and the per-row arithmetic is identical at any thread count.
+    const std::size_t trailing = n - p1;
+    const auto update_row = [&](std::size_t i) {
       auto irow = lu_.row(i);
-      for (std::size_t j = k + 1; j < n; ++j) irow[j] -= lik * krow[j];
+      for (std::size_t k = p0; k < p1; ++k) {
+        const double lik = irow[k];
+        if (lik == 0.0) continue;
+        const auto krow = lu_.row(k);
+        for (std::size_t j = p1; j < n; ++j) irow[j] -= lik * krow[j];
+      }
     };
-    if (remaining >= kParallelEliminationCutoff) {
+    if (trailing >= kParallelEliminationCutoff) {
       par::parallel_for_ranges(
-          remaining, std::max<std::size_t>(std::size_t{8}, remaining / 32),
+          trailing, std::max<std::size_t>(std::size_t{8}, trailing / 32),
           [&](std::size_t begin, std::size_t end) {
-            for (std::size_t r = begin; r < end; ++r)
-              eliminate_row(k + 1 + r);
+            for (std::size_t r = begin; r < end; ++r) update_row(p1 + r);
           });
     } else {
-      for (std::size_t i = k + 1; i < n; ++i) eliminate_row(i);
+      for (std::size_t i = p1; i < n; ++i) update_row(i);
     }
   }
   charge_factorization();
@@ -116,6 +153,51 @@ Vec LuFactorization::solve(std::span<const double> b) const {
     double sum = x[ii];
     for (std::size_t j = ii + 1; j < n; ++j) sum -= row[j] * x[j];
     x[ii] = sum / row[ii];
+  }
+  return x;
+}
+
+Matrix LuFactorization::solve_many(const Matrix& b) const {
+  MEMLP_EXPECT_MSG(!singular_, "solve_many() on a singular factorization");
+  MEMLP_EXPECT(b.rows() == lu_.rows());
+  const std::size_t n = lu_.rows();
+  const std::size_t nrhs = b.cols();
+  {
+    const auto dim = static_cast<std::uint64_t>(n);
+    const auto r = static_cast<std::uint64_t>(nrhs);
+    // The factor's n² entries stream through once for all right-hand sides.
+    obs::CostLedger::charge_active(
+        {.flops = 2 * dim * dim * r, .bytes = 8 * (dim * dim + 2 * dim * r)});
+  }
+  Matrix x(n, nrhs);
+  // Row-permuted copy of b: row i of x starts as row perm_[i] of b, then the
+  // substitutions below run the solve() recurrences with the right-hand-side
+  // index as the contiguous inner dimension.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = b.row(perm_[i]);
+    std::copy(src.begin(), src.end(), x.row(i).begin());
+  }
+  // Forward substitution: L y = P b.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lrow = lu_.row(i);
+    auto xi = x.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double lij = lrow[j];
+      const auto xj = x.row(j);
+      for (std::size_t t = 0; t < nrhs; ++t) xi[t] -= lij * xj[t];
+    }
+  }
+  // Back substitution: U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const auto urow = lu_.row(ii);
+    auto xi = x.row(ii);
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      const double uij = urow[j];
+      const auto xj = x.row(j);
+      for (std::size_t t = 0; t < nrhs; ++t) xi[t] -= uij * xj[t];
+    }
+    const double uii = urow[ii];
+    for (std::size_t t = 0; t < nrhs; ++t) xi[t] /= uii;
   }
   return x;
 }

@@ -19,8 +19,13 @@ namespace memlp {
 /// LU factorization (PA = LU) of a square matrix.
 class LuFactorization {
  public:
-  /// Factors `a`. Throws DimensionError if not square. Singularity is not an
-  /// exception — check singular() before calling solve().
+  /// Factors `a` with a panel-blocked right-looking elimination. Blocking
+  /// only reorders *when* rank-1 updates are applied (deferred per panel,
+  /// cache-friendly and parallel over trailing rows); every element still
+  /// receives its updates in increasing pivot order, so the factor is
+  /// bit-identical to the textbook unblocked loop at any thread count.
+  /// Throws DimensionError if not square. Singularity is not an exception —
+  /// check singular() before calling solve().
   explicit LuFactorization(Matrix a);
 
   /// True when a zero (or numerically negligible) pivot was met.
@@ -28,6 +33,13 @@ class LuFactorization {
 
   /// Solves A x = b. Requires !singular().
   [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+  /// Solves A X = B for `b.cols()` right-hand sides in one substitution
+  /// pass (column j of the result solves column j of `b`). Per column the
+  /// arithmetic — and therefore the result — is bit-identical to solve();
+  /// the factor is streamed through the cache once instead of once per
+  /// right-hand side. Requires !singular() and b.rows() == size().
+  [[nodiscard]] Matrix solve_many(const Matrix& b) const;
 
   /// Solves A^T x = b (U^T L^T P x = b). Requires !singular().
   [[nodiscard]] Vec solve_transposed(std::span<const double> b) const;

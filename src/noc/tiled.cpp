@@ -30,6 +30,8 @@ TiledCrossbarMatrix::TiledCrossbarMatrix(TiledConfig config, Rng rng)
     throw ConfigError("tiled crossbar: tile_dim must be > 0");
   config_.xbar.max_dim = config_.tile_dim;
   config_.xbar.validate();
+  settle_cache_ =
+      FactorizationCache(xbar::settle_cache_options(config_.xbar.settle_mode));
 }
 
 std::vector<TiledCrossbarMatrix::BlockRange> TiledCrossbarMatrix::cut(
@@ -69,7 +71,9 @@ void TiledCrossbarMatrix::program(const Matrix& a, double full_scale_hint) {
       },
       config_.threads);
   topology_ = make_topology(config_.topology, tiles_.size());
-  solve_cache_.reset();
+  // Every tile re-drew its cells: drop the assembly and the factorization.
+  composite_ = Matrix();
+  settle_cache_.invalidate();
 }
 
 void TiledCrossbarMatrix::update_block(std::size_t r0, std::size_t c0,
@@ -102,15 +106,21 @@ void TiledCrossbarMatrix::update_block(std::size_t r0, std::size_t c0,
     }
   }
   std::vector<NocStats> local(tasks.size());
+  std::vector<unsigned char> changed(tasks.size(), 0);
   par::parallel_for(
       tasks.size(),
       [&](std::size_t k) {
         const UpdateTask& task = tasks[k];
         const auto& rb = row_blocks_[task.bi];
         const auto& cb = col_blocks_[task.bj];
-        tile(task.bi, task.bj)
-            .update_block(task.r_lo - rb.begin, task.c_lo - cb.begin,
-                          task.sub);
+        xbar::Crossbar& t = tile(task.bi, task.bj);
+        const std::size_t cells_before = t.stats().cells_written;
+        const std::size_t programs_before = t.stats().full_programs;
+        t.update_block(task.r_lo - rb.begin, task.c_lo - cb.begin, task.sub);
+        // A full re-program (full-scale overflow) re-draws the whole tile
+        // even when no incremental cell changed.
+        changed[k] = t.stats().cells_written != cells_before ||
+                     t.stats().full_programs != programs_before;
         // New coefficients travel from the controller to the tile's write
         // circuits over the NoC.
         charge(local[k], task.sub.rows() * task.sub.cols(),
@@ -118,7 +128,88 @@ void TiledCrossbarMatrix::update_block(std::size_t r0, std::size_t c0,
       },
       config_.threads);
   for (const NocStats& s : local) stats_ += s;
-  solve_cache_.reset();
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    if (!changed[k]) continue;
+    note_tile_dirty(tasks[k].bi, tasks[k].bj, tasks[k].r_lo,
+                    tasks[k].r_lo + tasks[k].sub.rows());
+  }
+}
+
+void TiledCrossbarMatrix::note_tile_dirty(std::size_t bi, std::size_t bj,
+                                          std::size_t r_lo, std::size_t r_hi) {
+  const auto& rb = row_blocks_[bi];
+  // Half-select disturb (and a full tile re-program) can move any row of the
+  // tile, not just the written ones; widen the dirty range accordingly.
+  if (config_.xbar.write_scheme.half_select_disturb > 0.0) {
+    r_lo = rb.begin;
+    r_hi = rb.begin + rb.length;
+  }
+  for (std::size_t r = r_lo; r < r_hi; ++r) settle_cache_.note_row(r);
+  // Keep the cached assembly in sync (cheap: one tile block).
+  if (!composite_.empty())
+    composite_.set_block(rb.begin, col_blocks_[bj].begin,
+                         tile(bi, bj).effective());
+}
+
+std::size_t TiledCrossbarMatrix::update_cells(
+    std::span<const xbar::CellUpdate> updates) {
+  MEMLP_EXPECT(programmed());
+  // Group the scattered cells by owning tile, preserving order within each
+  // tile (tiles own independent RNG streams, so per-tile order is all that
+  // matters for determinism).
+  struct TileBatch {
+    std::size_t bi = 0, bj = 0;
+    std::vector<xbar::CellUpdate> cells;  // tile-local coordinates
+    std::size_t row_lo = 0, row_hi = 0;   // global dirty row span
+  };
+  std::vector<TileBatch> batches;
+  std::vector<std::size_t> batch_of(tiles_.size(), tiles_.size());
+  for (const xbar::CellUpdate& u : updates) {
+    MEMLP_EXPECT(u.row < rows_ && u.col < cols_);
+    const std::size_t bi = u.row / config_.tile_dim;
+    const std::size_t bj = u.col / config_.tile_dim;
+    const std::size_t t = tile_index(bi, bj);
+    if (batch_of[t] == tiles_.size()) {
+      batch_of[t] = batches.size();
+      batches.push_back({bi, bj, {}, u.row, u.row + 1});
+    }
+    TileBatch& batch = batches[batch_of[t]];
+    batch.cells.push_back({u.row - row_blocks_[bi].begin,
+                           u.col - col_blocks_[bj].begin, u.value});
+    batch.row_lo = std::min(batch.row_lo, u.row);
+    batch.row_hi = std::max(batch.row_hi, u.row + 1);
+  }
+  std::vector<NocStats> local(batches.size());
+  std::vector<std::size_t> changed(batches.size(), 0);
+  std::vector<unsigned char> reprogrammed(batches.size(), 0);
+  par::parallel_for(
+      batches.size(),
+      [&](std::size_t k) {
+        const TileBatch& batch = batches[k];
+        xbar::Crossbar& t = tile(batch.bi, batch.bj);
+        const std::size_t programs_before = t.stats().full_programs;
+        changed[k] = t.update_cells(batch.cells);
+        reprogrammed[k] = t.stats().full_programs != programs_before;
+        charge(local[k], batch.cells.size(),
+               topology_->hops_to_root(tile_index(batch.bi, batch.bj)));
+      },
+      config_.threads);
+  std::size_t total_changed = 0;
+  for (std::size_t k = 0; k < batches.size(); ++k) {
+    stats_ += local[k];
+    total_changed += changed[k];
+    if (changed[k] == 0 && !reprogrammed[k]) continue;
+    const auto& rb = row_blocks_[batches[k].bi];
+    // A full-scale overflow re-programs (re-draws) the whole tile; otherwise
+    // only the touched rows can have moved.
+    if (reprogrammed[k])
+      note_tile_dirty(batches[k].bi, batches[k].bj, rb.begin,
+                      rb.begin + rb.length);
+    else
+      note_tile_dirty(batches[k].bi, batches[k].bj, batches[k].row_lo,
+                      batches[k].row_hi);
+  }
+  return total_changed;
 }
 
 Vec TiledCrossbarMatrix::multiply(std::span<const double> x,
@@ -232,6 +323,13 @@ std::optional<Vec> TiledCrossbarMatrix::solve(std::span<const double> b,
   MEMLP_EXPECT(programmed());
   MEMLP_EXPECT_MSG(rows_ == cols_, "tiled solve requires a square matrix");
   MEMLP_EXPECT(b.size() == rows_);
+  if (composite_.empty()) composite_ = assemble_effective();
+  if (!settle_cache_.prepare(composite_)) {
+    // A singular composite network never settles: no boundary voltages move
+    // and nothing is charged — only the failure is recorded.
+    ++stats_.failed_global_settles;
+    return std::nullopt;
+  }
   // The arbiters connect the tiles into one composite network; boundary
   // voltages cross the NoC once per settle in each direction.
   for (std::size_t t = 0; t < tiles_.size(); ++t)
@@ -239,17 +337,18 @@ std::optional<Vec> TiledCrossbarMatrix::solve(std::span<const double> b,
                     topology_->hops_to_root(t));
   ++stats_.global_settles;
   obs::CostLedger::charge_active({.settles = 1});
-  if (!solve_cache_) solve_cache_.emplace(assemble_effective());
-  if (solve_cache_->singular()) return std::nullopt;
   // Voltage I/O crosses the structure boundary with the tiles' precision.
   const xbar::Quantizer converter(config_.xbar.io_bits);
   const bool dac = io == IoBoundary::kBoth || io == IoBoundary::kInputOnly;
   const bool adc = io == IoBoundary::kBoth || io == IoBoundary::kOutputOnly;
-  Vec x = solve_cache_->solve(dac ? converter.quantized(b)
+  Vec x = settle_cache_.solve(dac ? converter.quantized(b)
                                   : Vec(b.begin(), b.end()));
   if (!std::all_of(x.begin(), x.end(),
-                   [](double v) { return std::isfinite(v); }))
+                   [](double v) { return std::isfinite(v); })) {
+    // The settle ran (and was charged) but read out garbage.
+    ++stats_.failed_global_settles;
     return std::nullopt;
+  }
   if (adc) converter.quantize(x);
   return x;
 }

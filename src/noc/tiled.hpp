@@ -35,12 +35,17 @@ struct NocStats {
   std::size_t value_hops = 0;       ///< Σ (segment length × hop count).
   std::size_t global_settles = 0;   ///< composite solve settles.
   std::size_t tile_settles = 0;     ///< per-tile MVM/solve settles.
+  /// Composite solve attempts that produced no usable solution (singular
+  /// composite network — nothing settles, nothing is charged — or a
+  /// non-finite readout).
+  std::size_t failed_global_settles = 0;
 
   NocStats& operator+=(const NocStats& other) noexcept {
     transfers += other.transfers;
     value_hops += other.value_hops;
     global_settles += other.global_settles;
     tile_settles += other.tile_settles;
+    failed_global_settles += other.failed_global_settles;
     return *this;
   }
 
@@ -48,7 +53,8 @@ struct NocStats {
   [[nodiscard]] NocStats since(const NocStats& earlier) const noexcept {
     return {transfers - earlier.transfers, value_hops - earlier.value_hops,
             global_settles - earlier.global_settles,
-            tile_settles - earlier.tile_settles};
+            tile_settles - earlier.tile_settles,
+            failed_global_settles - earlier.failed_global_settles};
   }
 };
 
@@ -101,6 +107,12 @@ class TiledCrossbarMatrix {
   /// sub-blocks to the affected tiles.
   void update_block(std::size_t r0, std::size_t c0, const Matrix& block);
 
+  /// Rewrites a batch of scattered cells (global coordinates), grouping them
+  /// by tile and dispatching one batched write per affected tile — the
+  /// per-PDIP-iteration diagonal refresh path. Returns the number of cells
+  /// whose programmed level actually changed.
+  std::size_t update_cells(std::span<const xbar::CellUpdate> updates);
+
   /// Distributed analog MVM: ≈ A·x. The IoBoundary selects which DAC/ADC
   /// conversions the operation crosses (see xbar::Crossbar::IoBoundary).
   [[nodiscard]] Vec multiply(
@@ -135,6 +147,10 @@ class TiledCrossbarMatrix {
   [[nodiscard]] const xbar::AmplifierStats& amplifier_stats() const noexcept {
     return amps_.stats();
   }
+  /// Composite settle-cache counters (full refactors vs incremental patches).
+  [[nodiscard]] const FactorCacheStats& settle_cache_stats() const noexcept {
+    return settle_cache_.stats();
+  }
   void reset_stats() noexcept;
 
   [[nodiscard]] const TiledConfig& config() const noexcept { return config_; }
@@ -159,6 +175,12 @@ class TiledCrossbarMatrix {
   /// Charges a transfer of `values` elements across `hops` hops.
   void charge_transfer(std::size_t values, std::size_t hops) noexcept;
 
+  /// Records that tile (bi, bj) changed within global rows [r_lo, r_hi):
+  /// notifies the settle cache (widened to the whole tile row span when
+  /// half-select disturb is active) and patches the cached assembly.
+  void note_tile_dirty(std::size_t bi, std::size_t bj, std::size_t r_lo,
+                       std::size_t r_hi);
+
   static std::vector<BlockRange> cut(std::size_t extent, std::size_t tile_dim);
 
   TiledConfig config_;
@@ -171,7 +193,13 @@ class TiledCrossbarMatrix {
   std::unique_ptr<Topology> topology_;
   xbar::AmplifierBank amps_;
   NocStats stats_;
-  mutable std::optional<LuFactorization> solve_cache_;
+  /// Cached assembly of the tiles' effective blocks, patched per dirty tile
+  /// after writes; empty until the first composite solve (or after a full
+  /// program). Lets repeated settles skip the O(N²) reassembly.
+  Matrix composite_;
+  /// Caches the composite factorization across settles (precise
+  /// invalidation; rank-k reuse in SettleMode::kReuse).
+  FactorizationCache settle_cache_;
 };
 
 }  // namespace memlp::noc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -384,6 +385,140 @@ TEST(Crossbar, UpdateBlockDisturbOnlyOnTheIncrementalPath) {
   EXPECT_GT(xbar.stats().full_programs, 1u);
   EXPECT_LT(max_deviation_from(ideal_after), 1e-3);
   EXPECT_NEAR(xbar.effective()(2, 2), a(2, 2), 1e-4 * (1.0 + a(2, 2)));
+}
+
+TEST(CrossbarSettleCache, NoOpRewriteKeepsTheFactorization) {
+  // Rewriting a cell to a value that quantizes to its current level is a
+  // physical no-op; the cached factorization must survive it (the thrash
+  // this PR removes: every solve used to refactor after ANY write).
+  CrossbarConfig config = ideal_config();
+  config.conductance_levels = 256;  // coarse levels: easy no-op writes
+  Rng rng(21);
+  const Matrix a = random_nonneg(6, 6, rng);
+  Crossbar xbar(config, Rng(22));
+  xbar.program(a);
+  const Vec b{1, 2, 3, 4, 5, 6};
+  ASSERT_TRUE(xbar.solve(b).has_value());
+  EXPECT_EQ(xbar.settle_cache_stats().full_factorizations, 1u);
+
+  // A tiny perturbation rounds to the same 8-bit level: no write happens.
+  const std::size_t written_before = xbar.stats().cells_written;
+  xbar.update_cell(2, 2, a(2, 2) * (1.0 + 1e-9));
+  ASSERT_EQ(xbar.stats().cells_written, written_before);
+  ASSERT_TRUE(xbar.solve(b).has_value());
+  EXPECT_EQ(xbar.settle_cache_stats().full_factorizations, 1u);
+  EXPECT_GE(xbar.settle_cache_stats().prepare_hits, 1u);
+}
+
+TEST(CrossbarSettleCache, RealWriteInvalidatesTheFactorization) {
+  Rng rng(23);
+  const Matrix a = random_nonneg(6, 6, rng);
+  Crossbar xbar(ideal_config(), Rng(24));
+  xbar.program(a);
+  const Vec b{1, 2, 3, 4, 5, 6};
+  ASSERT_TRUE(xbar.solve(b).has_value());
+  EXPECT_EQ(xbar.settle_cache_stats().full_factorizations, 1u);
+
+  xbar.update_cell(1, 4, a(1, 4) + 0.5);  // genuinely new level
+  const auto x = xbar.solve(b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(xbar.settle_cache_stats().full_factorizations, 2u);
+  // And the solve reflects the new matrix, not the stale factor.
+  const Vec expected = LuFactorization(xbar.effective()).solve(b);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR((*x)[i], expected[i], 1e-12);
+}
+
+TEST(CrossbarSettleCache, ReuseModeMatchesExactWithinTolerance) {
+  // Twin crossbars, identical seeds: one settles exactly (full refactor),
+  // the other through the rank-k correction. The writes are identical, so
+  // the effective matrices agree and the solves must match to refinement
+  // accuracy.
+  CrossbarConfig exact_cfg = ideal_config();
+  exact_cfg.settle_mode = SettleMode::kExact;
+  CrossbarConfig reuse_cfg = ideal_config();
+  reuse_cfg.settle_mode = SettleMode::kReuse;
+  Rng data_rng(25);
+  const std::size_t n = 12;
+  const Matrix a = random_nonneg(n, n, data_rng);
+  Crossbar exact(exact_cfg, Rng(26));
+  Crossbar reuse(reuse_cfg, Rng(26));
+  exact.program(a, 4.0 * a.max_abs());
+  reuse.program(a, 4.0 * a.max_abs());
+
+  Rng value_rng(27);
+  for (std::size_t iteration = 0; iteration < 6; ++iteration) {
+    // The PDIP pattern: rewrite a few diagonal cells, then settle.
+    std::vector<CellUpdate> updates;
+    for (std::size_t j = 0; j < 4; ++j)
+      updates.push_back({j, j, value_rng.uniform(0.1, 2.0)});
+    exact.update_cells(updates);
+    reuse.update_cells(updates);
+    ASSERT_EQ(exact.effective(), reuse.effective()) << "it " << iteration;
+    Vec b(n);
+    for (double& v : b) v = value_rng.uniform(-1.0, 1.0);
+    const auto x_exact = exact.solve(b);
+    const auto x_reuse = reuse.solve(b);
+    ASSERT_TRUE(x_exact.has_value());
+    ASSERT_TRUE(x_reuse.has_value());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR((*x_reuse)[i], (*x_exact)[i],
+                  1e-9 * (1.0 + std::abs((*x_exact)[i])))
+          << "row " << i << " it " << iteration;
+  }
+  // The reuse array must actually have exercised the incremental path.
+  EXPECT_GE(reuse.settle_cache_stats().incremental_updates, 4u);
+  EXPECT_LT(reuse.settle_cache_stats().full_factorizations,
+            exact.settle_cache_stats().full_factorizations);
+}
+
+TEST(CrossbarSettleCache, BatchedUpdateMatchesSequentialUpdates) {
+  // update_cells must be write-for-write identical to an update_cell loop
+  // (same RNG draw order, same quantization, same remap points).
+  Rng data_rng(28);
+  const std::size_t n = 8;
+  const Matrix a = random_nonneg(n, n, data_rng);
+  CrossbarConfig config = ideal_config();
+  config.variation = mem::VariationModel::uniform(0.05);
+  Crossbar batched(config, Rng(29));
+  Crossbar sequential(config, Rng(29));
+  batched.program(a);
+  sequential.program(a);
+
+  std::vector<CellUpdate> updates;
+  Rng value_rng(30);
+  for (std::size_t j = 0; j < n; ++j)
+    updates.push_back({j, j, value_rng.uniform(0.0, 3.0)});
+  // One overflowing value exercises the mid-batch re-map path too.
+  updates[5].value = 10.0 * a.max_abs();
+
+  batched.update_cells(updates);
+  for (const CellUpdate& u : updates)
+    sequential.update_cell(u.row, u.col, u.value);
+
+  ASSERT_EQ(batched.effective(), sequential.effective());
+  EXPECT_EQ(batched.stats().cells_written, sequential.stats().cells_written);
+  EXPECT_EQ(batched.stats().write_pulses, sequential.stats().write_pulses);
+  EXPECT_EQ(batched.stats().full_programs, sequential.stats().full_programs);
+}
+
+TEST(CrossbarSettleCache, FailedSettleAccounting) {
+  // A singular effective array fails to settle: the failure is counted,
+  // but no solve op (and no settle energy) is charged.
+  Crossbar xbar(ideal_config(), Rng(31));
+  xbar.program(Matrix(4, 4, 1.0));  // rank-1: singular
+  const Vec b{1, 1, 1, 1};
+  EXPECT_FALSE(xbar.solve(b).has_value());
+  EXPECT_EQ(xbar.stats().failed_settles, 1u);
+  EXPECT_EQ(xbar.stats().solve_ops, 0u);
+
+  // Writing the diagonal makes it solvable again; counters resume.
+  std::vector<CellUpdate> diagonal;
+  for (std::size_t j = 0; j < 4; ++j) diagonal.push_back({j, j, 5.0});
+  xbar.update_cells(diagonal);
+  EXPECT_TRUE(xbar.solve(b).has_value());
+  EXPECT_EQ(xbar.stats().failed_settles, 1u);
+  EXPECT_EQ(xbar.stats().solve_ops, 1u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -213,6 +214,105 @@ TEST(Tiled, CrossbarStatsAggregateOverTiles) {
   const auto stats = tiled.crossbar_stats();
   EXPECT_EQ(stats.full_programs, 4u);
   EXPECT_EQ(stats.cells_written, 64u);
+}
+
+TEST(Tiled, UpdateCellsMatchesUpdateBlockWrites) {
+  // The batched scattered-cell path must produce the same effective matrix
+  // as per-cell update_block dispatches (same per-tile write order).
+  Rng rng(30);
+  const std::size_t n = 10;
+  const Matrix a = random_nonneg(n, n, rng);
+  TiledCrossbarMatrix batched(ideal_tiled(4), Rng(31));
+  TiledCrossbarMatrix blocks(ideal_tiled(4), Rng(31));
+  batched.program(a, 4.0);
+  blocks.program(a, 4.0);
+
+  std::vector<xbar::CellUpdate> updates;
+  for (std::size_t j = 0; j < n; ++j)
+    updates.push_back({j, j, rng.uniform(0.1, 2.0)});
+  batched.update_cells(updates);
+  Matrix single(1, 1);
+  for (const xbar::CellUpdate& u : updates) {
+    single(0, 0) = u.value;
+    blocks.update_block(u.row, u.col, single);
+  }
+  EXPECT_EQ(batched.assemble_effective(), blocks.assemble_effective());
+}
+
+TEST(Tiled, SettleCacheSurvivesNoOpWritesAndFollowsRealOnes) {
+  TiledConfig config = ideal_tiled(4);
+  config.xbar.conductance_levels = 256;  // coarse: easy no-op writes
+  Rng rng(32);
+  const std::size_t n = 8;
+  const Matrix a = random_nonneg(n, n, rng);
+  TiledCrossbarMatrix tiled(config, Rng(33));
+  tiled.program(a, 4.0);
+  Vec b(n, 1.0);
+  ASSERT_TRUE(tiled.solve(b).has_value());
+  EXPECT_EQ(tiled.settle_cache_stats().full_factorizations, 1u);
+
+  // Same-level rewrite: no tile reports a change, the factor survives.
+  const xbar::CellUpdate noop{3, 3, a(3, 3) * (1.0 + 1e-9)};
+  tiled.update_cells({&noop, 1});
+  ASSERT_TRUE(tiled.solve(b).has_value());
+  EXPECT_EQ(tiled.settle_cache_stats().full_factorizations, 1u);
+  EXPECT_GE(tiled.settle_cache_stats().prepare_hits, 1u);
+
+  // Real write: the next settle re-factors (exact mode).
+  const xbar::CellUpdate real{3, 3, a(3, 3) + 1.0};
+  tiled.update_cells({&real, 1});
+  const auto x = tiled.solve(b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(tiled.settle_cache_stats().full_factorizations, 2u);
+  const Vec expected = LuFactorization(tiled.assemble_effective()).solve(b);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR((*x)[i], expected[i], 1e-12);
+}
+
+TEST(Tiled, ReuseModeMatchesExactAcrossIterations) {
+  TiledConfig exact_cfg = ideal_tiled(4);
+  exact_cfg.xbar.settle_mode = xbar::SettleMode::kExact;
+  TiledConfig reuse_cfg = ideal_tiled(4);
+  reuse_cfg.xbar.settle_mode = xbar::SettleMode::kReuse;
+  Rng rng(34);
+  const std::size_t n = 12;
+  const Matrix a = random_nonneg(n, n, rng);
+  TiledCrossbarMatrix exact(exact_cfg, Rng(35));
+  TiledCrossbarMatrix reuse(reuse_cfg, Rng(35));
+  exact.program(a, 4.0);
+  reuse.program(a, 4.0);
+
+  for (std::size_t iteration = 0; iteration < 5; ++iteration) {
+    std::vector<xbar::CellUpdate> updates;
+    for (std::size_t j = 0; j < 3; ++j)
+      updates.push_back({j, j, rng.uniform(0.2, 2.0)});
+    exact.update_cells(updates);
+    reuse.update_cells(updates);
+    Vec b(n);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+    const auto x_exact = exact.solve(b);
+    const auto x_reuse = reuse.solve(b);
+    ASSERT_TRUE(x_exact.has_value());
+    ASSERT_TRUE(x_reuse.has_value());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR((*x_reuse)[i], (*x_exact)[i],
+                  1e-9 * (1.0 + std::abs((*x_exact)[i])))
+          << "row " << i << " it " << iteration;
+  }
+  EXPECT_GE(reuse.settle_cache_stats().incremental_updates, 3u);
+}
+
+TEST(Tiled, FailedGlobalSettleAccounting) {
+  TiledCrossbarMatrix tiled(ideal_tiled(4), Rng(36));
+  tiled.program(Matrix(8, 8, 1.0));  // rank-1 composite: singular
+  const Vec b(8, 1.0);
+  const auto before = tiled.noc_stats();
+  EXPECT_FALSE(tiled.solve(b).has_value());
+  const auto after = tiled.noc_stats();
+  EXPECT_EQ(after.failed_global_settles, 1u);
+  // No settle happened: no global settle counted, no boundary transfers.
+  EXPECT_EQ(after.global_settles, before.global_settles);
+  EXPECT_EQ(after.transfers, before.transfers);
 }
 
 }  // namespace
