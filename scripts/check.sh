@@ -6,9 +6,10 @@
 #      stages): a -DMEMLP_WERROR=ON build of the whole tree — which also
 #      compiles the generated per-header self-containment objects
 #      (memlp_header_check) — plus the memlint project-invariant linter
-#      over the real tree (rules R1–R7, docs/static-analysis.md). When
-#      clang-tidy is on PATH the build additionally runs it over src/ via
-#      -DMEMLP_TIDY=ON with --warnings-as-errors=*.
+#      over the real tree (rules R1–R10, docs/static-analysis.md) with a
+#      per-rule hit/suppression summary. When clang-tidy is on PATH the
+#      build additionally runs it over src/ via -DMEMLP_TIDY=ON with
+#      --warnings-as-errors=*.
 #   1. -DMEMLP_SANITIZE=ON (ASan + UBSan): builds everything and runs the
 #      full suite with ctest -j. Any sanitizer report fails the
 #      corresponding test, so a clean run means the suite is memory- and
@@ -48,7 +49,7 @@ fi
 cmake -B "$STATIC_BUILD_DIR" -S . -DMEMLP_WERROR=ON -DMEMLP_TIDY="$TIDY" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$STATIC_BUILD_DIR" -j "$JOBS"
-"$STATIC_BUILD_DIR/tools/memlint" --root .
+"$STATIC_BUILD_DIR/tools/memlint" --root . --summary
 
 echo "== ASan/UBSan gate =="
 cmake -B "$BUILD_DIR" -S . -DMEMLP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -11,7 +11,7 @@ namespace {
 std::optional<std::string> env_raw(const std::string& name) {
   const char* value = std::getenv(name.c_str());
   if (value == nullptr) return std::nullopt;
-  return std::string(value);
+  return std::string(value);  // memlint:allow(R9): one-shot env read at config load, not per-iteration work
 }
 
 }  // namespace

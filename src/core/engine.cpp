@@ -67,6 +67,7 @@ PdipEngine::PdipEngine(const lp::LinearProgram& problem,
       size_(static_cast<double>(problem.num_variables() +
                                 problem.num_constraints())) {}
 
+// memlint:hot — the PDIP iteration body shared by every solver backend.
 PdipEngine::Outcome PdipEngine::run(NewtonSystem& newton, PdipState& state) {
   Outcome attempt;
   std::size_t best_iteration = 0;

@@ -336,10 +336,11 @@ bool quantize_output(Crossbar::IoBoundary io) {
 
 }  // namespace
 
+// memlint:hot — analog MVM readout; runs once per settle step.
 Vec Crossbar::multiply(std::span<const double> x, IoBoundary io) {
   MEMLP_EXPECT(programmed());
   MEMLP_EXPECT_MSG(x.size() == cols(), "multiply: size mismatch");
-  Vec input = quantize_input(io) ? io_.quantized(x) : Vec(x.begin(), x.end());
+  Vec input = quantize_input(io) ? io_.quantized(x) : Vec(x.begin(), x.end());  // memlint:allow(R9): input staging copy; buffer reuse is ROADMAP scale-up work
   Vec out = gemv(effective_, input);
   apply_sense_divider(out, /*transposed=*/false);
   apply_read_noise(out);
@@ -349,10 +350,11 @@ Vec Crossbar::multiply(std::span<const double> x, IoBoundary io) {
   return out;
 }
 
+// memlint:hot — transposed analog MVM readout on the settle path.
 Vec Crossbar::multiply_transposed(std::span<const double> x, IoBoundary io) {
   MEMLP_EXPECT(programmed());
   MEMLP_EXPECT_MSG(x.size() == rows(), "multiply_transposed: size mismatch");
-  Vec input = quantize_input(io) ? io_.quantized(x) : Vec(x.begin(), x.end());
+  Vec input = quantize_input(io) ? io_.quantized(x) : Vec(x.begin(), x.end());  // memlint:allow(R9): input staging copy; buffer reuse is ROADMAP scale-up work
   Vec out = gemv_transposed(effective_, input);
   apply_sense_divider(out, /*transposed=*/true);
   apply_read_noise(out);
@@ -362,6 +364,7 @@ Vec Crossbar::multiply_transposed(std::span<const double> x, IoBoundary io) {
   return out;
 }
 
+// memlint:hot — the iterative settle loop; the paper's O(1) analog solve.
 std::optional<Vec> Crossbar::solve(std::span<const double> b, IoBoundary io) {
   MEMLP_EXPECT(programmed());
   MEMLP_EXPECT_MSG(effective_.square(), "solve requires a square array");
@@ -374,7 +377,7 @@ std::optional<Vec> Crossbar::solve(std::span<const double> b, IoBoundary io) {
   }
   ++stats_.solve_ops;
   obs::CostLedger::charge_active({.settles = 1});
-  Vec rhs = quantize_input(io) ? io_.quantized(b) : Vec(b.begin(), b.end());
+  Vec rhs = quantize_input(io) ? io_.quantized(b) : Vec(b.begin(), b.end());  // memlint:allow(R9): RHS staging copy; buffer reuse is ROADMAP scale-up work
   Vec x = settle_cache_.solve(rhs);
   if (!std::all_of(x.begin(), x.end(),
                    [](double v) { return std::isfinite(v); })) {

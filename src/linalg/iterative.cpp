@@ -78,7 +78,7 @@ IterativeResult jacobi(const Matrix& a, std::span<const double> b,
   return result;
 }
 
-bool strictly_diagonally_dominant(const Matrix& a) {
+bool strictly_diagonally_dominant(const Matrix& a) {  // memlint:allow(R10): feasibility predicate used at setup, not a costed kernel
   if (!a.square()) return false;
   for (std::size_t i = 0; i < a.rows(); ++i) {
     double off_diagonal = 0.0;

@@ -34,10 +34,11 @@ constexpr std::size_t kLuPanelWidth = 32;
 
 }  // namespace
 
+// memlint:hot — blocked LU factorization kernel.
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
   if (!lu_.square()) throw DimensionError("LU requires a square matrix");
   const std::size_t n = lu_.rows();
-  perm_.resize(n);
+  perm_.resize(n);  // memlint:allow(R9): pivot storage sized once per factorization
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
 
   // Elimination flops (1 division + 2 flops per trailing element per row),
@@ -134,12 +135,13 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
   charge_factorization();
 }
 
+// memlint:hot — triangular-solve kernel.
 Vec LuFactorization::solve(std::span<const double> b) const {
   MEMLP_EXPECT_MSG(!singular_, "solve() on a singular factorization");
   MEMLP_EXPECT(b.size() == lu_.rows());
   const std::size_t n = lu_.rows();
   charge_triangular_solve(n);
-  Vec x(n);
+  Vec x(n);  // memlint:allow(R9): result buffer; the caller owns the returned vector
   // Forward substitution with permuted b: L y = P b.
   for (std::size_t i = 0; i < n; ++i) {
     double sum = b[perm_[i]];
@@ -157,6 +159,7 @@ Vec LuFactorization::solve(std::span<const double> b) const {
   return x;
 }
 
+// memlint:hot — multi-RHS triangular-solve kernel.
 Matrix LuFactorization::solve_many(const Matrix& b) const {
   MEMLP_EXPECT_MSG(!singular_, "solve_many() on a singular factorization");
   MEMLP_EXPECT(b.rows() == lu_.rows());
@@ -169,7 +172,7 @@ Matrix LuFactorization::solve_many(const Matrix& b) const {
     obs::CostLedger::charge_active(
         {.flops = 2 * dim * dim * r, .bytes = 8 * (dim * dim + 2 * dim * r)});
   }
-  Matrix x(n, nrhs);
+  Matrix x(n, nrhs);  // memlint:allow(R9): result buffer; the caller owns the returned matrix
   // Row-permuted copy of b: row i of x starts as row perm_[i] of b, then the
   // substitutions below run the solve() recurrences with the right-hand-side
   // index as the contiguous inner dimension.
@@ -202,25 +205,26 @@ Matrix LuFactorization::solve_many(const Matrix& b) const {
   return x;
 }
 
+// memlint:hot — transposed triangular-solve kernel.
 Vec LuFactorization::solve_transposed(std::span<const double> b) const {
   MEMLP_EXPECT_MSG(!singular_, "solve_transposed() on singular factorization");
   MEMLP_EXPECT(b.size() == lu_.rows());
   const std::size_t n = lu_.rows();
   charge_triangular_solve(n);
   // Solve U^T y = b (forward), then L^T z = y (backward), then x = P^T z.
-  Vec y(n);
+  Vec y(n);  // memlint:allow(R9): stage buffer; reuse is ROADMAP scale-up work
   for (std::size_t i = 0; i < n; ++i) {
     double sum = b[i];
     for (std::size_t k = 0; k < i; ++k) sum -= lu_(k, i) * y[k];
     y[i] = sum / lu_(i, i);
   }
-  Vec z(n);
+  Vec z(n);  // memlint:allow(R9): stage buffer; reuse is ROADMAP scale-up work
   for (std::size_t ii = n; ii-- > 0;) {
     double sum = y[ii];
     for (std::size_t k = ii + 1; k < n; ++k) sum -= lu_(k, ii) * z[k];
     z[ii] = sum;
   }
-  Vec x(n);
+  Vec x(n);  // memlint:allow(R9): result buffer; the caller owns the returned vector
   for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = z[i];
   return x;
 }

@@ -21,12 +21,13 @@ void charge_mvm(std::size_t rows, std::size_t cols) {
 
 }  // namespace
 
+// memlint:hot — digital-baseline MVM kernel.
 Vec gemv(const Matrix& a, std::span<const double> x) {
   MEMLP_EXPECT_MSG(a.cols() == x.size(), "gemv: " << a.rows() << "x"
                                                   << a.cols() << " * "
                                                   << x.size());
   charge_mvm(a.rows(), a.cols());
-  Vec y(a.rows(), 0.0);
+  Vec y(a.rows(), 0.0);  // memlint:allow(R9): result vector sized once per call; reuse is ROADMAP scale-up work
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const auto row = a.row(i);
     double sum = 0.0;
@@ -36,12 +37,13 @@ Vec gemv(const Matrix& a, std::span<const double> x) {
   return y;
 }
 
+// memlint:hot — digital-baseline transposed MVM kernel.
 Vec gemv_transposed(const Matrix& a, std::span<const double> x) {
   MEMLP_EXPECT_MSG(a.rows() == x.size(), "gemv_transposed: "
                                              << a.rows() << "x" << a.cols()
                                              << "^T * " << x.size());
   charge_mvm(a.rows(), a.cols());
-  Vec y(a.cols(), 0.0);
+  Vec y(a.cols(), 0.0);  // memlint:allow(R9): result vector sized once per call; reuse is ROADMAP scale-up work
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const auto row = a.row(i);
     const double xi = x[i];

@@ -1,5 +1,8 @@
 #include "linalg/sparse.hpp"
 
+// memlint:allow-file(R10): CSR utilities back the sparse-LDLT study only;
+// nothing here sits on the costed solve path the ledger attributes.
+
 #include <algorithm>
 #include <cmath>
 

@@ -1,0 +1,7 @@
+// memlint:allow-file(R1, io-discipline): fixture-wide exemption, id + slug.
+namespace memlp {
+void fixture_noisy() {
+  std::thread t;
+  std::cout << "boo";
+}
+}  // namespace memlp

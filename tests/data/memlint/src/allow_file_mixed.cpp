@@ -1,0 +1,7 @@
+// memlint:allow-file(R3): console noise is this fixture's subject.
+namespace memlp {
+void fixture_mixed() {
+  std::cout << "quiet";
+  std::thread t;
+}
+}  // namespace memlp

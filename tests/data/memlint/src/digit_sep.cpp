@@ -1,0 +1,9 @@
+// Stripper regressions: digit separators and raw strings.
+namespace memlp {
+int fixture_work(int n) { return n; }
+double fixture_use() {
+  int burst = fixture_work(10'000); double energy = 1.0;
+  const char* msg = R"(a "std::thread" mention, safely raw)";
+  return energy + static_cast<double>(burst) + (msg ? 1.0 : 0.0);
+}
+}  // namespace memlp

@@ -1,0 +1,13 @@
+// R10 clean: the nested-loop kernel charges through a callee.
+namespace memlp {
+void fixture_charge(unsigned long long flops) {
+  obs::CostLedger::charge_active({.flops = flops});
+}
+double fixture_gemm_probe(const double* a, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) sum += a[i * n + j];
+  fixture_charge(2ull * n * n);
+  return sum;
+}
+}  // namespace memlp

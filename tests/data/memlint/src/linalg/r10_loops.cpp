@@ -1,0 +1,15 @@
+// R10: nested loops in src/linalg must charge CostLedger flops.
+namespace memlp {
+double fixture_frob(const double* a, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) sum += a[i * n + j];
+  return sum;
+}
+double fixture_trace(const double* a, int n) {  // memlint:allow(R10): fixture shows a reviewed exemption
+  double s = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) s += (i == j) ? a[i * n + j] : 0.0;
+  return s;
+}
+}  // namespace memlp

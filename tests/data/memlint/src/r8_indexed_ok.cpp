@@ -1,0 +1,12 @@
+// R8 clean: per-index slot writes and local accumulation are sanctioned.
+namespace memlp {
+void fixture_fill(int n, double* out, Grid& m, Slot* slots) {
+  par::parallel_for(n, [&](int i) {
+    double local = 0.0;
+    local += i;
+    out[i] = local;
+    m(i, 0) = local * 2.0;
+    ++slots[i].count;
+  });
+}
+}  // namespace memlp

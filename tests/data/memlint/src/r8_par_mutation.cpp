@@ -1,0 +1,13 @@
+// R8: lambdas handed to memlp::par must not mutate by-ref captures.
+namespace memlp {
+void fixture_accumulate(int n) {
+  double sum = 0.0;
+  int flips = 0;
+  par::parallel_for(n, [&](int i) {
+    sum += static_cast<double>(i);
+    ++flips;
+  });
+  const auto body = [&sum](int i) { sum -= i; };
+  par::parallel_for_ranges(n, 8, body);
+}
+}  // namespace memlp

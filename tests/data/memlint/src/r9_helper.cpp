@@ -1,0 +1,8 @@
+// R9 helper: called from the hot fixture kernel in r9_hot_alloc.cpp.
+namespace memlp {
+double fixture_stage_sum(int n) {
+  std::vector<double> staging;
+  staging.push_back(static_cast<double>(n));
+  return staging[0];
+}
+}  // namespace memlp

@@ -1,0 +1,10 @@
+// R9: hot-annotated kernels must stay allocation-free, transitively.
+namespace memlp {
+// memlint:hot — fixture settle kernel.
+double fixture_settle(int n) {
+  double* scratch = new double[8];
+  double acc = fixture_stage_sum(n) + scratch[0];
+  delete[] scratch;
+  return acc;
+}
+}  // namespace memlp

@@ -1,0 +1,14 @@
+// R9 clean: a hot kernel whose whole closure is allocation-free.
+namespace memlp {
+double fixture_axpy(double a, double x, double y) { return a * x + y; }
+// memlint:hot — fixture readout kernel.
+double fixture_readout(int n, const double* data) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc = fixture_axpy(2.0, data[i], acc);
+  return acc;
+}
+double fixture_cold_build(int n) {
+  std::vector<double> v(n, 0.0);
+  return v[0];
+}
+}  // namespace memlp

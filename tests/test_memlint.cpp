@@ -1,15 +1,27 @@
-// memlint's own test suite: runs the binary against the fixture trees in
-// tests/data/memlint/ (one deliberate violation per rule, a suppression
-// case, a near-miss "clean" case, and a tools/-scope case) and asserts the
-// exact rule ids, diagnostic locations, and exit codes.
+// memlint's own test suite, in two halves:
+//
+//   * CLI tests run the binary against the fixture trees in
+//     tests/data/memlint/ (one deliberate violation per rule, suppression
+//     cases at line and file scope, near-miss "clean" cases, and a
+//     tools/-scope case) and assert the exact rule ids, diagnostic
+//     locations, and exit codes.
+//   * Library tests link tools/memlint/ directly and exercise the
+//     stripper, the scope-aware parser, and the call graph on inline
+//     sources — no subprocess, no fixture files.
 //
 // MEMLINT_BIN and MEMLINT_FIXTURES are injected by tests/CMakeLists.txt.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <string>
+#include <vector>
+
+#include "memlint/callgraph.hpp"
+#include "memlint/parse.hpp"
+#include "memlint/stripper.hpp"
 
 namespace {
 
@@ -129,6 +141,156 @@ TEST(Memlint, R7AllowsEngineInternalIncludesInsideCore) {
   EXPECT_EQ(run.output, "");
 }
 
+TEST(Memlint, R8FlagsRefCaptureMutationsInParLambdas) {
+  const RunResult run = run_memlint("src/r8_par_mutation.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Direct lambda argument: scalar += and bare ++ on by-ref captures.
+  EXPECT_NE(run.output.find(
+                "src/r8_par_mutation.cpp:7: [R8/par-capture-determinism]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("capture 'sum' (+=)"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find(
+                "src/r8_par_mutation.cpp:8: [R8/par-capture-determinism]"),
+            std::string::npos)
+      << run.output;
+  // Lambda bound to a name, then handed to parallel_for_ranges.
+  EXPECT_NE(run.output.find(
+                "src/r8_par_mutation.cpp:10: [R8/par-capture-determinism]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("par::parallel_for_ranges"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(count_occurrences(run.output, "[R8/par-capture-determinism]"), 3)
+      << run.output;
+}
+
+TEST(Memlint, R8AllowsPerIndexSlotWritesAndLocals) {
+  const RunResult run = run_memlint("src/r8_indexed_ok.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(Memlint, R9FlagsDirectAllocationInHotFunction) {
+  const RunResult run = run_memlint("src/r9_hot_alloc.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(
+      run.output.find("src/r9_hot_alloc.cpp:5: [R9/hot-path-allocation]"),
+      std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("allocation (new) in hot-annotated "
+                            "'fixture_settle'"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, R9FlagsTransitiveAllocationAcrossFiles) {
+  const RunResult run =
+      run_memlint("src/r9_hot_alloc.cpp src/r9_helper.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // The helper's container growth is reached through the cross-file call
+  // graph; the diagnostic lands on the allocation site and names the root.
+  EXPECT_NE(run.output.find("src/r9_helper.cpp:5: [R9/hot-path-allocation]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("in 'fixture_stage_sum', reachable from "
+                            "hot-annotated 'fixture_settle'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(count_occurrences(run.output, "[R9/hot-path-allocation]"), 2)
+      << run.output;
+}
+
+TEST(Memlint, R9IgnoresAllocationsOutsideTheHotClosure) {
+  const RunResult run = run_memlint("src/r9_hot_clean.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(Memlint, R10FlagsUnchargedNestedLoopsInLinalg) {
+  const RunResult run = run_memlint("src/linalg/r10_loops.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Diagnostic anchors on the function header line. Braceless nested
+  // for-loops still count as depth 2.
+  EXPECT_NE(
+      run.output.find("src/linalg/r10_loops.cpp:3: [R10/ledger-coverage]"),
+      std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'fixture_frob' has nested loops"),
+            std::string::npos)
+      << run.output;
+  // fixture_trace carries memlint:allow(R10) on its header line.
+  EXPECT_EQ(count_occurrences(run.output, "[R10/ledger-coverage]"), 1)
+      << run.output;
+}
+
+TEST(Memlint, R10AcceptsChargeThroughACallee) {
+  const RunResult run = run_memlint("src/linalg/r10_charged.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(Memlint, DigitSeparatorDoesNotHideRestOfLine) {
+  const RunResult run = run_memlint("src/digit_sep.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // `fixture_work(10'000);` precedes the violation on the same line; a
+  // stripper that treats the separator as a char literal blanks it.
+  EXPECT_NE(run.output.find("src/digit_sep.cpp:5: [R5/unit-suffix]"),
+            std::string::npos)
+      << run.output;
+  // The raw string mentioning std::thread on line 6 must stay silent.
+  EXPECT_EQ(count_occurrences(run.output, "[R1/parallelism-discipline]"), 0)
+      << run.output;
+  EXPECT_NE(run.output.find("memlint: 1 violation(s)"), std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, AllowFileSuppressesByIdAndSlugAcrossTheFile) {
+  const RunResult run = run_memlint("src/allow_file.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(Memlint, AllowFileIsScopedToTheNamedRules) {
+  const RunResult run = run_memlint("src/allow_file_mixed.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // allow-file(R3) silences the console write but not the thread spawn.
+  EXPECT_EQ(count_occurrences(run.output, "[R3/io-discipline]"), 0)
+      << run.output;
+  EXPECT_NE(run.output.find(
+                "src/allow_file_mixed.cpp:5: [R1/parallelism-discipline]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("memlint: 1 violation(s)"), std::string::npos)
+      << run.output;
+}
+
+TEST(Memlint, JsonOutputCarriesSchemaRuleAndLocation) {
+  const RunResult run = run_memlint("--json src/digit_sep.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("\"schema\": \"memlp.memlint/1\""),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"file\": \"src/digit_sep.cpp\", \"line\": 5, "
+                            "\"rule\": \"R5\", \"slug\": \"unit-suffix\""),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"count\": 1"), std::string::npos) << run.output;
+}
+
+TEST(Memlint, SummaryCountsHitsAndSuppressionsPerRule) {
+  const RunResult run = run_memlint("--summary src/linalg/r10_loops.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("memlint summary:"), std::string::npos)
+      << run.output;
+  // One header fires, one carries an allow on its header line.
+  EXPECT_NE(run.output.find("R10/ledger-coverage"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("1 hit(s), 1 suppressed"), std::string::npos)
+      << run.output;
+}
+
 TEST(Memlint, SuppressionsByIdAndNameSilenceFindings) {
   const RunResult run = run_memlint("src/suppressed.cpp");
   EXPECT_EQ(run.exit_code, 0) << run.output;
@@ -153,11 +315,13 @@ TEST(Memlint, FullFixtureTreeReportsEveryRuleOnce) {
   for (const char* tag :
        {"[R1/parallelism-discipline]", "[R2/rng-discipline]",
         "[R3/io-discipline]", "[R4/error-discipline]", "[R5/unit-suffix]",
-        "[R6/header-hygiene]", "[R7/engine-encapsulation]"})
+        "[R6/header-hygiene]", "[R7/engine-encapsulation]",
+        "[R8/par-capture-determinism]", "[R9/hot-path-allocation]",
+        "[R10/ledger-coverage]"})
     EXPECT_NE(run.output.find(tag), std::string::npos)
         << tag << '\n'
         << run.output;
-  EXPECT_NE(run.output.find("memlint: 13 violation(s)"), std::string::npos)
+  EXPECT_NE(run.output.find("memlint: 21 violation(s)"), std::string::npos)
       << run.output;
 }
 
@@ -167,13 +331,163 @@ TEST(Memlint, ListRulesDocumentsTheCatalogue) {
   for (const char* slug :
        {"R1/parallelism-discipline", "R2/rng-discipline", "R3/io-discipline",
         "R4/error-discipline", "R5/unit-suffix", "R6/header-hygiene",
-        "R7/engine-encapsulation"})
+        "R7/engine-encapsulation", "R8/par-capture-determinism",
+        "R9/hot-path-allocation", "R10/ledger-coverage"})
     EXPECT_NE(run.output.find(slug), std::string::npos) << run.output;
 }
 
 TEST(Memlint, UnknownOptionIsAUsageError) {
   const RunResult run = run_memlint("--no-such-flag");
   EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// Library-level tests: tools/memlint/ linked directly.
+
+std::vector<std::string> strip_all(const std::vector<std::string>& raw) {
+  memlint::Stripper stripper;
+  std::vector<std::string> code;
+  code.reserve(raw.size());
+  for (const std::string& line : raw) code.push_back(stripper.strip(line));
+  return code;
+}
+
+memlint::FileModel parse_snippet(const std::string& rel,
+                                 const std::vector<std::string>& raw) {
+  return memlint::parse_file(rel, strip_all(raw), raw);
+}
+
+TEST(MemlintStripper, DigitSeparatorDoesNotOpenACharLiteral) {
+  memlint::Stripper stripper;
+  const std::string out =
+      stripper.strip("run(10'000); double energy = 1.0;");
+  EXPECT_NE(out.find("double energy"), std::string::npos) << out;
+  EXPECT_FALSE(stripper.mid_multiline());
+}
+
+TEST(MemlintStripper, CharLiteralsAreStillBlanked) {
+  memlint::Stripper stripper;
+  const std::string out = stripper.strip("char c = 'x'; keep();");
+  EXPECT_EQ(out.find('x'), std::string::npos) << out;
+  EXPECT_NE(out.find("keep"), std::string::npos) << out;
+}
+
+TEST(MemlintStripper, RawStringBodyIsBlankedQuotesAndAll) {
+  memlint::Stripper stripper;
+  const std::string out = stripper.strip(
+      "const char* q = R\"(say \"std::thread\" loudly)\"; keep();");
+  EXPECT_EQ(out.find("std::thread"), std::string::npos) << out;
+  EXPECT_NE(out.find("keep"), std::string::npos) << out;
+  EXPECT_FALSE(stripper.mid_multiline());
+}
+
+TEST(MemlintStripper, MultilineRawStringTracksItsDelimiter) {
+  memlint::Stripper stripper;
+  stripper.strip("auto q = R\"x(first");
+  EXPECT_TRUE(stripper.mid_multiline());
+  // A plain `)"` inside the body must NOT close a `)x"` raw string.
+  const std::string mid = stripper.strip("std::mutex m; )\" not yet");
+  EXPECT_EQ(mid.find("mutex"), std::string::npos) << mid;
+  EXPECT_TRUE(stripper.mid_multiline());
+  const std::string out = stripper.strip("last)x\" + tail;");
+  EXPECT_NE(out.find("tail"), std::string::npos) << out;
+  EXPECT_FALSE(stripper.mid_multiline());
+}
+
+TEST(MemlintParse, ExtractsFunctionsLoopsAndCaptures) {
+  const std::vector<std::string> raw = {
+      "namespace memlp {",
+      "// memlint:hot — snippet kernel.",
+      "double kernel(int n) {",
+      "  double acc = 0.0;",
+      "  for (int i = 0; i < n; ++i)",
+      "    for (int j = 0; j < n; ++j) acc += i * j;",
+      "  auto body = [&acc, n](int i) { acc += i; };",
+      "  par::parallel_for(n, body);",
+      "  return acc;",
+      "}",
+      "}",
+  };
+  const memlint::FileModel model = parse_snippet("src/x.cpp", raw);
+  ASSERT_EQ(model.functions.size(), 1u);
+  const memlint::FunctionInfo& fn = model.functions[0];
+  EXPECT_EQ(fn.name, "kernel");
+  EXPECT_EQ(fn.header_line, 3u);
+  EXPECT_EQ(fn.body_end, 10u);
+  EXPECT_TRUE(fn.hot);
+  // The nested for-loops are braceless; depth must still reach 2.
+  EXPECT_EQ(fn.max_loop_depth, 2u);
+
+  ASSERT_EQ(model.lambdas.size(), 1u);
+  const memlint::LambdaInfo& lambda = model.lambdas[0];
+  EXPECT_EQ(lambda.intro_line, 7u);
+  EXPECT_EQ(lambda.bound_to, "body");
+  EXPECT_FALSE(lambda.default_ref);
+  ASSERT_EQ(lambda.ref_captures.size(), 1u);
+  EXPECT_EQ(lambda.ref_captures[0], "acc");
+  ASSERT_EQ(lambda.copy_captures.size(), 1u);
+  EXPECT_EQ(lambda.copy_captures[0], "n");
+  ASSERT_EQ(lambda.params.size(), 1u);
+  EXPECT_EQ(lambda.params[0], "i");
+  EXPECT_EQ(lambda.enclosing_function, 0);
+
+  // The par call records its argument identifiers so bound lambdas can be
+  // matched back to the entry point.
+  bool saw_par_call = false;
+  for (const memlint::CallSite& call : fn.calls)
+    if (call.name == "parallel_for") {
+      saw_par_call = true;
+      EXPECT_NE(std::find(call.arg_idents.begin(), call.arg_idents.end(),
+                          "body"),
+                call.arg_idents.end());
+    }
+  EXPECT_TRUE(saw_par_call);
+}
+
+TEST(MemlintParse, RefMutationsFlagScalarsButNotIndexedSlots) {
+  const std::vector<std::string> raw = {
+      "namespace memlp {",
+      "void f(int n, double* out) {",
+      "  double sum = 0.0;",
+      "  par::parallel_for(n, [&](int i) {",
+      "    double local = 0.0;",
+      "    local += i;",
+      "    out[i] = local;",
+      "    sum += local;",
+      "  });",
+      "}",
+      "}",
+  };
+  const std::vector<std::string> code = strip_all(raw);
+  const memlint::FileModel model = memlint::parse_file("src/x.cpp", code, raw);
+  ASSERT_EQ(model.lambdas.size(), 1u);
+  const auto sites = memlint::lambda_ref_mutations(model.lambdas[0], code);
+  // `local` is body-local and `out[i]` is a per-index slot; only the
+  // scalar accumulation into the captured `sum` counts.
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].line, 8u);
+  EXPECT_EQ(sites[0].target, "sum");
+  EXPECT_EQ(sites[0].how, "+=");
+}
+
+TEST(MemlintCallGraph, ClosureCrossesFilesByFreeCalls) {
+  const memlint::FileModel a = parse_snippet(
+      "src/a.cpp", {"double top(int n) { return mid(n); }"});
+  const memlint::FileModel b = parse_snippet(
+      "src/b.cpp", {"double mid(int n) { return leaf(n); }",
+                    "double leaf(int n) { return n * 2.0; }"});
+  const std::vector<memlint::FileModel> models = {a, b};
+  memlint::CallGraph graph;
+  graph.build(models);
+
+  const std::vector<memlint::FunctionRef> roots = graph.resolve("top", "");
+  ASSERT_EQ(roots.size(), 1u);
+  const std::vector<memlint::Reached> closure = graph.closure(roots[0]);
+  ASSERT_EQ(closure.size(), 3u);
+  EXPECT_EQ(graph.fn(closure[0].ref).name, "top");
+  EXPECT_EQ(graph.fn(closure[1].ref).name, "mid");
+  EXPECT_EQ(graph.file_of(closure[1].ref), "src/b.cpp");
+  EXPECT_EQ(graph.fn(closure[2].ref).name, "leaf");
 }
 
 }  // namespace

@@ -1,509 +1,47 @@
-// memlint — memlp's project-invariant linter.
+// memlint — memlp's project-invariant linter (thin CLI).
 //
-// A from-scratch C++ source-level lint pass (token scanner, no libclang)
-// that enforces the discipline rules the simulator's fidelity contracts
-// depend on (see docs/static-analysis.md for the full catalogue and
-// docs/parallelism.md for the contracts themselves):
+// A from-scratch C++ source-level lint pass (token scanner + scope tracker,
+// no libclang) that enforces the discipline rules the simulator's fidelity
+// contracts depend on. The analysis lives in tools/memlint/ so the test
+// suite can link the layers directly:
 //
-//   R1 parallelism-discipline  no std::thread/std::async/raw mutexes
-//                              outside src/common/par.* — all parallelism
-//                              goes through memlp::par so the
-//                              bit-identical-at-any-thread-count contract
-//                              stays checkable in one place.
-//   R2 rng-discipline          no std::random_device / rand() / ad-hoc
-//                              std engine seeding outside src/common/rng.*
-//                              — every stochastic draw must come from a
-//                              seeded, splittable memlp::Rng stream.
-//   R3 io-discipline           no std::cout/std::cerr/printf in library
-//                              code outside src/obs/ — all side-channel
-//                              output flows through memlp::obs sinks.
-//                              tools/, bench/ and examples/ are exempt.
-//   R4 error-discipline        no bare assert() or throw
-//                              std::runtime_error in src/ — use
-//                              MEMLP_EXPECT*/MEMLP_ASSERT or a typed
-//                              memlp::Error subclass.
-//   R5 unit-suffix             double/float identifiers named after a
-//                              physical quantity (energy/latency/power)
-//                              must carry a unit suffix (_j, _pj, _s,
-//                              _ns, _w, ...).
-//   R6 header-hygiene          every header must contain #pragma once.
-//                              (Deep self-containment is verified by the
-//                              generated memlp_header_check target.)
-//   R7 engine-encapsulation    the PDIP iteration engine and its
-//                              NewtonSystem policies (core/engine.hpp and
-//                              the core/newton_* pairs) are private to
-//                              src/core/ — everything else goes through
-//                              the solver wrappers or engine/registry.hpp,
-//                              so the bit-exactness contract has one
-//                              surface to audit.
+//   stripper.*   comment/string/raw-string/digit-separator stripping
+//   parse.*      brace/scope tracking, functions, lambdas, call/alloc sites
+//   callgraph.*  cross-file symbol table + project-local call graph
+//   rules.*      R1–R7 line rules, R8–R10 model rules
+//   linter.*     two-pass driver, suppressions, summary, JSON
 //
-// Diagnostics are file:line with the rule id; a finding on a line whose
-// trailing comment contains `memlint:allow(R<n>)` (comma-separated ids
-// accepted) is suppressed. Matching happens on comment- and
-// string-literal-stripped text, so rule tables like the one below do not
-// flag themselves.
+// See docs/static-analysis.md for the rule catalogue and
+// docs/parallelism.md for the contracts themselves.
+//
+// Diagnostics are file:line with the rule id; `memlint:allow(R<n>)` on the
+// finding's line or `memlint:allow-file(R<n>)` anywhere in the file
+// suppresses (comma-separated ids or slugs accepted). Matching happens on
+// comment- and string-literal-stripped text, so rule tables do not flag
+// themselves.
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
 
-#include <algorithm>
-#include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "memlint/diag.hpp"
+#include "memlint/linter.hpp"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Rule {
-  int id;                // 1..7 — printed as R<id>.
-  const char* name;      // kebab-case slug.
-  const char* summary;   // one-line rationale for --list-rules.
-};
-
-constexpr Rule kRules[] = {
-    {1, "parallelism-discipline",
-     "raw threading primitives outside src/common/par.* break the "
-     "bit-identical-at-any-thread-count contract; use memlp::par"},
-    {2, "rng-discipline",
-     "non-deterministic or ad-hoc RNG outside src/common/rng.* breaks "
-     "seeded replay; draw from a split memlp::Rng stream"},
-    {3, "io-discipline",
-     "direct console output in library code bypasses memlp::obs trace "
-     "sinks (tools/bench/examples are exempt)"},
-    {4, "error-discipline",
-     "bare assert()/throw std::runtime_error in src/ bypass "
-     "MEMLP_EXPECT*/memlp::Error contract reporting"},
-    {5, "unit-suffix",
-     "physical-quantity identifiers (energy/latency/power) must carry a "
-     "unit suffix such as _j, _pj, _s, _ns, _w"},
-    {6, "header-hygiene", "headers must contain #pragma once"},
-    {7, "engine-encapsulation",
-     "core/engine.hpp and core/newton_* are private to src/core/; include "
-     "the solver wrappers or engine/registry.hpp instead"},
-};
-
-const Rule* find_rule(int id) {
-  for (const Rule& rule : kRules)
-    if (rule.id == id) return &rule;
-  return nullptr;
-}
-
-struct Diagnostic {
-  std::string file;  // root-relative path.
-  std::size_t line;  // 1-based; 0 for whole-file findings.
-  int rule;
-  std::string message;
-};
-
-/// Comment/string-literal stripper. Stateful across lines so that block
-/// comments spanning lines are handled; stripped characters are replaced
-/// with spaces to keep columns stable.
-class Stripper {
- public:
-  std::string strip(const std::string& line) {
-    std::string out;
-    out.reserve(line.size());
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state_) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            // Line comment: blank the rest of the line.
-            out.append(line.size() - i, ' ');
-            i = line.size();
-          } else if (c == '/' && next == '*') {
-            state_ = State::kBlockComment;
-            out.append(2, ' ');
-            ++i;
-          } else if (c == '"') {
-            // Raw strings are not used in this codebase; treat R"..."
-            // conservatively as an ordinary string (delimiters without
-            // parentheses would mis-scan, which the linter tolerates).
-            state_ = State::kString;
-            out.push_back(' ');
-          } else if (c == '\'') {
-            state_ = State::kChar;
-            out.push_back(' ');
-          } else {
-            out.push_back(c);
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state_ = State::kCode;
-            out.append(2, ' ');
-            ++i;
-          } else {
-            out.push_back(' ');
-          }
-          break;
-        case State::kString:
-          if (c == '\\' && next != '\0') {
-            out.append(2, ' ');
-            ++i;
-          } else {
-            if (c == '"') state_ = State::kCode;
-            out.push_back(' ');
-          }
-          break;
-        case State::kChar:
-          if (c == '\\' && next != '\0') {
-            out.append(2, ' ');
-            ++i;
-          } else {
-            if (c == '\'') state_ = State::kCode;
-            out.push_back(' ');
-          }
-          break;
-      }
-    }
-    // An unterminated string literal does not continue across lines
-    // (multi-line strings need explicit continuation, which we don't use).
-    if (state_ == State::kString || state_ == State::kChar)
-      state_ = State::kCode;
-    return out;
-  }
-
- private:
-  enum class State { kCode, kBlockComment, kString, kChar };
-  State state_ = State::kCode;
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Finds `token` in `line` as a whole token: the characters adjacent to the
-/// match must not extend an identifier (so `snprintf` never matches
-/// `printf`, `static_assert` never matches `assert`).
-std::vector<std::size_t> find_token(std::string_view line,
-                                    std::string_view token) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = line.find(token, pos)) != std::string_view::npos) {
-    const bool left_ok =
-        pos == 0 || (!is_ident_char(line[pos - 1]) && line[pos - 1] != ':');
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) hits.push_back(pos);
-    pos = end;
-  }
-  return hits;
-}
-
-/// True when the first non-space character before `pos` is `c` — used to
-/// skip template-argument mentions like std::lock_guard<std::mutex>.
-bool preceded_by(std::string_view line, std::size_t pos, char c) {
-  while (pos > 0) {
-    --pos;
-    if (line[pos] == ' ' || line[pos] == '\t') continue;
-    return line[pos] == c;
-  }
-  return false;
-}
-
-/// Parses `memlint:allow(R1,R3)` (rule ids or rule names) out of the raw
-/// (unstripped) line. Returns the set of suppressed rule ids.
-std::set<int> parse_suppressions(const std::string& raw_line) {
-  std::set<int> allowed;
-  const std::string marker = "memlint:allow(";
-  std::size_t pos = raw_line.find(marker);
-  while (pos != std::string::npos) {
-    const std::size_t open = pos + marker.size();
-    const std::size_t close = raw_line.find(')', open);
-    if (close == std::string::npos) break;
-    std::stringstream list(raw_line.substr(open, close - open));
-    std::string item;
-    while (std::getline(list, item, ',')) {
-      // Trim and normalise.
-      item.erase(std::remove_if(item.begin(), item.end(),
-                                [](unsigned char c) {
-                                  return std::isspace(c) != 0;
-                                }),
-                 item.end());
-      if (item.empty()) continue;
-      if ((item[0] == 'R' || item[0] == 'r') && item.size() > 1 &&
-          std::isdigit(static_cast<unsigned char>(item[1])) != 0) {
-        allowed.insert(std::stoi(item.substr(1)));
-      } else {
-        for (const Rule& rule : kRules)
-          if (item == rule.name) allowed.insert(rule.id);
-      }
-    }
-    pos = raw_line.find(marker, close);
-  }
-  return allowed;
-}
-
-/// Per-file scan context derived from the root-relative path.
-struct FileContext {
-  std::string rel;     // forward-slash, root-relative path.
-  bool in_src;         // under src/.
-  bool in_obs;         // under src/obs/.
-  bool in_core;        // under src/core/ (the engine's home, see R7).
-  bool is_par_file;    // src/common/par.hpp or par.cpp.
-  bool is_rng_file;    // src/common/rng.hpp or rng.cpp.
-  bool is_header;      // .hpp/.h.
-};
-
-FileContext make_context(const std::string& rel) {
-  FileContext context;
-  context.rel = rel;
-  context.in_src = rel.rfind("src/", 0) == 0;
-  context.in_obs = rel.rfind("src/obs/", 0) == 0;
-  context.in_core = rel.rfind("src/core/", 0) == 0;
-  context.is_par_file =
-      rel == "src/common/par.hpp" || rel == "src/common/par.cpp";
-  context.is_rng_file =
-      rel == "src/common/rng.hpp" || rel == "src/common/rng.cpp";
-  context.is_header = rel.ends_with(".hpp") || rel.ends_with(".h");
-  return context;
-}
-
-const char* const kR1Tokens[] = {
-    "std::thread",       "std::jthread",          "std::async",
-    "std::mutex",        "std::recursive_mutex",  "std::shared_mutex",
-    "std::timed_mutex",  "std::condition_variable",
-    "std::counting_semaphore", "std::binary_semaphore", "std::barrier",
-    "std::latch",        "pthread_create",
-};
-
-const char* const kR2Tokens[] = {
-    "std::random_device", "std::mt19937",  "std::mt19937_64",
-    "std::minstd_rand",   "std::minstd_rand0",
-    "std::default_random_engine", "std::ranlux24", "std::ranlux48",
-    "std::rand", "std::srand", "rand", "srand", "rand_r",
-};
-
-const char* const kR3Tokens[] = {
-    "std::cout", "std::cerr", "std::clog", "printf",
-    "fprintf",   "puts",      "putchar",   "fputs",
-};
-
-/// Engine-internal headers (R7): private to src/core/. Matched against the
-/// RAW line (an include path is a string literal, which the stripper blanks)
-/// together with an include directive on the same line — which is also why
-/// this table does not flag itself.
-const char* const kR7Tokens[] = {
-    "\"core/engine.hpp\"",
-    "\"core/newton_",
-};
-
-/// Unit suffixes accepted by R5 (longest-match not needed; any match wins).
-const char* const kUnitSuffixes[] = {
-    "_j",  "_mj", "_uj", "_nj", "_pj", "_fj",             // energy
-    "_s",  "_ms", "_us", "_ns", "_ps", "_fs",             // time
-    "_w",  "_kw", "_mw", "_uw", "_nw",                    // power
-    "_hz", "_khz", "_mhz", "_ghz",                        // rate
-    "_seconds", "_joules",                                // spelled out
-};
-
-bool has_unit_suffix(std::string_view ident) {
-  for (std::string_view suffix : kUnitSuffixes)
-    if (ident.ends_with(suffix)) return true;
-  return false;
-}
-
-const char* const kQuantityWords[] = {"energy", "latency", "power", "wall",
-                                      "duration"};
-
-/// Extracts identifier tokens with their start offsets.
-std::vector<std::pair<std::size_t, std::string>> identifiers(
-    std::string_view line) {
-  std::vector<std::pair<std::size_t, std::string>> out;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (std::isalpha(static_cast<unsigned char>(line[i])) != 0 ||
-        line[i] == '_') {
-      std::size_t start = i;
-      while (i < line.size() && is_ident_char(line[i])) ++i;
-      out.emplace_back(start, std::string(line.substr(start, i - start)));
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-class Linter {
- public:
-  explicit Linter(fs::path root) : root_(std::move(root)) {}
-
-  void scan_file(const fs::path& path) {
-    const std::string rel = relative_slash(path);
-    const FileContext context = make_context(rel);
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "memlint: cannot read " << path.string() << '\n';
-      io_error_ = true;
-      return;
-    }
-    Stripper stripper;
-    std::string raw;
-    std::size_t line_no = 0;
-    bool saw_pragma_once = false;
-    while (std::getline(in, raw)) {
-      ++line_no;
-      const std::string code = stripper.strip(raw);
-      if (code.find("#pragma") != std::string::npos &&
-          code.find("once") != std::string::npos)
-        saw_pragma_once = true;
-      const std::set<int> allowed = parse_suppressions(raw);
-      check_line(context, code, raw, line_no, allowed);
-    }
-    if (context.is_header && !saw_pragma_once)
-      report(context, 0, 6, "header is missing #pragma once");
-  }
-
-  void scan_tree(const fs::path& dir) {
-    std::vector<fs::path> files;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc")
-        files.push_back(entry.path());
-    }
-    std::sort(files.begin(), files.end());
-    for (const fs::path& file : files) scan_file(file);
-  }
-
-  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
-    return diagnostics_;
-  }
-  [[nodiscard]] bool io_error() const { return io_error_; }
-
- private:
-  std::string relative_slash(const fs::path& path) const {
-    std::error_code ec;
-    fs::path rel = fs::relative(path, root_, ec);
-    std::string s = (ec || rel.empty() ? path : rel).generic_string();
-    return s;
-  }
-
-  void report(const FileContext& context, std::size_t line, int rule_id,
-              std::string message) {
-    diagnostics_.push_back(
-        {context.rel, line, rule_id, std::move(message)});
-  }
-
-  void check_line(const FileContext& context, const std::string& code,
-                  const std::string& raw, std::size_t line_no,
-                  const std::set<int>& allowed) {
-    // R1 — parallelism discipline (everywhere except src/common/par.*).
-    if (!context.is_par_file && !allowed.contains(1)) {
-      for (const char* token : kR1Tokens) {
-        for (std::size_t pos : find_token(code, token)) {
-          // A mutex type mentioned as a template argument
-          // (std::lock_guard<std::mutex>) locks an existing, already
-          // vetted mutex; only declarations/spawns are flagged.
-          if (preceded_by(code, pos, '<')) continue;
-          report(context, line_no, 1,
-                 std::string(token) +
-                     " outside src/common/par.*; use memlp::par");
-        }
-      }
-    }
-    // R2 — RNG discipline (everywhere except src/common/rng.*).
-    if (!context.is_rng_file && !allowed.contains(2)) {
-      for (const char* token : kR2Tokens) {
-        std::string_view tok(token);
-        for (std::size_t pos : find_token(code, token)) {
-          // Bare `rand`/`srand`/`rand_r` must be a call to count.
-          if (tok.rfind("std::", 0) != 0) {
-            std::size_t after = pos + tok.size();
-            while (after < code.size() && code[after] == ' ') ++after;
-            if (after >= code.size() || code[after] != '(') continue;
-          }
-          report(context, line_no, 2,
-                 std::string(token) +
-                     " outside src/common/rng.*; draw from a split "
-                     "memlp::Rng stream");
-        }
-      }
-    }
-    // R3 — IO discipline (library code only; src/obs/ is the sink layer).
-    if (context.in_src && !context.in_obs && !allowed.contains(3)) {
-      for (const char* token : kR3Tokens) {
-        if (!find_token(code, token).empty())
-          report(context, line_no, 3,
-                 std::string(token) +
-                     " in library code; route output through memlp::obs");
-      }
-    }
-    // R4 — error discipline (library code only).
-    if (context.in_src && !allowed.contains(4)) {
-      for (std::size_t pos : find_token(code, "assert")) {
-        std::size_t after = pos + 6;
-        while (after < code.size() && code[after] == ' ') ++after;
-        if (after < code.size() && code[after] == '(')
-          report(context, line_no, 4,
-                 "bare assert(); use MEMLP_EXPECT*/MEMLP_ASSERT");
-      }
-      if (code.find("throw std::runtime_error") != std::string::npos)
-        report(context, line_no, 4,
-               "throw std::runtime_error; throw a typed memlp::Error "
-               "subclass");
-    }
-    // R5 — unit suffixes on physical-quantity declarations.
-    if (!allowed.contains(5)) {
-      const auto idents = identifiers(code);
-      for (std::size_t i = 1; i < idents.size(); ++i) {
-        const std::string& type = idents[i - 1].second;
-        if (type != "double" && type != "float") continue;
-        // Only a declarator position counts: between the type and the
-        // name, allow whitespace and &/* — this rejects casts like
-        // static_cast<double>(energy) and template args.
-        const std::size_t gap_begin = idents[i - 1].first + type.size();
-        const std::string_view gap(code.data() + gap_begin,
-                                   idents[i].first - gap_begin);
-        const bool declarator =
-            !gap.empty() &&
-            gap.find_first_not_of(" \t&*") == std::string_view::npos;
-        if (!declarator) continue;
-        const std::string& name = idents[i].second;
-        bool quantity = false;
-        for (const char* word : kQuantityWords)
-          if (name.find(word) != std::string::npos) quantity = true;
-        if (quantity && !has_unit_suffix(name))
-          report(context, line_no, 5,
-                 "'" + name +
-                     "' names a physical quantity but has no unit suffix "
-                     "(_j, _pj, _s, _ns, _w, ...)");
-      }
-    }
-    // R7 — engine encapsulation (everywhere except src/core/ itself). The
-    // include path is a string literal, which the stripper blanks out of
-    // `code`, so this rule matches on the raw line; requiring the directive
-    // and the path on one line keeps doc-comment mentions clean.
-    if (!context.in_core && !allowed.contains(7) &&
-        raw.find("#include") != std::string::npos) {
-      for (const char* token : kR7Tokens) {
-        if (raw.find(token) != std::string::npos)
-          report(context, line_no, 7,
-                 std::string(token) +
-                     " is engine-internal (private to src/core/); include "
-                     "the solver wrappers or engine/registry.hpp");
-      }
-    }
-  }
-
-  fs::path root_;
-  std::vector<Diagnostic> diagnostics_;
-  bool io_error_ = false;
-};
-
 int usage(std::ostream& os, int code) {
-  os << "usage: memlint [--root DIR] [--list-rules] [path...]\n"
+  os << "usage: memlint [--root DIR] [--list-rules] [--json] [--summary] "
+        "[path...]\n"
         "Scans path... (default: src tools bench examples) under DIR\n"
-        "(default: cwd) for memlp project-invariant violations.\n";
+        "(default: cwd) for memlp project-invariant violations.\n"
+        "  --json     print diagnostics as JSON (schema memlp.memlint/1)\n"
+        "  --summary  print a per-rule hit/suppression summary to stderr\n";
   return code;
 }
 
@@ -512,16 +50,22 @@ int usage(std::ostream& os, int code) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> paths;
+  bool json = false;
+  bool summary = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--root") {
       if (i + 1 >= argc) return usage(std::cerr, 2);
       root = argv[++i];
     } else if (arg == "--list-rules") {
-      for (const Rule& rule : kRules)
+      for (const memlint::Rule& rule : memlint::kRules)
         std::cout << 'R' << rule.id << '/' << rule.name << ": "
                   << rule.summary << '\n';
       return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--summary") {
+      summary = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else if (arg.rfind("--", 0) == 0) {
@@ -539,7 +83,7 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) paths = {"src", "tools", "bench", "examples"};
 
-  Linter linter(root);
+  memlint::Linter linter(root);
   for (const std::string& p : paths) {
     fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
     if (fs::is_directory(abs)) {
@@ -550,13 +94,19 @@ int main(int argc, char** argv) {
     // Missing default subdirectories are skipped silently so the same
     // invocation works on fixture trees that only contain src/.
   }
+  linter.finalize();
 
-  for (const Diagnostic& diag : linter.diagnostics()) {
-    const Rule* rule = find_rule(diag.rule);
-    std::cout << diag.file << ':' << diag.line << ": [R" << diag.rule << '/'
-              << (rule != nullptr ? rule->name : "?") << "] " << diag.message
-              << '\n';
+  if (json) {
+    linter.print_json(std::cout);
+  } else {
+    for (const memlint::Diagnostic& diag : linter.diagnostics()) {
+      const memlint::Rule* rule = memlint::find_rule(diag.rule);
+      std::cout << diag.file << ':' << diag.line << ": [R" << diag.rule
+                << '/' << (rule != nullptr ? rule->name : "?") << "] "
+                << diag.message << '\n';
+    }
   }
+  if (summary) linter.print_summary(std::cerr);
   if (linter.io_error()) return 2;
   if (!linter.diagnostics().empty()) {
     std::cerr << "memlint: " << linter.diagnostics().size()

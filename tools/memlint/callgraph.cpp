@@ -1,0 +1,80 @@
+#include "memlint/callgraph.hpp"
+
+#include <deque>
+#include <set>
+
+#include "memlint/text.hpp"
+
+namespace memlint {
+namespace {
+
+/// Class qualifier of a definition name: "Cls" for `Cls::f`, "" for `f`.
+std::string class_of(const std::string& qualified) {
+  const std::size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? std::string{} : qualified.substr(0, pos);
+}
+
+}  // namespace
+
+void CallGraph::build(const std::vector<FileModel>& models) {
+  models_ = &models;
+  by_simple_.clear();
+  file_excluded_.assign(models.size(), false);
+  for (std::size_t f = 0; f < models.size(); ++f) {
+    file_excluded_[f] = models[f].rel.starts_with("src/obs/");
+    for (std::size_t k = 0; k < models[f].functions.size(); ++k) {
+      const std::string simple(simple_name(models[f].functions[k].name));
+      by_simple_[simple].push_back(
+          {static_cast<int>(f), static_cast<int>(k)});
+    }
+  }
+}
+
+std::vector<FunctionRef> CallGraph::resolve(
+    const std::string& simple, const std::string& caller_class) const {
+  const auto it = by_simple_.find(simple);
+  if (it == by_simple_.end()) return {};
+  std::vector<FunctionRef> same_class;
+  std::vector<FunctionRef> everywhere;
+  for (const FunctionRef& ref : it->second) {
+    if (file_excluded_[static_cast<std::size_t>(ref.file)]) continue;
+    const std::string cls = class_of(fn(ref).name);
+    if (!caller_class.empty() && cls == caller_class)
+      same_class.push_back(ref);
+    everywhere.push_back(ref);
+  }
+  return same_class.empty() ? everywhere : same_class;
+}
+
+std::vector<Reached> CallGraph::closure(FunctionRef root) const {
+  std::vector<Reached> out;
+  std::set<FunctionRef> seen;
+  std::deque<Reached> queue;
+  queue.push_back({root, {-1, -1}, 0});
+  seen.insert(root);
+  while (!queue.empty()) {
+    const Reached current = queue.front();
+    queue.pop_front();
+    out.push_back(current);
+    const FunctionInfo& info = fn(current.ref);
+    const std::string caller_class = class_of(info.name);
+    for (const CallSite& call : info.calls) {
+      for (const FunctionRef& next : resolve(call.name, caller_class)) {
+        if (next == current.ref) continue;  // self-recursion.
+        if (!seen.insert(next).second) continue;
+        queue.push_back({next, current.ref, call.line});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FunctionRef> CallGraph::all() const {
+  std::vector<FunctionRef> out;
+  for (std::size_t f = 0; f < models_->size(); ++f)
+    for (std::size_t k = 0; k < (*models_)[f].functions.size(); ++k)
+      out.push_back({static_cast<int>(f), static_cast<int>(k)});
+  return out;
+}
+
+}  // namespace memlint

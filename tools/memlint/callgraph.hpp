@@ -1,0 +1,76 @@
+// Cross-file symbol table and project-local call graph — memlint's third
+// analysis layer, built in the finalize pass once every file is parsed.
+//
+// Resolution is deliberately modest: only free-call sites (identifier
+// followed by `(`, not reached through `.`/`->` and not `std::`-qualified)
+// become edges. A call from `Cls::f` prefers definitions inside `Cls`
+// (unqualified member calls), then falls back to every project definition
+// sharing the simple name. Member calls through objects stay unresolved —
+// virtual dispatch is invisible to a token scanner — which is why each hot
+// layer (crossbar, factor cache, LU kernels) carries its own annotation
+// instead of relying on transitive discovery through interfaces.
+//
+// Files under `src/obs/` are indexed but never traversed: the observability
+// layer (CostLedger, TraceWriter) is exempt from hot-path allocation
+// accounting because tracing is off on measured runs.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "memlint/parse.hpp"
+
+namespace memlint {
+
+struct FunctionRef {
+  int file = -1;  // index into the model list.
+  int fn = -1;    // index into FileModel::functions.
+  bool operator<(const FunctionRef& o) const {
+    return file != o.file ? file < o.file : fn < o.fn;
+  }
+  bool operator==(const FunctionRef& o) const {
+    return file == o.file && fn == o.fn;
+  }
+};
+
+/// One step of a hot-path closure walk: a reached function and the call
+/// site it was reached through (for diagnostics like `solve -> gemv`).
+struct Reached {
+  FunctionRef ref;
+  FunctionRef parent;        // {-1,-1} for the root.
+  std::size_t via_line = 0;  // call-site line in the parent's file.
+};
+
+class CallGraph {
+ public:
+  void build(const std::vector<FileModel>& models);
+
+  const FunctionInfo& fn(FunctionRef ref) const {
+    return (*models_)[static_cast<std::size_t>(ref.file)]
+        .functions[static_cast<std::size_t>(ref.fn)];
+  }
+  const std::string& file_of(FunctionRef ref) const {
+    return (*models_)[static_cast<std::size_t>(ref.file)].rel;
+  }
+
+  /// Definitions matching a call to `simple` from inside `caller_class`
+  /// (empty for free functions). Excludes src/obs/ definitions.
+  std::vector<FunctionRef> resolve(const std::string& simple,
+                                   const std::string& caller_class) const;
+
+  /// Breadth-first closure over resolved free calls starting at `root`
+  /// (root itself is the first element). Traversal never enters src/obs/.
+  std::vector<Reached> closure(FunctionRef root) const;
+
+  /// All functions, for iteration by rules.
+  std::vector<FunctionRef> all() const;
+
+ private:
+  const std::vector<FileModel>* models_ = nullptr;
+  std::map<std::string, std::vector<FunctionRef>> by_simple_;
+  std::vector<bool> file_excluded_;  // src/obs/ — indexed, not traversed.
+};
+
+}  // namespace memlint

@@ -1,0 +1,63 @@
+// memlint rule catalogue and diagnostic record (docs/static-analysis.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace memlint {
+
+struct Rule {
+  int id;                // 1..10 — printed as R<id>.
+  const char* name;      // kebab-case slug.
+  const char* summary;   // one-line rationale for --list-rules.
+};
+
+// Rules are numbered once and never reused. R1–R7 are line-local token
+// rules; R8–R10 run on the parsed function/lambda/call-graph model.
+inline constexpr Rule kRules[] = {
+    {1, "parallelism-discipline",
+     "raw threading primitives outside src/common/par.* break the "
+     "bit-identical-at-any-thread-count contract; use memlp::par"},
+    {2, "rng-discipline",
+     "non-deterministic or ad-hoc RNG outside src/common/rng.* breaks "
+     "seeded replay; draw from a split memlp::Rng stream"},
+    {3, "io-discipline",
+     "direct console output in library code bypasses memlp::obs trace "
+     "sinks (tools/bench/examples are exempt)"},
+    {4, "error-discipline",
+     "bare assert()/throw std::runtime_error in src/ bypass "
+     "MEMLP_EXPECT*/memlp::Error contract reporting"},
+    {5, "unit-suffix",
+     "physical-quantity identifiers (energy/latency/power) must carry a "
+     "unit suffix such as _j, _pj, _s, _ns, _w"},
+    {6, "header-hygiene", "headers must contain #pragma once"},
+    {7, "engine-encapsulation",
+     "core/engine.hpp and core/newton_* are private to src/core/; include "
+     "the solver wrappers or engine/registry.hpp instead"},
+    {8, "par-capture-determinism",
+     "lambdas handed to memlp::par may write captures only through "
+     "per-index slots; scalar accumulation or container growth is "
+     "merge-order-dependent and breaks the bit-identical contract"},
+    {9, "hot-path-allocation",
+     "functions carrying the hot annotation must stay transitively "
+     "allocation-free (no new/make_unique/container growth) so the analog "
+     "kernels survive the scale-up to N in the thousands"},
+    {10, "ledger-coverage",
+     "src/linalg functions with nested loops must charge CostLedger flops "
+     "(directly or via a callee) so cost attribution stays trustworthy"},
+};
+
+inline const Rule* find_rule(int id) {
+  for (const Rule& rule : kRules)
+    if (rule.id == id) return &rule;
+  return nullptr;
+}
+
+struct Diagnostic {
+  std::string file;  // root-relative path.
+  std::size_t line;  // 1-based; 0 for whole-file findings.
+  int rule;
+  std::string message;
+};
+
+}  // namespace memlint

@@ -1,0 +1,201 @@
+#include "memlint/linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "memlint/callgraph.hpp"
+#include "memlint/rules.hpp"
+#include "memlint/stripper.hpp"
+
+namespace memlint {
+
+namespace fs = std::filesystem;
+
+std::set<int> parse_suppressions(const std::string& raw_line,
+                                 const std::string& marker) {
+  std::set<int> allowed;
+  std::size_t pos = raw_line.find(marker);
+  while (pos != std::string::npos) {
+    const std::size_t open = pos + marker.size();
+    const std::size_t close = raw_line.find(')', open);
+    if (close == std::string::npos) break;
+    std::stringstream list(raw_line.substr(open, close - open));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      // Trim and normalise.
+      item.erase(std::remove_if(item.begin(), item.end(),
+                                [](unsigned char c) {
+                                  return std::isspace(c) != 0;
+                                }),
+                 item.end());
+      if (item.empty()) continue;
+      if ((item[0] == 'R' || item[0] == 'r') && item.size() > 1 &&
+          std::isdigit(static_cast<unsigned char>(item[1])) != 0) {
+        allowed.insert(std::stoi(item.substr(1)));
+      } else {
+        for (const Rule& rule : kRules)
+          if (item == rule.name) allowed.insert(rule.id);
+      }
+    }
+    pos = raw_line.find(marker, close);
+  }
+  return allowed;
+}
+
+std::string Linter::relative_slash(const fs::path& path) const {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root_, ec);
+  std::string s = (ec || rel.empty() ? path : rel).generic_string();
+  return s;
+}
+
+bool Linter::is_suppressed(const Diagnostic& diag) const {
+  const auto it = records_.find(diag.file);
+  if (it == records_.end()) return false;
+  if (it->second.file_allows.contains(diag.rule)) return true;
+  const auto line_it = it->second.line_allows.find(diag.line);
+  return line_it != it->second.line_allows.end() &&
+         line_it->second.contains(diag.rule);
+}
+
+void Linter::deliver(const Diagnostic& diag) {
+  const std::size_t slot =
+      diag.rule >= 0 && diag.rule < 16 ? static_cast<std::size_t>(diag.rule)
+                                       : 0;
+  if (is_suppressed(diag)) {
+    ++suppressed_[slot];
+    return;
+  }
+  ++hits_[slot];
+  diagnostics_.push_back(diag);
+}
+
+void Linter::scan_file(const fs::path& path) {
+  const std::string rel = relative_slash(path);
+  const FileContext context = make_context(rel);
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "memlint: cannot read " << path.string() << '\n';
+    io_error_ = true;
+    return;
+  }
+  Stripper stripper;
+  FileRecord& record = records_[rel];
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  std::vector<Diagnostic> pending;
+  std::string raw;
+  std::size_t line_no = 0;
+  bool saw_pragma_once = false;
+  const std::string line_marker = "memlint:allow(";
+  const std::string file_marker = "memlint:allow-file(";
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string code = stripper.strip(raw);
+    if (code.find("#pragma") != std::string::npos &&
+        code.find("once") != std::string::npos)
+      saw_pragma_once = true;
+    const std::set<int> line_allowed = parse_suppressions(raw, line_marker);
+    if (!line_allowed.empty()) record.line_allows[line_no] = line_allowed;
+    const std::set<int> file_allowed = parse_suppressions(raw, file_marker);
+    record.file_allows.insert(file_allowed.begin(), file_allowed.end());
+    check_line(context, code, raw, line_no, pending);
+    raw_lines.push_back(raw);
+    code_lines.push_back(code);
+  }
+  if (context.is_header && !saw_pragma_once)
+    pending.push_back({rel, 0, 6, "header is missing #pragma once"});
+  // Suppressions (notably allow-file) may follow a finding, so filtering
+  // waits until the whole file is read.
+  for (const Diagnostic& diag : pending) deliver(diag);
+  models_.push_back(parse_file(rel, code_lines, raw_lines));
+  stripped_.push_back(std::move(code_lines));
+}
+
+void Linter::scan_tree(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) scan_file(file);
+}
+
+void Linter::finalize() {
+  CallGraph graph;
+  graph.build(models_);
+  std::vector<Diagnostic> model_diags;
+  check_model_rules(models_, stripped_, graph, model_diags);
+  for (const Diagnostic& diag : model_diags) deliver(diag);
+}
+
+void Linter::print_summary(std::ostream& os) const {
+  os << "memlint summary:\n";
+  for (const Rule& rule : kRules) {
+    std::string label = "R";
+    label += std::to_string(rule.id);
+    label += "/";
+    label += rule.name;
+    os << "  " << label;
+    for (std::size_t pad = label.size(); pad < 28; ++pad) os << ' ';
+    os << ' ' << hits(rule.id) << " hit(s), " << suppressed(rule.id)
+       << " suppressed\n";
+  }
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Linter::print_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"memlp.memlint/1\",\n  \"violations\": [";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& diag = diagnostics_[i];
+    const Rule* rule = find_rule(diag.rule);
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"file\": \"" << json_escape(diag.file)
+       << "\", \"line\": " << diag.line << ", \"rule\": \"R" << diag.rule
+       << "\", \"slug\": \"" << (rule != nullptr ? rule->name : "?")
+       << "\", \"message\": \"" << json_escape(diag.message) << "\"}";
+  }
+  os << (diagnostics_.empty() ? "]" : "\n  ]") << ",\n  \"count\": "
+     << diagnostics_.size() << "\n}\n";
+}
+
+}  // namespace memlint

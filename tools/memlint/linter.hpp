@@ -1,0 +1,91 @@
+// Two-pass lint driver.
+//
+// Pass 1 (scan_file/scan_tree): per-file — strip, run line rules R1–R7,
+// parse the scope/function/lambda model, and collect suppressions
+// (same-line `memlint:allow(Rn)` and whole-file `memlint:allow-file(Rn)`).
+// Pass 2 (finalize): build the cross-file call graph and run the model
+// rules R8–R10, then filter every finding against the suppression maps.
+//
+// Suppressed findings are counted per rule (for --summary) but not
+// reported. Exit-code policy stays with the caller: diagnostics() empty
+// means clean.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "memlint/diag.hpp"
+#include "memlint/parse.hpp"
+
+namespace memlint {
+
+/// Parses `memlint:allow(R1,R3)` (rule ids or rule names) out of the raw
+/// (unstripped) line. Returns the set of suppressed rule ids. `marker`
+/// selects the same-line or the file-scope form.
+std::set<int> parse_suppressions(const std::string& raw_line,
+                                 const std::string& marker);
+
+class Linter {
+ public:
+  explicit Linter(std::filesystem::path root) : root_(std::move(root)) {}
+
+  void scan_file(const std::filesystem::path& path);
+  void scan_tree(const std::filesystem::path& dir);
+
+  /// Runs the cross-file rules (R8–R10). Call once, after all scans.
+  void finalize();
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool io_error() const { return io_error_; }
+
+  /// Per-rule counters: reported hits and suppressed hits, indexed by
+  /// rule id. Meaningful after finalize().
+  [[nodiscard]] std::size_t hits(int rule) const {
+    return counter(hits_, rule);
+  }
+  [[nodiscard]] std::size_t suppressed(int rule) const {
+    return counter(suppressed_, rule);
+  }
+
+  /// One line per rule: `R1/parallelism-discipline  2 hit(s), 1 suppressed`.
+  void print_summary(std::ostream& os) const;
+
+  /// Machine-readable diagnostics (schema memlp.memlint/1).
+  void print_json(std::ostream& os) const;
+
+ private:
+  struct FileRecord {
+    std::map<std::size_t, std::set<int>> line_allows;
+    std::set<int> file_allows;
+  };
+
+  static std::size_t counter(const std::array<std::size_t, 16>& table,
+                             int rule) {
+    return rule >= 0 && rule < 16
+               ? table[static_cast<std::size_t>(rule)]
+               : 0;
+  }
+
+  [[nodiscard]] bool is_suppressed(const Diagnostic& diag) const;
+  void deliver(const Diagnostic& diag);
+  std::string relative_slash(const std::filesystem::path& path) const;
+
+  std::filesystem::path root_;
+  std::vector<Diagnostic> diagnostics_;
+  std::map<std::string, FileRecord> records_;
+  std::vector<FileModel> models_;
+  std::vector<std::vector<std::string>> stripped_;
+  std::array<std::size_t, 16> hits_{};
+  std::array<std::size_t, 16> suppressed_{};
+  bool io_error_ = false;
+};
+
+}  // namespace memlint

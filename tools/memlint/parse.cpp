@@ -1,0 +1,901 @@
+#include "memlint/parse.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+#include "memlint/text.hpp"
+
+namespace memlint {
+namespace {
+
+constexpr std::size_t kPendingCap = 4096;  // signature buffer bound.
+
+bool is_control_keyword(std::string_view tok) {
+  static constexpr std::array<std::string_view, 9> kWords = {
+      "if", "for", "while", "switch", "catch", "return",
+      "sizeof", "do", "else"};
+  return std::find(kWords.begin(), kWords.end(), tok) != kWords.end();
+}
+
+bool is_class_keyword(std::string_view tok) {
+  return tok == "class" || tok == "struct" || tok == "enum" || tok == "union";
+}
+
+/// Declarator-position exclusions: `return value` must not read as a
+/// declaration of `value`.
+bool is_non_type_keyword(std::string_view tok) {
+  static constexpr std::array<std::string_view, 10> kWords = {
+      "return", "else", "case", "goto", "throw", "new",
+      "delete", "co_return", "co_yield", "in"};
+  return std::find(kWords.begin(), kWords.end(), tok) != kWords.end();
+}
+
+/// Container-growth methods that (re)allocate; a hot path calling one of
+/// these on anything is flagged by R9.
+bool is_growth_method(std::string_view tok) {
+  static constexpr std::array<std::string_view, 8> kMethods = {
+      "push_back", "emplace_back", "emplace", "resize",
+      "reserve",   "insert",       "append",  "assign"};
+  return std::find(kMethods.begin(), kMethods.end(), tok) != kMethods.end();
+}
+
+/// Types whose non-empty construction allocates. `Vec`/`Matrix` are the
+/// project's owning linalg containers; the rest are std:: owners (matched
+/// only when `std::`-qualified).
+bool is_project_alloc_type(std::string_view tok) {
+  return tok == "Vec" || tok == "Matrix";
+}
+
+bool is_std_alloc_type(std::string_view tok) {
+  static constexpr std::array<std::string_view, 11> kTypes = {
+      "vector", "string", "map",          "set",  "unordered_map",
+      "deque",  "list",   "stringstream", "ostringstream",
+      "unordered_set", "multimap"};
+  return std::find(kTypes.begin(), kTypes.end(), tok) != kTypes.end();
+}
+
+bool is_par_entry_point(std::string_view tok) {
+  return tok == "parallel_for" || tok == "parallel_for_ranges" ||
+         tok == "for_chunks";
+}
+
+/// The hot-path marker, looked up on RAW lines (it lives in comments).
+bool has_hot_marker(const std::string& raw_line) {
+  return raw_line.find("memlint:hot") != std::string::npos;
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kFunction, kLambda, kBlock, kInit };
+  Kind kind;
+  bool is_loop = false;
+  int index = -1;     // functions[]/lambdas[] index for those kinds.
+  std::string name;   // class/namespace name (class qualification).
+};
+
+struct Paren {
+  std::string callee;       // simple name of the call, "" for grouping.
+  bool member = false;      // reached through `.`/`->`.
+  bool external = false;    // `std::`-qualified.
+  bool lambda_params = false;
+  int call_fn = -1;         // owning function of the CallSite, if any.
+  int call_site = -1;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& rel, const std::vector<std::string>& stripped,
+         const std::vector<std::string>& raw)
+      : stripped_(stripped), raw_(raw) {
+    model_.rel = rel;
+  }
+
+  FileModel run() {
+    bool in_preprocessor = false;
+    for (std::size_t idx = 0; idx < stripped_.size(); ++idx) {
+      line_no_ = idx + 1;
+      const std::string& line = stripped_[idx];
+      if (in_preprocessor) {
+        in_preprocessor = raw_[idx].ends_with("\\");
+        continue;
+      }
+      const std::size_t first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line[first] == '#') {
+        in_preprocessor = raw_[idx].ends_with("\\");
+        continue;
+      }
+      process_line(line);
+    }
+    // Close any unbalanced scopes so partial inputs still yield ranges.
+    while (!scopes_.empty()) pop_scope();
+    return std::move(model_);
+  }
+
+ private:
+  // ---- pending signature buffer -----------------------------------------
+  void pend(char c) {
+    if (pending_.empty()) {
+      if (c == ' ') return;
+      pending_start_ = line_no_;
+    }
+    if (pending_.size() < kPendingCap) {
+      if (c == ' ' && pending_.ends_with(' ')) return;
+      pending_.push_back(c);
+    }
+  }
+  void pend(std::string_view tok) {
+    for (char c : tok) pend(c);
+  }
+  void clear_pending() {
+    pending_.clear();
+    pending_start_ = 0;
+  }
+
+  /// Trailing identifier of `pending_` (skipping trailing spaces), with its
+  /// start offset, or "" when pending ends in punctuation.
+  std::string pending_tail_ident(std::size_t* start = nullptr) const {
+    std::size_t end = pending_.size();
+    while (end > 0 && pending_[end - 1] == ' ') --end;
+    std::size_t begin = end;
+    while (begin > 0 && is_ident_char(pending_[begin - 1])) --begin;
+    if (start != nullptr) *start = begin;
+    return pending_.substr(begin, end - begin);
+  }
+
+  char pending_last_char() const {
+    std::size_t end = pending_.size();
+    while (end > 0 && pending_[end - 1] == ' ') --end;
+    return end == 0 ? '\0' : pending_[end - 1];
+  }
+
+  // ---- scope helpers ----------------------------------------------------
+  int enclosing_function() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+      if (it->kind == Scope::Kind::kFunction) return it->index;
+    return -1;
+  }
+
+  bool in_executable_code() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      switch (it->kind) {
+        case Scope::Kind::kFunction:
+        case Scope::Kind::kLambda:
+          return true;
+        case Scope::Kind::kNamespace:
+        case Scope::Kind::kClass:
+          return false;
+        default:
+          continue;
+      }
+    }
+    return false;
+  }
+
+  std::size_t loop_depth_on_stack() const {
+    std::size_t depth = 0;
+    for (const Scope& scope : scopes_)
+      if (scope.is_loop) ++depth;
+    return depth;
+  }
+
+  void pop_scope() {
+    if (scopes_.empty()) return;
+    const Scope scope = scopes_.back();
+    scopes_.pop_back();
+    if (scope.kind == Scope::Kind::kFunction && scope.index >= 0)
+      model_.functions[static_cast<std::size_t>(scope.index)].body_end =
+          line_no_;
+    if (scope.kind == Scope::Kind::kLambda && scope.index >= 0)
+      model_.lambdas[static_cast<std::size_t>(scope.index)].body_end =
+          line_no_;
+  }
+
+  // ---- lambda pending machine -------------------------------------------
+  enum class LambdaStage { kNone, kCaptures, kAwaitParams, kParams, kAwait };
+
+  void cancel_lambda() {
+    lambda_stage_ = LambdaStage::kNone;
+    lambda_ = LambdaInfo{};
+    capture_text_.clear();
+    param_text_.clear();
+  }
+
+  void finish_lambda_captures() {
+    // Split the capture list on top-level commas.
+    std::vector<std::string> items;
+    std::string current;
+    int depth = 0;
+    for (char c : capture_text_) {
+      if (c == '(' || c == '[' || c == '<' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '>' || c == '}') --depth;
+      if (c == ',' && depth == 0) {
+        items.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    items.push_back(current);
+    for (std::string& item : items) {
+      item.erase(std::remove(item.begin(), item.end(), ' '), item.end());
+      if (item.empty()) continue;
+      if (item == "&") {
+        lambda_.default_ref = true;
+      } else if (item == "=") {
+        lambda_.default_copy = true;
+      } else if (item == "this" || item == "*this") {
+        lambda_.captures_this = true;
+      } else if (item[0] == '&') {
+        std::size_t end = 1;
+        while (end < item.size() && is_ident_char(item[end])) ++end;
+        if (end > 1) lambda_.ref_captures.push_back(item.substr(1, end - 1));
+      } else {
+        std::size_t end = 0;
+        while (end < item.size() && is_ident_char(item[end])) ++end;
+        if (end > 0) lambda_.copy_captures.push_back(item.substr(0, end));
+      }
+    }
+  }
+
+  void finish_lambda_params() {
+    std::vector<std::string> items;
+    std::string current;
+    int depth = 0;
+    for (char c : param_text_) {
+      if (c == '(' || c == '[' || c == '<' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '>' || c == '}') --depth;
+      if (c == ',' && depth == 0) {
+        items.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    items.push_back(current);
+    for (const std::string& item : items) {
+      // The declared name is the last identifier of the parameter.
+      const auto idents = identifiers(item);
+      if (!idents.empty()) lambda_.params.push_back(idents.back().second);
+    }
+  }
+
+  // ---- site recording ---------------------------------------------------
+  FunctionInfo* site_function() {
+    const int fn = enclosing_function();
+    if (fn < 0) return nullptr;
+    return &model_.functions[static_cast<std::size_t>(fn)];
+  }
+
+  void record_alloc(std::string what) {
+    if (lambda_stage_ != LambdaStage::kNone) return;
+    if (FunctionInfo* fn = site_function())
+      fn->allocs.push_back({line_no_, std::move(what)});
+  }
+
+  // ---- token / char handlers --------------------------------------------
+  void process_line(const std::string& line) {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (is_ident_start(c)) {
+        std::size_t end = i;
+        while (end < line.size() && is_ident_char(line[end])) ++end;
+        handle_token(line, i, end);
+        i = end;
+        continue;
+      }
+      if (lambda_stage_ == LambdaStage::kCaptures && c != '[' && c != ']')
+        capture_text_.push_back(c);
+      if (lambda_stage_ == LambdaStage::kParams && c != '(' && c != ')')
+        param_text_.push_back(c);
+      switch (c) {
+        case '{':
+          handle_open_brace();
+          break;
+        case '}':
+          pop_scope();
+          clear_pending();
+          cancel_lambda();
+          braceless_loops_ = 0;
+          break;
+        case '(':
+          handle_open_paren();
+          pend('(');
+          break;
+        case ')':
+          handle_close_paren();
+          pend(')');
+          break;
+        case '[':
+          handle_open_bracket(line, i);
+          pend('[');
+          break;
+        case ']':
+          handle_close_bracket();
+          pend(']');
+          break;
+        case ';':
+          // `;` separates statements only at paren depth 0 — inside a
+          // `for (init; cond; step)` header it must not reset the
+          // signature buffer, or the `{` that follows loses its header.
+          if (!parens_.empty()) {
+            pend(';');
+            break;
+          }
+          clear_pending();
+          braceless_loops_ = 0;  // the brace-less statement ends here.
+          if (lambda_stage_ != LambdaStage::kNone &&
+              lambda_stage_ != LambdaStage::kCaptures &&
+              lambda_stage_ != LambdaStage::kParams)
+            cancel_lambda();
+          break;
+        case '\t':
+          pend(' ');
+          break;
+        default:
+          pend(c);
+          break;
+      }
+      ++i;
+    }
+    pend(' ');  // line break behaves like whitespace between tokens.
+  }
+
+  void handle_token(const std::string& line, std::size_t s, std::size_t e) {
+    const std::string_view tok(line.data() + s, e - s);
+    if (lambda_stage_ == LambdaStage::kCaptures) {
+      capture_text_.append(tok);
+      pend(tok);
+      return;
+    }
+    if (lambda_stage_ == LambdaStage::kParams) {
+      param_text_.append(tok);
+      pend(tok);
+      return;
+    }
+
+    // Nested-loop depth: counted at the keyword so brace-less inner loops
+    // (`for (...) for (...) x;`) still register. A loop keyword whose body
+    // turns out to be a brace block decrements the tentative brace-less
+    // count again in handle_open_brace; a `;` at paren depth 0 ends the
+    // brace-less statement. Range-for counts like any other loop.
+    if ((tok == "for" || tok == "while" || tok == "do") &&
+        in_executable_code()) {
+      if (FunctionInfo* fn = site_function())
+        fn->max_loop_depth = std::max(
+            fn->max_loop_depth,
+            loop_depth_on_stack() + braceless_loops_ + 1);
+      ++braceless_loops_;
+    }
+
+    if (in_executable_code() && lambda_stage_ == LambdaStage::kNone) {
+      if (tok == "CostLedger" || tok == "charge_active") {
+        if (FunctionInfo* fn = site_function()) fn->charges_ledger = true;
+      }
+      check_alloc_token(line, e, tok);
+    }
+
+    // Argument identifiers of an open memlp::par entry-point call, for
+    // resolving lambdas passed by variable name.
+    if (!parens_.empty() && parens_.back().call_fn >= 0 &&
+        is_par_entry_point(parens_.back().callee) && !is_control_keyword(tok))
+      model_.functions[static_cast<std::size_t>(parens_.back().call_fn)]
+          .calls[static_cast<std::size_t>(parens_.back().call_site)]
+          .arg_idents.emplace_back(tok);
+
+    pend(tok);
+  }
+
+  void check_alloc_token(const std::string& line, std::size_t e,
+                         std::string_view tok) {
+    if (enclosing_function() < 0) return;
+    if (tok == "new") {
+      // `new` as an expression keyword; `operator new` overloads and
+      // `new`-in-identifier are excluded by whole-token matching.
+      record_alloc("new");
+      return;
+    }
+    if (tok == "make_unique" || tok == "make_shared") {
+      record_alloc(std::string(tok));
+      return;
+    }
+    if (is_growth_method(tok)) {
+      const char prev = pending_last_char();
+      const std::size_t next = next_nonspace(line, e);
+      if ((prev == '.' || prev == '>') && next != std::string::npos &&
+          line[next] == '(') {
+        std::string what = ".";
+        what += tok;
+        what += "(...)";
+        record_alloc(std::move(what));
+      }
+      return;
+    }
+
+    // Allocating-container construction. `std::` owners must be
+    // std-qualified; the project types Vec/Matrix must NOT be qualified
+    // (so `Matrix::identity` — a call, handled at its own definition —
+    // and foreign `x::Matrix` names don't fire).
+    // Qualification means `::` immediately before the token — a ternary's
+    // lone `:` (`cond ? a : Vec(...)`) does not qualify.
+    const bool qualified = !pending_tail_qualifier().empty() ||
+                           pending_.ends_with("::");
+    const bool alloc_type =
+        (is_project_alloc_type(tok) && !qualified) ||
+        (is_std_alloc_type(tok) && qualified &&
+         pending_tail_qualifier() == "std");
+    if (!alloc_type) return;
+
+    std::size_t pos = e;
+    // Skip one balanced template-argument list on the same line.
+    std::size_t after_type = next_nonspace(line, pos);
+    if (after_type != std::string::npos && line[after_type] == '<') {
+      int depth = 0;
+      pos = after_type;
+      while (pos < line.size()) {
+        if (line[pos] == '<') ++depth;
+        if (line[pos] == '>' && --depth == 0) break;
+        ++pos;
+      }
+      if (pos >= line.size()) return;  // template args span lines: give up.
+      ++pos;
+      after_type = next_nonspace(line, pos);
+    }
+    if (after_type == std::string::npos) return;
+    if (line[after_type] == ':') return;  // static member access.
+    if (line[after_type] == '&' || line[after_type] == '*') return;  // ref.
+
+    const auto non_empty_list = [&](std::size_t open, char close) {
+      const std::size_t inside = next_nonspace(line, open + 1);
+      return inside == std::string::npos || line[inside] != close;
+    };
+    if (line[after_type] == '(' || line[after_type] == '{') {
+      // Temporary: `Vec(b.begin(), b.end())`. Empty parens are a
+      // non-allocating default construction.
+      if (non_empty_list(after_type, line[after_type] == '(' ? ')' : '}'))
+        record_alloc(std::string(tok) + "(...) temporary");
+      return;
+    }
+    if (!is_ident_start(line[after_type])) return;
+    std::size_t name_end = after_type;
+    while (name_end < line.size() && is_ident_char(line[name_end]))
+      ++name_end;
+    const std::size_t after_name = next_nonspace(line, name_end);
+    if (after_name == std::string::npos) return;
+    if (line[after_name] == '(' || line[after_name] == '{') {
+      if (non_empty_list(after_name, line[after_name] == '(' ? ')' : '}'))
+        record_alloc(std::string(tok) + " " +
+                     line.substr(after_type, name_end - after_type) +
+                     "(...)");
+    }
+    // `Type name = expr;` charges the initializer expression (usually a
+    // callee's return, flagged at the callee); `Type name;` default-
+    // constructs without heap. Neither is recorded here.
+  }
+
+  /// Qualifier identifier before a trailing `::` of pending (e.g. "std"
+  /// for `std::vector`). Walks one level only.
+  std::string pending_tail_qualifier() const {
+    std::size_t end = pending_.size();
+    while (end > 0 && pending_[end - 1] == ' ') --end;
+    if (end < 2 || pending_[end - 1] != ':' || pending_[end - 2] != ':')
+      return {};
+    end -= 2;
+    while (end > 0 && pending_[end - 1] == ' ') --end;
+    std::size_t begin = end;
+    while (begin > 0 && is_ident_char(pending_[begin - 1])) --begin;
+    return pending_.substr(begin, end - begin);
+  }
+
+  void handle_open_paren() {
+    Paren paren;
+    if (lambda_stage_ == LambdaStage::kAwaitParams) {
+      paren.lambda_params = true;
+      lambda_stage_ = LambdaStage::kParams;
+      parens_.push_back(paren);
+      return;
+    }
+    std::size_t name_start = 0;
+    const std::string callee = pending_tail_ident(&name_start);
+    if (!callee.empty() && !is_control_keyword(callee)) {
+      paren.callee = callee;
+      // Qualification just before the callee: `.`/`->` member access,
+      // or a `qual::` chain whose head decides project vs std.
+      std::size_t before = name_start;
+      while (before > 0 && pending_[before - 1] == ' ') --before;
+      if (before > 0) {
+        const char q = pending_[before - 1];
+        if (q == '.' || (q == '>' && before > 1 && pending_[before - 2] == '-')) {
+          paren.member = true;
+        } else if (q == ':') {
+          std::string head;
+          std::size_t cursor = before;
+          while (cursor >= 2 && pending_[cursor - 1] == ':' &&
+                 pending_[cursor - 2] == ':') {
+            cursor -= 2;
+            std::size_t b = cursor;
+            while (b > 0 && is_ident_char(pending_[b - 1])) --b;
+            head = pending_.substr(b, cursor - b);
+            cursor = b;
+          }
+          paren.external = head == "std";
+        }
+      }
+      if (!paren.member && !paren.external) {
+        if (FunctionInfo* fn = site_function()) {
+          fn->calls.push_back({line_no_, callee, false, {}});
+          paren.call_fn = enclosing_function();
+          paren.call_site = static_cast<int>(fn->calls.size()) - 1;
+        }
+      }
+    }
+    parens_.push_back(paren);
+  }
+
+  void handle_close_paren() {
+    if (parens_.empty()) return;
+    const Paren paren = parens_.back();
+    parens_.pop_back();
+    if (paren.lambda_params && lambda_stage_ == LambdaStage::kParams) {
+      finish_lambda_params();
+      lambda_stage_ = LambdaStage::kAwait;
+    }
+  }
+
+  void handle_open_bracket(const std::string& line, std::size_t i) {
+    // `[[attribute]]` — not a lambda, not a subscript.
+    if (i + 1 < line.size() && line[i + 1] == '[') return;
+    if (i > 0 && line[i - 1] == '[') return;
+    if (lambda_stage_ == LambdaStage::kCaptures) return;  // nested `[]`.
+    // Lambda introducer vs subscript: a lambda begins where an expression
+    // may begin — after punctuation/operators or at a statement start —
+    // while a subscript follows a value (identifier, `)`, `]`).
+    const char prev = pending_last_char();
+    const std::string tail = pending_tail_ident();
+    const bool expression_context =
+        prev == '\0' || prev == '(' || prev == ',' || prev == '=' ||
+        prev == '{' || prev == '<' || prev == '&' || prev == '|' ||
+        prev == '!' || prev == '?' || prev == ':' || prev == '+' ||
+        prev == '-' || prev == '*' || prev == '/' || prev == '%' ||
+        tail == "return";
+    if (!expression_context) return;
+
+    lambda_ = LambdaInfo{};
+    lambda_.intro_line = line_no_;
+    lambda_.enclosing_function = enclosing_function();
+    // `auto name = [...]` — remember the binding for by-name resolution.
+    if (prev == '=') {
+      std::string copy = pending_;
+      std::size_t end = copy.size();
+      while (end > 0 && (copy[end - 1] == ' ' || copy[end - 1] == '='))
+        --end;
+      std::size_t begin = end;
+      while (begin > 0 && is_ident_char(copy[begin - 1])) --begin;
+      lambda_.bound_to = copy.substr(begin, end - begin);
+    }
+    // The innermost named call this lambda is an argument of.
+    for (auto it = parens_.rbegin(); it != parens_.rend(); ++it) {
+      if (!it->callee.empty()) {
+        lambda_.passed_to = it->callee;
+        break;
+      }
+    }
+    lambda_stage_ = LambdaStage::kCaptures;
+    capture_text_.clear();
+    param_text_.clear();
+  }
+
+  void handle_close_bracket() {
+    if (lambda_stage_ == LambdaStage::kCaptures) {
+      finish_lambda_captures();
+      lambda_stage_ = LambdaStage::kAwaitParams;
+    }
+  }
+
+  void handle_open_brace() {
+    Scope scope{Scope::Kind::kBlock, false, -1, {}};
+    const std::string pending = pending_;
+    const auto pending_has = [&](std::string_view word) {
+      return !find_token(pending, word).empty();
+    };
+
+    if (lambda_stage_ == LambdaStage::kAwaitParams ||
+        lambda_stage_ == LambdaStage::kAwait) {
+      lambda_.body_begin = line_no_;
+      model_.lambdas.push_back(lambda_);
+      scope.kind = Scope::Kind::kLambda;
+      scope.index = static_cast<int>(model_.lambdas.size()) - 1;
+      lambda_stage_ = LambdaStage::kNone;
+    } else if (pending_has("namespace")) {
+      scope.kind = Scope::Kind::kNamespace;
+    } else if (pending_has("class") || pending_has("struct") ||
+               pending_has("enum") || pending_has("union")) {
+      scope.kind = Scope::Kind::kClass;
+      // Name: the identifier right after the class keyword.
+      const auto idents = identifiers(pending);
+      for (std::size_t k = 0; k + 1 < idents.size(); ++k)
+        if (is_class_keyword(idents[k].second)) {
+          scope.name = idents[k + 1].second;
+          break;
+        }
+    } else if (in_executable_code()) {
+      const char prev = pending_last_char();
+      const std::string tail = pending_tail_ident();
+      if (prev == ')') {
+        scope.kind = Scope::Kind::kBlock;
+        const auto idents = identifiers(pending);
+        const std::string head = idents.empty() ? "" : idents.front().second;
+        scope.is_loop = head == "for" || head == "while";
+        if (!is_control_keyword(head) && head != "try")
+          scope.kind = Scope::Kind::kInit;  // call-adjacent brace init.
+        // This loop's body is a brace block after all.
+        if (scope.is_loop && braceless_loops_ > 0) --braceless_loops_;
+      } else if (tail == "do") {
+        scope.is_loop = true;
+        if (braceless_loops_ > 0) --braceless_loops_;
+      } else if (tail == "else" || tail == "try" || pending.empty()) {
+        scope.kind = Scope::Kind::kBlock;
+      } else {
+        // `= {...}`, `Type{...}`, `return {...}`, argument `{...}` — a
+        // brace initializer, transparent to control flow.
+        scope.kind = Scope::Kind::kInit;
+      }
+    } else {
+      // Namespace/class scope: a `(`...`)` signature opens a function.
+      const std::size_t open = pending.find('(');
+      if (open != std::string::npos && pending.find(')') != std::string::npos) {
+        FunctionInfo fn;
+        fn.header_line = pending_start_ == 0 ? line_no_ : pending_start_;
+        fn.body_begin = line_no_;
+        fn.name = function_name(pending, open);
+        // Class-inline definitions qualify with the enclosing class.
+        if (fn.name.find("::") == std::string::npos) {
+          for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+            if (it->kind == Scope::Kind::kClass && !it->name.empty()) {
+              fn.name = it->name + "::" + fn.name;
+              break;
+            }
+        }
+        fn.hot = hot_marker_near(fn.header_line);
+        model_.functions.push_back(std::move(fn));
+        scope.kind = Scope::Kind::kFunction;
+        scope.index = static_cast<int>(model_.functions.size()) - 1;
+      } else {
+        scope.kind = Scope::Kind::kInit;
+      }
+    }
+    scopes_.push_back(std::move(scope));
+    clear_pending();
+  }
+
+  static std::string function_name(const std::string& pending,
+                                   std::size_t open) {
+    std::size_t end = open;
+    while (end > 0 && pending[end - 1] == ' ') --end;
+    std::size_t begin = end;
+    while (begin > 0 &&
+           (is_ident_char(pending[begin - 1]) || pending[begin - 1] == ':'))
+      --begin;
+    std::string name = pending.substr(begin, end - begin);
+    while (!name.empty() && name.front() == ':') name.erase(name.begin());
+    return name.empty() ? "(anon)" : name;
+  }
+
+  /// The hot marker must sit on the signature itself or within the two raw
+  /// lines above it — adjacent to the function it marks, like allow().
+  bool hot_marker_near(std::size_t header_line) const {
+    const std::size_t lo = header_line > 3 ? header_line - 3 : 0;
+    for (std::size_t idx = lo; idx < line_no_ && idx < raw_.size(); ++idx)
+      if (has_hot_marker(raw_[idx])) return true;
+    return false;
+  }
+
+  const std::vector<std::string>& stripped_;
+  const std::vector<std::string>& raw_;
+  FileModel model_;
+  std::vector<Scope> scopes_;
+  std::vector<Paren> parens_;
+  std::string pending_;
+  std::size_t pending_start_ = 0;
+  std::size_t line_no_ = 0;
+  std::size_t braceless_loops_ = 0;  // open loop headers without `{` yet.
+  LambdaStage lambda_stage_ = LambdaStage::kNone;
+  LambdaInfo lambda_;
+  std::string capture_text_;
+  std::string param_text_;
+};
+
+// ---- lambda mutation analysis -------------------------------------------
+
+bool is_local_decl_pair(std::string_view line, std::size_t prev_end,
+                        std::size_t cur_start) {
+  for (std::size_t i = prev_end; i < cur_start; ++i) {
+    const char c = line[i];
+    if (c != ' ' && c != '&' && c != '*') return false;
+  }
+  return true;
+}
+
+/// Walks left from `pos` (exclusive) across a `a.b->c` postfix chain and
+/// returns the base identifier, or "" when the chain ends in `]`/`)` —
+/// an indexed or call-result write, which is the sanctioned per-slot form.
+std::string base_identifier(std::string_view line, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t')) --i;
+  if (i == 0) return {};
+  if (line[i - 1] == ']' || line[i - 1] == ')') return {};
+  std::string base;
+  while (i > 0) {
+    if (is_ident_char(line[i - 1])) {
+      std::size_t begin = i;
+      while (begin > 0 && is_ident_char(line[begin - 1])) --begin;
+      base = std::string(line.substr(begin, i - begin));
+      i = begin;
+      // Continue only through member access.
+      if (i > 0 && line[i - 1] == '.') {
+        --i;
+        continue;
+      }
+      if (i > 1 && line[i - 1] == '>' && line[i - 2] == '-') {
+        i -= 2;
+        continue;
+      }
+      break;
+    }
+    if (line[i - 1] == ']' || line[i - 1] == ')') return {};
+    break;
+  }
+  return base;
+}
+
+}  // namespace
+
+FileModel parse_file(const std::string& rel,
+                     const std::vector<std::string>& stripped,
+                     const std::vector<std::string>& raw) {
+  return Parser(rel, stripped, raw).run();
+}
+
+std::vector<MutationSite> lambda_ref_mutations(
+    const LambdaInfo& lambda, const std::vector<std::string>& stripped) {
+  std::vector<MutationSite> out;
+  if (lambda.body_begin == 0 || lambda.body_end < lambda.body_begin)
+    return out;
+  const std::size_t lo = lambda.body_begin - 1;
+  const std::size_t hi = std::min(lambda.body_end, stripped.size());
+
+  // Pass 1 — identifiers declared inside the body (declarator position:
+  // `Type name`, allowing `&`/`*` between; plus structured bindings).
+  std::vector<std::string> locals = lambda.params;
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const std::string& line = stripped[idx];
+    const auto idents = identifiers(line);
+    for (std::size_t k = 1; k < idents.size(); ++k) {
+      const auto& [prev_pos, prev] = idents[k - 1];
+      const auto& [cur_pos, cur] = idents[k];
+      if (is_non_type_keyword(prev)) continue;
+      if (is_local_decl_pair(line, prev_pos + prev.size(), cur_pos))
+        locals.push_back(cur);
+      // `auto [a, b]` / `auto& [a, b]` structured bindings.
+      if (prev == "auto") {
+        const std::size_t bracket = line.find('[', prev_pos);
+        if (bracket != std::string::npos && bracket < cur_pos) {
+          const std::size_t close = line.find(']', bracket);
+          for (const auto& [p, name] :
+               identifiers(line.substr(bracket, close == std::string::npos
+                                                    ? std::string::npos
+                                                    : close - bracket)))
+            locals.push_back(name);
+        }
+      }
+    }
+  }
+  const auto contains = [](const std::vector<std::string>& v,
+                           const std::string& s) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  };
+
+  const auto flag_if_captured = [&](std::size_t line_no,
+                                    const std::string& base,
+                                    std::string how) {
+    if (base.empty()) return;
+    const bool explicit_ref = contains(lambda.ref_captures, base);
+    const bool implicit_ref = lambda.default_ref && !contains(locals, base) &&
+                              !contains(lambda.copy_captures, base);
+    if (explicit_ref || implicit_ref)
+      out.push_back({line_no, base, std::move(how)});
+  };
+
+  // Pass 2 — mutation sites.
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const std::string& line = stripped[idx];
+    const std::size_t line_no = idx + 1;
+    // Assignment and compound assignment.
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != '=') continue;
+      if (i + 1 < line.size() && line[i + 1] == '=') {
+        ++i;
+        continue;
+      }
+      std::size_t op_begin = i;
+      std::string how = "=";
+      if (i > 0) {
+        const char prev = line[i - 1];
+        if (prev == '=' || prev == '<' || prev == '>' || prev == '!')
+          continue;  // ==, <=, >=, != (and <<=/>>= — accepted miss).
+        if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+            prev == '%' || prev == '&' || prev == '|' || prev == '^') {
+          op_begin = i - 1;
+          how = std::string(1, prev) + "=";
+        }
+      }
+      const std::string base = base_identifier(line, op_begin);
+      if (base.empty()) continue;
+      // A declaration with initializer is a local write, not a capture
+      // mutation (and pass 1 already collected the name).
+      if (contains(locals, base) || contains(lambda.params, base)) continue;
+      flag_if_captured(line_no, base, how);
+    }
+    // Increment / decrement.
+    for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+      const char c = line[i];
+      if ((c != '+' && c != '-') || line[i + 1] != c) continue;
+      const std::string how(2, c);
+      // Prefix: `++x`. The whole postfix chain is scanned forward —
+      // `++local[bi].tile_settles` writes a per-index slot and is
+      // sanctioned, `++counter` is not.
+      std::size_t after = i + 2;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after < line.size() && is_ident_start(line[after])) {
+        std::size_t end = after;
+        while (end < line.size() && is_ident_char(line[end])) ++end;
+        const std::string base(line.substr(after, end - after));
+        bool indexed = false;
+        std::size_t cursor = end;
+        while (cursor < line.size()) {
+          const char nc = line[cursor];
+          if (nc == ' ') {
+            ++cursor;
+          } else if (nc == '[' || nc == '(') {
+            indexed = true;
+            break;
+          } else if (nc == '.') {
+            ++cursor;
+            while (cursor < line.size() && is_ident_char(line[cursor]))
+              ++cursor;
+          } else if (nc == '-' && cursor + 1 < line.size() &&
+                     line[cursor + 1] == '>') {
+            cursor += 2;
+            while (cursor < line.size() && is_ident_char(line[cursor]))
+              ++cursor;
+          } else {
+            break;
+          }
+        }
+        if (!indexed) flag_if_captured(line_no, base, how);
+      } else {
+        // Postfix: `x++`.
+        flag_if_captured(line_no, base_identifier(line, i), how);
+      }
+      ++i;
+    }
+    // Container growth on a captured object.
+    for (const auto& [pos, name] : identifiers(line)) {
+      if (!is_growth_method(name)) continue;
+      const std::size_t after = pos + name.size();
+      if (after >= line.size() || next_nonspace(line, after) == std::string::npos ||
+          line[next_nonspace(line, after)] != '(')
+        continue;
+      if (pos == 0) continue;
+      const char prev = line[pos - 1];
+      if (prev != '.' && !(prev == '>' && pos >= 2 && line[pos - 2] == '-'))
+        continue;
+      const std::size_t chain_end = prev == '.' ? pos - 1 : pos - 2;
+      flag_if_captured(line_no, base_identifier(line, chain_end),
+                       "." + name + "(...)");
+    }
+  }
+  return out;
+}
+
+}  // namespace memlint

@@ -1,0 +1,97 @@
+// Scope-aware source model — memlint's second analysis layer.
+//
+// A brace/scope tracker over the stripped text classifies every `{` as a
+// namespace, class, function, lambda, control block, or brace-initializer,
+// which yields per-file:
+//
+//   * function definitions with qualified names (`Crossbar::solve`) and
+//     body line ranges, including class-inline and anon-namespace ones;
+//   * lambda expressions with parsed capture lists (default `&`/`=`,
+//     explicit `&name`/`name`), parameter names, the enclosing call they
+//     are an argument of (e.g. `parallel_for`), and — when bound to a
+//     variable — the variable name so `parallel_for(n, body)` resolves;
+//   * per-function site lists: project-local free-call sites (member
+//     calls through `.`/`->` are deliberately NOT resolved — virtual
+//     dispatch is invisible to a token scanner, so each implementation
+//     carries its own annotations), allocation sites (`new`,
+//     `make_unique/shared`, container construction and growth), ledger
+//     charges, and the maximum nested-loop depth.
+//
+// The model is line-accurate, not column-accurate: a site is attributed to
+// the innermost function whose body covers its line.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace memlint {
+
+struct CallSite {
+  std::size_t line = 0;
+  std::string name;  // simple callee name (`gemv`, `parallel_for`).
+  bool member = false;  // reached through `.`/`->` — not resolved.
+  std::vector<std::string> arg_idents;  // direct argument identifiers.
+};
+
+struct AllocSite {
+  std::size_t line = 0;
+  std::string what;  // human-readable site description, e.g. "Vec(...)".
+};
+
+struct MutationSite {
+  std::size_t line = 0;
+  std::string target;  // base identifier written to.
+  std::string how;     // "=", "+=", ".push_back(...)", "++", ...
+};
+
+struct LambdaInfo {
+  std::size_t intro_line = 0;  // line of the `[` introducer.
+  std::size_t body_begin = 0;  // line of the `{`.
+  std::size_t body_end = 0;    // line of the matching `}`.
+  bool default_ref = false;    // `[&...]`
+  bool default_copy = false;   // `[=...]`
+  bool captures_this = false;  // `this` / `*this`
+  std::vector<std::string> ref_captures;   // `&name`
+  std::vector<std::string> copy_captures;  // `name`, `name = init`
+  std::vector<std::string> params;
+  std::string bound_to;   // variable name when `auto f = [...]`.
+  std::string passed_to;  // innermost enclosing call at the introducer.
+  int enclosing_function = -1;  // index into FileModel::functions.
+};
+
+struct FunctionInfo {
+  std::string name;  // qualified as written: `Crossbar::solve`, `gemv`.
+  std::size_t header_line = 0;  // first line of the signature.
+  std::size_t body_begin = 0;   // line of the opening `{`.
+  std::size_t body_end = 0;     // line of the matching `}`.
+  bool hot = false;             // carries the hot-path annotation.
+  std::size_t max_loop_depth = 0;  // for/while/do nesting (see parse.cpp).
+  bool charges_ledger = false;  // mentions CostLedger / charge_active.
+  std::vector<CallSite> calls;
+  std::vector<AllocSite> allocs;
+};
+
+struct FileModel {
+  std::string rel;  // root-relative path, forward slashes.
+  std::vector<FunctionInfo> functions;
+  std::vector<LambdaInfo> lambdas;
+};
+
+/// Parses one file's stripped lines (index 0 = line 1). `raw` is consulted
+/// only for the hot-path annotation marker, which lives in comments.
+FileModel parse_file(const std::string& rel,
+                     const std::vector<std::string>& stripped,
+                     const std::vector<std::string>& raw);
+
+/// Scans a lambda body for writes to by-reference captures. Writes through
+/// an index (`out[i] = ...`) or a call result (`m(i, j) = ...`) are the
+/// sanctioned per-slot pattern and do not count; direct assignment,
+/// compound assignment, increment/decrement, and container-growth calls on
+/// a by-ref capture do. With a `[&]` default capture every mutated
+/// identifier that is neither a parameter nor declared inside the body is
+/// treated as captured.
+std::vector<MutationSite> lambda_ref_mutations(
+    const LambdaInfo& lambda, const std::vector<std::string>& stripped);
+
+}  // namespace memlint

@@ -1,0 +1,303 @@
+#include "memlint/rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "memlint/text.hpp"
+
+namespace memlint {
+namespace {
+
+const char* const kR1Tokens[] = {
+    "std::thread",       "std::jthread",          "std::async",
+    "std::mutex",        "std::recursive_mutex",  "std::shared_mutex",
+    "std::timed_mutex",  "std::condition_variable",
+    "std::counting_semaphore", "std::binary_semaphore", "std::barrier",
+    "std::latch",        "pthread_create",
+};
+
+const char* const kR2Tokens[] = {
+    "std::random_device", "std::mt19937",  "std::mt19937_64",
+    "std::minstd_rand",   "std::minstd_rand0",
+    "std::default_random_engine", "std::ranlux24", "std::ranlux48",
+    "std::rand", "std::srand", "rand", "srand", "rand_r",
+};
+
+const char* const kR3Tokens[] = {
+    "std::cout", "std::cerr", "std::clog", "printf",
+    "fprintf",   "puts",      "putchar",   "fputs",
+};
+
+/// Engine-internal headers (R7): private to src/core/. Matched against the
+/// RAW line (an include path is a string literal, which the stripper blanks)
+/// together with an include directive on the same line — which is also why
+/// this table does not flag itself.
+const char* const kR7Tokens[] = {
+    "\"core/engine.hpp\"",
+    "\"core/newton_",
+};
+
+/// Unit suffixes accepted by R5 (longest-match not needed; any match wins).
+const char* const kUnitSuffixes[] = {
+    "_j",  "_mj", "_uj", "_nj", "_pj", "_fj",             // energy
+    "_s",  "_ms", "_us", "_ns", "_ps", "_fs",             // time
+    "_w",  "_kw", "_mw", "_uw", "_nw",                    // power
+    "_hz", "_khz", "_mhz", "_ghz",                        // rate
+    "_seconds", "_joules",                                // spelled out
+};
+
+bool has_unit_suffix(std::string_view ident) {
+  for (std::string_view suffix : kUnitSuffixes)
+    if (ident.ends_with(suffix)) return true;
+  return false;
+}
+
+const char* const kQuantityWords[] = {"energy", "latency", "power", "wall",
+                                      "duration"};
+
+bool is_par_entry_point(std::string_view name) {
+  return name == "parallel_for" || name == "parallel_for_ranges" ||
+         name == "for_chunks";
+}
+
+/// The memlp::par entry point a lambda is handed to — directly as an
+/// argument, or by the name it is bound to appearing among a par call's
+/// argument identifiers in the same enclosing function. Empty when the
+/// lambda never reaches the parallel runtime.
+std::string par_entry_for(const FileModel& model, const LambdaInfo& lambda) {
+  if (is_par_entry_point(lambda.passed_to)) return lambda.passed_to;
+  if (lambda.bound_to.empty() || lambda.enclosing_function < 0) return {};
+  const FunctionInfo& fn =
+      model.functions[static_cast<std::size_t>(lambda.enclosing_function)];
+  for (const CallSite& call : fn.calls) {
+    if (!is_par_entry_point(call.name)) continue;
+    if (std::find(call.arg_idents.begin(), call.arg_idents.end(),
+                  lambda.bound_to) != call.arg_idents.end())
+      return call.name;
+  }
+  return {};
+}
+
+// R8 — par-capture determinism.
+void check_par_captures(const FileModel& model,
+                        const std::vector<std::string>& stripped,
+                        std::vector<Diagnostic>& out) {
+  for (const LambdaInfo& lambda : model.lambdas) {
+    const std::string entry = par_entry_for(model, lambda);
+    if (entry.empty()) continue;
+    for (const MutationSite& site : lambda_ref_mutations(lambda, stripped)) {
+      out.push_back(
+          {model.rel, site.line, 8,
+           "lambda passed to par::" + entry +
+               " mutates by-reference capture '" + site.target + "' (" +
+               site.how +
+               "); write through per-index slots or reduce after the join"});
+    }
+  }
+}
+
+// R9 — hot-path allocation freedom, transitive through project-local free
+// calls. Diagnostics land on the allocation site; when reached through a
+// call chain, the message names the hot root for context.
+void check_hot_paths(const std::vector<FileModel>& models,
+                     const CallGraph& graph, std::vector<Diagnostic>& out) {
+  // An allocation site reachable from several hot roots reports once; a
+  // site inside a hot function itself claims the first-person message
+  // before any transitive walk can reach it.
+  std::set<std::pair<std::string, std::size_t>> reported;
+  for (const FunctionRef& root : graph.all()) {
+    if (!graph.fn(root).hot) continue;
+    for (const AllocSite& alloc : graph.fn(root).allocs) {
+      const std::string& file = graph.file_of(root);
+      if (!reported.insert({file, alloc.line}).second) continue;
+      out.push_back({file, alloc.line, 9,
+                     "allocation (" + alloc.what + ") in hot-annotated '" +
+                         graph.fn(root).name +
+                         "'; hot paths must stay allocation-free"});
+    }
+  }
+  for (const FunctionRef& root : graph.all()) {
+    if (!graph.fn(root).hot) continue;
+    const std::string root_name = graph.fn(root).name;
+    for (const Reached& step : graph.closure(root)) {
+      const FunctionInfo& fn = graph.fn(step.ref);
+      const std::string& file = graph.file_of(step.ref);
+      for (const AllocSite& alloc : fn.allocs) {
+        if (!reported.insert({file, alloc.line}).second) continue;
+        std::string message = "allocation (" + alloc.what + ") in ";
+        if (step.ref == root) {
+          message += "hot-annotated '" + root_name + "'";
+        } else {
+          message += "'" + fn.name + "', reachable from hot-annotated '" +
+                     root_name + "'";
+        }
+        message += "; hot paths must stay allocation-free";
+        out.push_back({file, alloc.line, 9, std::move(message)});
+      }
+    }
+  }
+  (void)models;
+}
+
+// R10 — ledger coverage: nested loops in src/linalg must charge flops,
+// directly or through a reachable callee.
+void check_ledger_coverage(const std::vector<FileModel>& models,
+                           const CallGraph& graph,
+                           std::vector<Diagnostic>& out) {
+  for (const FunctionRef& ref : graph.all()) {
+    const std::string& file = graph.file_of(ref);
+    if (!file.starts_with("src/linalg/")) continue;
+    const FunctionInfo& fn = graph.fn(ref);
+    if (fn.max_loop_depth < 2) continue;
+    bool charged = false;
+    for (const Reached& step : graph.closure(ref)) {
+      if (graph.fn(step.ref).charges_ledger) {
+        charged = true;
+        break;
+      }
+    }
+    if (charged) continue;
+    out.push_back(
+        {file, fn.header_line, 10,
+         "'" + fn.name +
+             "' has nested loops but never charges CostLedger flops "
+             "(directly or via a callee); cost attribution has a hole"});
+  }
+  (void)models;
+}
+
+}  // namespace
+
+FileContext make_context(const std::string& rel) {
+  FileContext context;
+  context.rel = rel;
+  context.in_src = rel.rfind("src/", 0) == 0;
+  context.in_obs = rel.rfind("src/obs/", 0) == 0;
+  context.in_core = rel.rfind("src/core/", 0) == 0;
+  context.in_linalg = rel.rfind("src/linalg/", 0) == 0;
+  context.is_par_file =
+      rel == "src/common/par.hpp" || rel == "src/common/par.cpp";
+  context.is_rng_file =
+      rel == "src/common/rng.hpp" || rel == "src/common/rng.cpp";
+  context.is_header = rel.ends_with(".hpp") || rel.ends_with(".h");
+  return context;
+}
+
+void check_line(const FileContext& context, const std::string& code,
+                const std::string& raw, std::size_t line_no,
+                std::vector<Diagnostic>& out) {
+  const auto report = [&](int rule_id, std::string message) {
+    out.push_back({context.rel, line_no, rule_id, std::move(message)});
+  };
+  // R1 — parallelism discipline (everywhere except src/common/par.*).
+  if (!context.is_par_file) {
+    for (const char* token : kR1Tokens) {
+      for (std::size_t pos : find_token(code, token)) {
+        // A mutex type mentioned as a template argument
+        // (std::lock_guard<std::mutex>) locks an existing, already
+        // vetted mutex; only declarations/spawns are flagged.
+        if (preceded_by(code, pos, '<')) continue;
+        report(1, std::string(token) +
+                      " outside src/common/par.*; use memlp::par");
+      }
+    }
+  }
+  // R2 — RNG discipline (everywhere except src/common/rng.*).
+  if (!context.is_rng_file) {
+    for (const char* token : kR2Tokens) {
+      std::string_view tok(token);
+      for (std::size_t pos : find_token(code, token)) {
+        // Bare `rand`/`srand`/`rand_r` must be a call to count.
+        if (tok.rfind("std::", 0) != 0) {
+          std::size_t after = pos + tok.size();
+          while (after < code.size() && code[after] == ' ') ++after;
+          if (after >= code.size() || code[after] != '(') continue;
+        }
+        report(2, std::string(token) +
+                      " outside src/common/rng.*; draw from a split "
+                      "memlp::Rng stream");
+      }
+    }
+  }
+  // R3 — IO discipline (library code only; src/obs/ is the sink layer).
+  if (context.in_src && !context.in_obs) {
+    for (const char* token : kR3Tokens) {
+      if (!find_token(code, token).empty())
+        report(3, std::string(token) +
+                      " in library code; route output through memlp::obs");
+    }
+  }
+  // R4 — error discipline (library code only).
+  if (context.in_src) {
+    for (std::size_t pos : find_token(code, "assert")) {
+      std::size_t after = pos + 6;
+      while (after < code.size() && code[after] == ' ') ++after;
+      if (after < code.size() && code[after] == '(')
+        report(4, "bare assert(); use MEMLP_EXPECT*/MEMLP_ASSERT");
+    }
+    if (code.find("throw std::runtime_error") != std::string::npos)
+      report(4,
+             "throw std::runtime_error; throw a typed memlp::Error "
+             "subclass");
+  }
+  // R5 — unit suffixes on physical-quantity declarations.
+  {
+    const auto idents = identifiers(code);
+    for (std::size_t i = 1; i < idents.size(); ++i) {
+      const std::string& type = idents[i - 1].second;
+      if (type != "double" && type != "float") continue;
+      // Only a declarator position counts: between the type and the
+      // name, allow whitespace and &/* — this rejects casts like
+      // static_cast<double>(energy) and template args.
+      const std::size_t gap_begin = idents[i - 1].first + type.size();
+      const std::string_view gap(code.data() + gap_begin,
+                                 idents[i].first - gap_begin);
+      const bool declarator =
+          !gap.empty() &&
+          gap.find_first_not_of(" \t&*") == std::string_view::npos;
+      if (!declarator) continue;
+      const std::string& name = idents[i].second;
+      bool quantity = false;
+      for (const char* word : kQuantityWords)
+        if (name.find(word) != std::string::npos) quantity = true;
+      if (quantity && !has_unit_suffix(name))
+        report(5, "'" + name +
+                      "' names a physical quantity but has no unit suffix "
+                      "(_j, _pj, _s, _ns, _w, ...)");
+    }
+  }
+  // R7 — engine encapsulation (everywhere except src/core/ itself). The
+  // include path is a string literal, which the stripper blanks out of
+  // `code`, so this rule matches on the raw line; requiring the directive
+  // and the path on one line keeps doc-comment mentions clean.
+  if (!context.in_core && raw.find("#include") != std::string::npos) {
+    for (const char* token : kR7Tokens) {
+      if (raw.find(token) != std::string::npos)
+        report(7, std::string(token) +
+                      " is engine-internal (private to src/core/); include "
+                      "the solver wrappers or engine/registry.hpp");
+    }
+  }
+}
+
+void check_model_rules(const std::vector<FileModel>& models,
+                       const std::vector<std::vector<std::string>>& stripped,
+                       const CallGraph& graph,
+                       std::vector<Diagnostic>& out) {
+  for (std::size_t f = 0; f < models.size(); ++f)
+    check_par_captures(models[f], stripped[f], out);
+  check_hot_paths(models, graph, out);
+  check_ledger_coverage(models, graph, out);
+  // Deterministic output: finalize findings sort by file, line, rule.
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+}  // namespace memlint

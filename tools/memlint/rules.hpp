@@ -1,0 +1,47 @@
+// Rule implementations — line rules (R1–R5, R7) and model rules (R8–R10).
+//
+// Rules always evaluate; the Linter filters findings against line- and
+// file-scoped suppressions afterwards, so `--summary` can count suppressed
+// hits per rule. R6 (header hygiene) lives in the Linter because it needs
+// whole-file state.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "memlint/callgraph.hpp"
+#include "memlint/diag.hpp"
+#include "memlint/parse.hpp"
+
+namespace memlint {
+
+/// Per-file scan context derived from the root-relative path.
+struct FileContext {
+  std::string rel;     // forward-slash, root-relative path.
+  bool in_src;         // under src/.
+  bool in_obs;         // under src/obs/.
+  bool in_core;        // under src/core/ (the engine's home, see R7).
+  bool in_linalg;      // under src/linalg/ (R10's scope).
+  bool is_par_file;    // src/common/par.hpp or par.cpp.
+  bool is_rng_file;    // src/common/rng.hpp or rng.cpp.
+  bool is_header;      // .hpp/.h.
+};
+
+FileContext make_context(const std::string& rel);
+
+/// Line rules R1–R5 and R7. `code` is the stripped line, `raw` the
+/// original (R7 matches include paths, which are string literals).
+void check_line(const FileContext& context, const std::string& code,
+                const std::string& raw, std::size_t line_no,
+                std::vector<Diagnostic>& out);
+
+/// Model rules R8–R10 over the parsed per-file models and the cross-file
+/// call graph. `stripped` holds each file's stripped lines, parallel to
+/// `models` (needed for lambda-body mutation analysis).
+void check_model_rules(const std::vector<FileModel>& models,
+                       const std::vector<std::vector<std::string>>& stripped,
+                       const CallGraph& graph,
+                       std::vector<Diagnostic>& out);
+
+}  // namespace memlint

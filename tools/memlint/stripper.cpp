@@ -1,0 +1,142 @@
+#include "memlint/stripper.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+#include "memlint/text.hpp"
+
+namespace memlint {
+namespace {
+
+/// True when the `'` at `pos` is a C++14 digit separator: the token it
+/// interrupts starts with a digit (so `10'000` and `0xFF'FF` qualify but a
+/// `u8'a'` char literal — whose preceding token `u8` starts with a letter —
+/// does not) and an alphanumeric continues the literal right after it.
+bool is_digit_separator(std::string_view line, std::size_t pos) {
+  if (pos == 0 || pos + 1 >= line.size()) return false;
+  if (std::isalnum(static_cast<unsigned char>(line[pos + 1])) == 0)
+    return false;
+  std::size_t start = pos;
+  while (start > 0 && is_ident_char(line[start - 1])) --start;
+  return start < pos &&
+         std::isdigit(static_cast<unsigned char>(line[start])) != 0;
+}
+
+/// When the `"` at `pos` opens a raw string literal, returns the length of
+/// its `R`-ending encoding prefix (1 for `R`, 2 for `uR`/`UR`/`LR`, 3 for
+/// `u8R`); 0 when it is an ordinary string.
+std::size_t raw_prefix_length(std::string_view line, std::size_t pos) {
+  for (std::string_view prefix : {"u8R", "uR", "UR", "LR", "R"}) {
+    if (pos < prefix.size()) continue;
+    const std::size_t start = pos - prefix.size();
+    if (line.substr(start, prefix.size()) != prefix) continue;
+    if (start > 0 && is_ident_char(line[start - 1])) continue;
+    return prefix.size();
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string Stripper::strip(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    switch (state_) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          // Line comment: blank the rest of the line.
+          out.append(line.size() - i, ' ');
+          i = line.size();
+        } else if (c == '/' && next == '*') {
+          state_ = State::kBlockComment;
+          out.append(2, ' ');
+          ++i;
+        } else if (c == '"') {
+          if (raw_prefix_length(line, i) > 0) {
+            // R"delim( — capture the delimiter so only )delim" closes it.
+            std::size_t open = line.find('(', i + 1);
+            // A malformed raw string (no `(` before EOL) cannot occur in
+            // valid C++; treat it as ordinary-string fallback.
+            if (open == std::string::npos) {
+              state_ = State::kString;
+              out.push_back(' ');
+              break;
+            }
+            raw_terminator_ = ")";
+            raw_terminator_.append(line, i + 1, open - (i + 1));
+            raw_terminator_.push_back('"');
+            state_ = State::kRawString;
+            out.append(open - i + 1, ' ');
+            i = open;
+          } else {
+            state_ = State::kString;
+            out.push_back(' ');
+          }
+        } else if (c == '\'') {
+          if (is_digit_separator(line, i)) {
+            // `10'000` — stay in code; the separator itself carries no
+            // token information, so blank it like other punctuation noise.
+            out.push_back(' ');
+          } else {
+            state_ = State::kChar;
+            out.push_back(' ');
+          }
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state_ = State::kCode;
+          out.append(2, ' ');
+          ++i;
+        } else {
+          out.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out.append(2, ' ');
+          ++i;
+        } else {
+          if (c == '"') state_ = State::kCode;
+          out.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out.append(2, ' ');
+          ++i;
+        } else {
+          if (c == '\'') state_ = State::kCode;
+          out.push_back(' ');
+        }
+        break;
+      case State::kRawString: {
+        const std::size_t close = line.find(raw_terminator_, i);
+        if (close == std::string::npos) {
+          out.append(line.size() - i, ' ');
+          i = line.size();
+        } else {
+          const std::size_t end = close + raw_terminator_.size();
+          out.append(end - i, ' ');
+          i = end - 1;
+          state_ = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  // An unterminated ordinary string/char literal does not continue across
+  // lines (multi-line strings need explicit continuation, which we don't
+  // use); block comments and raw strings do.
+  if (state_ == State::kString || state_ == State::kChar)
+    state_ = State::kCode;
+  return out;
+}
+
+}  // namespace memlint

@@ -1,0 +1,34 @@
+// Comment/string-literal stripper — the first memlint analysis layer.
+#pragma once
+
+#include <string>
+
+namespace memlint {
+
+/// Comment/string-literal stripper. Stateful across lines so that block
+/// comments and raw string literals spanning lines are handled; stripped
+/// characters are replaced with spaces to keep columns stable.
+///
+/// C++14 digit separators (`10'000`) are recognized and do NOT open a
+/// character-literal state: a `'` whose preceding token starts with a digit
+/// and whose next character is alphanumeric separates digits. (Without
+/// this, everything after `10'000` on the line was blanked as a char
+/// literal — hiding any violation after it.)
+///
+/// Raw string literals `R"delim( ... )delim"` are skipped exactly,
+/// including multi-line bodies; the `u8R`/`uR`/`UR`/`LR` prefixes are
+/// recognized too.
+class Stripper {
+ public:
+  std::string strip(const std::string& line);
+
+  /// True when a block comment or raw string is still open (for tests).
+  [[nodiscard]] bool mid_multiline() const { return state_ != State::kCode; }
+
+ private:
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state_ = State::kCode;
+  std::string raw_terminator_;  // `)delim"` closing the open raw string.
+};
+
+}  // namespace memlint

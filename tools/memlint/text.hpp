@@ -1,0 +1,93 @@
+// Shared token-level text helpers for the memlint scanner layers.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace memlint {
+
+inline bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds `token` in `line` as a whole token: the characters adjacent to the
+/// match must not extend an identifier (so `snprintf` never matches
+/// `printf`, `static_assert` never matches `assert`). A leading `:` also
+/// blocks a match, so `foo::mutex` never matches `mutex`.
+inline std::vector<std::size_t> find_token(std::string_view line,
+                                           std::string_view token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok =
+        pos == 0 || (!is_ident_char(line[pos - 1]) && line[pos - 1] != ':');
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+/// True when the first non-space character before `pos` is `c` — used to
+/// skip template-argument mentions like std::lock_guard<std::mutex>.
+inline bool preceded_by(std::string_view line, std::size_t pos, char c) {
+  while (pos > 0) {
+    --pos;
+    if (line[pos] == ' ' || line[pos] == '\t') continue;
+    return line[pos] == c;
+  }
+  return false;
+}
+
+/// Index of the first non-space character before `pos`, or npos.
+inline std::size_t prev_nonspace(std::string_view line, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (line[pos] != ' ' && line[pos] != '\t') return pos;
+  }
+  return std::string_view::npos;
+}
+
+/// Index of the first non-space character at/after `pos`, or npos.
+inline std::size_t next_nonspace(std::string_view line, std::size_t pos) {
+  while (pos < line.size()) {
+    if (line[pos] != ' ' && line[pos] != '\t') return pos;
+    ++pos;
+  }
+  return std::string_view::npos;
+}
+
+/// Extracts identifier tokens with their start offsets.
+inline std::vector<std::pair<std::size_t, std::string>> identifiers(
+    std::string_view line) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (is_ident_start(line[i])) {
+      std::size_t start = i;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      out.emplace_back(start, std::string(line.substr(start, i - start)));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// The simple (unqualified) tail of a possibly `A::B::c` qualified name.
+inline std::string_view simple_name(std::string_view qualified) {
+  const std::size_t pos = qualified.rfind("::");
+  return pos == std::string_view::npos ? qualified
+                                       : qualified.substr(pos + 2);
+}
+
+}  // namespace memlint
