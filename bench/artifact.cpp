@@ -9,6 +9,7 @@
 #include "common/par.hpp"
 #include "common/provenance.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "perf/hardware_model.hpp"
 
 namespace memlp::bench {
@@ -281,6 +282,17 @@ std::string BenchRun::to_json() const {
 
   out += "}\n";
   return out;
+}
+
+void BenchRun::export_metrics() {
+  const std::string dir = artifact_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/BENCH_" + name_ + ".prom";
+  if (obs::Telemetry::global().write_metrics(path))
+    std::printf("metrics: %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "warning: could not write metrics %s\n", path.c_str());
 }
 
 int BenchRun::finish() {

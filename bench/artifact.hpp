@@ -62,6 +62,11 @@ class BenchRun {
   /// `return run.finish();`. Idempotent; the destructor calls it.
   int finish();
 
+  /// Writes a Prometheus snapshot of the global metrics registry to
+  /// BENCH_<name>.prom next to the JSON artifact (same MEMLP_BENCH_DIR
+  /// override) — the input format tools/memlp_top renders.
+  void export_metrics();
+
   /// The run's cost ledger (harnesses snapshot/diff it to derive per-solve
   /// energy from the attribution instead of recomputing inline).
   [[nodiscard]] const obs::CostLedger& ledger() const noexcept {

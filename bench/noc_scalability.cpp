@@ -75,5 +75,6 @@ int main() {
   std::printf(
       "\nexpected: identical accuracy at every tiling; data movement and "
       "latency grow as tiles shrink — the cost of manufacturability.\n");
+  run.export_metrics();
   return run.finish();
 }

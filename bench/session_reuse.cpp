@@ -68,5 +68,6 @@ int main() {
   std::printf(
       "\nexpected: re-priced solves program zero cells — the O(N²) "
       "initialization is per-A, not per-problem.\n");
+  run.export_metrics();
   return run.finish();
 }

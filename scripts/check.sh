@@ -54,7 +54,18 @@ cmake --build "$STATIC_BUILD_DIR" -j "$JOBS"
 echo "== ASan/UBSan gate =="
 cmake -B "$BUILD_DIR" -S . -DMEMLP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+# A solver failure or contract trip during the suite dumps the flight
+# recorder (docs/observability.md) — pin the dump next to the build so a
+# failing run leaves its post-mortem at a known path (CI uploads it).
+# Tests that assert on the dump override MEMLP_FLIGHT_DUMP themselves.
+FLIGHT_DUMP="$PWD/$BUILD_DIR/memlp_flight.jsonl"
+rm -f "$FLIGHT_DUMP"
+if ! MEMLP_FLIGHT_DUMP="$FLIGHT_DUMP" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"; then
+  [ -s "$FLIGHT_DUMP" ] && \
+    echo "flight-recorder dump preserved at $FLIGHT_DUMP"
+  exit 1
+fi
 
 echo "== TSan gate (test_par + test_obs + test_prof + test_tiled + test_crossbar) =="
 cmake -B "$TSAN_BUILD_DIR" -S . -DMEMLP_SANITIZE=thread \

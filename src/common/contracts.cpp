@@ -1,0 +1,22 @@
+#include "common/contracts.hpp"
+
+#include <atomic>
+
+namespace memlp::detail {
+namespace {
+
+std::atomic<void (*)() noexcept> g_failure_hook{nullptr};
+
+}  // namespace
+
+void set_contract_failure_hook(void (*hook)() noexcept) noexcept {
+  g_failure_hook.store(hook, std::memory_order_release);
+}
+
+void notify_contract_failure() noexcept {
+  if (auto* hook = g_failure_hook.load(std::memory_order_acquire);
+      hook != nullptr)
+    hook();
+}
+
+}  // namespace memlp::detail

@@ -13,12 +13,23 @@
 
 namespace memlp::detail {
 
+/// Installs (nullptr clears) a callback fired on every contract failure just
+/// before ContractViolation is thrown. memlp::obs::Telemetry hooks this to
+/// dump the flight recorder — the common library stays free of any obs
+/// dependency. The hook must not throw.
+void set_contract_failure_hook(void (*hook)() noexcept) noexcept;
+
+/// Fires the installed failure hook (no-op when none); defined in
+/// contracts.cpp so the hook slot has one home across translation units.
+void notify_contract_failure() noexcept;
+
 [[noreturn]] inline void contract_fail(const char* kind, const char* expr,
                                        const char* file, int line,
                                        const std::string& msg) {
   std::ostringstream os;
   os << kind << " failed: (" << expr << ") at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
+  notify_contract_failure();
   throw ContractViolation(os.str());
 }
 

@@ -26,6 +26,10 @@ const TimelineHooks* timeline_hooks() noexcept {
   return g_timeline_hooks.load(std::memory_order_acquire);
 }
 
+using RegionBeginHook = void (*)() noexcept;
+
+std::atomic<RegionBeginHook> g_region_begin_hook{nullptr};
+
 /// One parallel region: participants claim chunk indices off `next` until
 /// exhausted; the last completed chunk releases the caller. Heap-held via
 /// shared_ptr so a late-waking worker can touch it safely after the caller
@@ -66,6 +70,9 @@ class Pool {
     Stopwatch region_timer;
     if (hooks != nullptr && hooks->region_begin != nullptr)
       hooks->region_begin(count, threads);
+    const RegionBeginHook begin_hook =
+        g_region_begin_hook.load(std::memory_order_acquire);
+    if (begin_hook != nullptr) begin_hook();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       job_ = job;
@@ -189,6 +196,10 @@ std::size_t thread_slot_limit() noexcept { return kThreadSlotLimit; }
 
 void set_timeline_hooks(const TimelineHooks* hooks) noexcept {
   g_timeline_hooks.store(hooks, std::memory_order_release);
+}
+
+void set_region_begin_hook(void (*hook)() noexcept) noexcept {
+  g_region_begin_hook.store(hook, std::memory_order_release);
 }
 
 void parallel_for_ranges(

@@ -68,6 +68,16 @@ struct TimelineHooks {
 /// struct must outlive all parallel regions; install before regions run.
 void set_timeline_hooks(const TimelineHooks* hooks) noexcept;
 
+/// Second, independent region-begin channel (the profiler owns the
+/// TimelineHooks one): `hook` fires on the launching thread under the
+/// pool's region serialization, before any worker can observe the job —
+/// state it writes is visible to every worker of that region. Used by
+/// memlp::obs to propagate the per-solve trace context into pooled worker
+/// chunks (obs/context.hpp). nullptr clears. Like the timeline hooks, the
+/// inline paths (threads <= 1, nested regions) fire nothing — they stay on
+/// the calling thread, where thread-local state already applies.
+void set_region_begin_hook(void (*hook)() noexcept) noexcept;
+
 /// True on a thread currently executing inside a parallel region (pool
 /// worker or a caller participating in its own region). Such threads run
 /// further parallel_for calls inline.

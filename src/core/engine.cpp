@@ -6,11 +6,18 @@
 
 #include "linalg/ops.hpp"
 #include "obs/cost_ledger.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 
 namespace memlp::core {
 namespace {
+
+/// µ direction changes (>10% swings) in one run before the health monitor
+/// calls it oscillation — a healthy central path drives µ monotonically
+/// down, so repeated reversals mean the solver is bouncing around it.
+constexpr std::size_t kMuFlipAlarm = 6;
 
 /// Largest θ ∈ (0, 1] keeping the state positive for this step (the exact
 /// Eq. (11) bound with r = 1, used by the software Mehrotra predictor).
@@ -76,6 +83,9 @@ PdipEngine::Outcome PdipEngine::run(NewtonSystem& newton, PdipState& state) {
   double previous_y_norm = 1.0;
   double best_x_norm = 1.0;
   double best_y_norm = 1.0;
+  double previous_mu = 0.0;
+  int mu_trend = 0;
+  std::size_t mu_flips = 0;
 
   // Classifies a non-converged exit (attempt mode). A clearly failing
   // attempt (merit far above any acceptable level) whose dual iterate
@@ -127,6 +137,28 @@ PdipEngine::Outcome PdipEngine::run(NewtonSystem& newton, PdipState& state) {
       }
     }
 
+    // Compact always-on digest (flight recorder) + µ-trend bookkeeping for
+    // the health monitor. Reported at most once per run, when the flip count
+    // first crosses the alarm — no scope-exit plumbing on the hot loop.
+    obs::flight_record(obs::FlightEventKind::kIteration, config_.solver_name,
+                       static_cast<double>(iteration), mu,
+                       config_.attempt_mode ? merit : gap);
+    if (previous_mu > 0.0) {
+      const int direction = mu > 1.1 * previous_mu   ? 1
+                            : mu < 0.9 * previous_mu ? -1
+                                                     : 0;
+      if (direction != 0) {
+        if (mu_trend != 0 && direction != mu_trend &&
+            ++mu_flips == kMuFlipAlarm) {
+          obs::HealthMonitor::global().report(
+              obs::Anomaly::kMuOscillation, config_.solver_name, sink_,
+              static_cast<double>(mu_flips), static_cast<double>(iteration));
+        }
+        mu_trend = direction;
+      }
+    }
+    previous_mu = mu;
+
     // Exactly one `iteration` event per loop entry, emitted at whichever
     // exit the iteration takes; step lengths and the condition estimate are
     // filled in once known.
@@ -177,10 +209,17 @@ PdipEngine::Outcome PdipEngine::run(NewtonSystem& newton, PdipState& state) {
             y_norm_now > 100.0 * previous_y_norm) ||
            (x_norm_now > 100.0 * best_x_norm &&
             y_norm_now > 100.0 * best_y_norm))) {
+        obs::HealthMonitor::global().report(
+            obs::Anomaly::kWildJump, config_.solver_name, sink_,
+            std::max(x_norm_now, y_norm_now),
+            static_cast<double>(iteration));
         attempt.outcome = AttemptOutcome::kHardwareFailure;
         emit_iteration();
         return attempt;
       }
+      obs::HealthMonitor::global().report(
+          obs::Anomaly::kDivergence, config_.solver_name, sink_,
+          std::max(x_norm_now, y_norm_now), static_cast<double>(iteration));
       attempt.outcome = *diverged == lp::SolveStatus::kInfeasible
                             ? AttemptOutcome::kInfeasible
                             : AttemptOutcome::kUnbounded;
@@ -191,6 +230,10 @@ PdipEngine::Outcome PdipEngine::run(NewtonSystem& newton, PdipState& state) {
       previous_x_norm = std::max(x_norm_now, 1.0);
       previous_y_norm = std::max(y_norm_now, 1.0);
       if (iteration - best_iteration > config_.stall_window) {
+        obs::HealthMonitor::global().report(
+            obs::Anomaly::kStall, config_.solver_name, sink_,
+            static_cast<double>(iteration - best_iteration),
+            static_cast<double>(iteration));
         attempt.outcome = classify_exit(AttemptOutcome::kStalled);
         emit_iteration();
         return attempt;
@@ -319,6 +362,10 @@ PdipEngine::Outcome PdipEngine::run(NewtonSystem& newton, PdipState& state) {
       // under analog noise.
       frozen_steps = theta < 1e-7 ? frozen_steps + 1 : 0;
       if (frozen_steps >= config_.frozen_limit) {
+        obs::HealthMonitor::global().report(
+            obs::Anomaly::kStall, config_.solver_name, sink_,
+            static_cast<double>(frozen_steps),
+            static_cast<double>(iteration));
         attempt.outcome = classify_exit(AttemptOutcome::kStalled);
         emit_iteration();
         return attempt;
@@ -358,6 +405,10 @@ XbarSolveOutcome solve_analog_pdip(const lp::LinearProgram& problem,
   for (std::size_t attempt_index = 0; attempt_index <= spec.max_retries;
        ++attempt_index) {
     out.stats.attempts = attempt_index + 1;
+    if (attempt_index > 0)
+      obs::flight_record(obs::FlightEventKind::kRetry, spec.solver_name,
+                         static_cast<double>(attempt_index + 1),
+                         static_cast<double>(out.result.status));
     const bool reuse_array = attempt_index == 0 &&
                              spec.array_programmed != nullptr &&
                              *spec.array_programmed;
@@ -439,6 +490,31 @@ XbarSolveOutcome solve_analog_pdip(const lp::LinearProgram& problem,
 
   newton.collect_stats(out.stats);
   scaling.unscale(out.result);
+
+  obs::flight_record(obs::FlightEventKind::kSolveEnd, spec.solver_name,
+                     static_cast<double>(out.stats.iterations),
+                     out.result.optimal() ? 1.0 : 0.0);
+  if (out.stats.attempts >= 3)
+    obs::HealthMonitor::global().report(obs::Anomaly::kRetryStorm,
+                                        spec.solver_name, sink,
+                                        static_cast<double>(out.stats.attempts));
+  // Settle-cache thrash: the cache exists to amortize factorizations across
+  // iterations; a solve where full refactorizations dominate its prepares
+  // paid O(N³) almost every iteration and deserves a health flag.
+  const auto& cache = out.stats.backend.settle_cache;
+  const std::uint64_t prepares = cache.full_factorizations +
+                                 cache.incremental_updates +
+                                 cache.prepare_hits;
+  if (cache.full_factorizations > 8 && cache.full_factorizations * 2 > prepares)
+    obs::HealthMonitor::global().report(
+        obs::Anomaly::kSettleCacheThrash, spec.solver_name, sink,
+        static_cast<double>(cache.full_factorizations));
+  // A solve that ends in failure dumps the recorder for post-mortem even
+  // when no trace was armed (infeasible/unbounded are conclusions, not
+  // failures).
+  if (out.result.status == lp::SolveStatus::kNumericalFailure ||
+      out.result.status == lp::SolveStatus::kIterationLimit)
+    obs::flight_dump_on_failure("solver_failure");
 
   if (sink != nullptr) {
     obs::SolveSummary summary;

@@ -6,7 +6,9 @@
 
 #include "common/contracts.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
+#include "perf/hardware_model.hpp"
 
 namespace memlp::engine {
 
@@ -77,13 +79,34 @@ SolveReport SolverRegistry::solve(const lp::LinearProgram& problem,
   const std::optional<SolveFn> fn = find(request.solver);
   MEMLP_EXPECT_MSG(fn.has_value(), "SolverRegistry: unknown solver '"
                                        << request.solver << "'");
+  // Every registry solve runs under a SolveContext. A caller that already
+  // installed one (solve_batch, nested solves) keeps it — minting here
+  // would fork the trace identity mid-solve.
+  std::optional<obs::ScopedSolveContext> scope;
+  if (const obs::SolveContext* active = obs::current_solve_context();
+      active == nullptr || !active->valid()) {
+    obs::SolveContext context;
+    context.trace_id = obs::mint_trace_ids();
+    context.tenant = request.tenant;
+    scope.emplace(std::move(context));
+  }
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter(request.solver + ".requests").add();
   const Stopwatch clock;
   SolveReport report = (*fn)(problem, request);
   // Per-solve latency distribution (p50/p95/p99 for serving-style loads);
   // one histogram observation per solve, never per iteration.
-  obs::MetricsRegistry::global()
-      .histogram(request.solver + ".solve_seconds")
+  metrics.histogram(request.solver + ".solve_seconds")
       .observe(clock.seconds());
+  if (report.has_hardware_stats) {
+    // Per-solve analog energy (iterative phase + programming), priced with
+    // the default constants — the same quantity the Fig. 7 benches report.
+    const perf::HardwareModel model;
+    perf::CostEstimate estimate = model.estimate(report.stats);
+    estimate += model.estimate_programming(report.stats);
+    metrics.histogram(request.solver + ".solve_energy_j")
+        .observe(estimate.energy_j);
+  }
   return report;
 }
 

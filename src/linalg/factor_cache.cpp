@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "linalg/ops.hpp"
 #include "obs/cost_ledger.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace memlp {
 
@@ -52,6 +53,8 @@ bool FactorizationCache::full_refactor(const Matrix& a) {
     if (options_.iterative_refinement) current_ = a;
   }
   ++stats_.full_factorizations;
+  obs::flight_record(obs::FlightEventKind::kCacheRefresh, "settle_cache",
+                     static_cast<double>(stats_.full_factorizations));
   return !base_->singular();
 }
 

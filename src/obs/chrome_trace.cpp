@@ -3,6 +3,7 @@
 #include <variant>
 
 #include "common/json.hpp"
+#include "obs/context.hpp"
 
 namespace memlp::obs {
 namespace {
@@ -70,6 +71,17 @@ void ChromeTraceSink::emit(const Event& event) {
     record += ",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\"";
     record += ",\"ts\":" + json_number(clock_.seconds() * 1e6);
     record += ",\"pid\":0,\"tid\":0";
+    // Instant marks carry the active solve context as args, so a Perfetto
+    // query can slice a mixed-batch trace down to one trace_id.
+    if (const SolveContext* context = current_solve_context();
+        context != nullptr && context->valid()) {
+      args += "\"trace_id\":" + json_number(
+                  static_cast<std::int64_t>(context->trace_id));
+      args += ",\"solve_id\":" + json_number(
+                  static_cast<std::int64_t>(context->solve_id));
+      if (!context->tenant.empty())
+        args += ",\"tenant\":" + json_string(context->tenant);
+    }
     for (const Field& field : event.fields()) {
       if (!args.empty()) args += ",";
       args += json_string(field.key) + ":" + field_value_json(field);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/par.hpp"
+#include "obs/context.hpp"
 #include "obs/profiler.hpp"
 
 namespace memlp::obs {
@@ -54,7 +55,13 @@ void CostLedger::charge(const CostCounters& amount) {
       Profiler* profiler = Profiler::active();
       const double ts_s =
           profiler != nullptr ? profiler->now_s() : clock_.seconds();
-      slot.timeline.push_back({std::move(path), ts_s, amount});
+      CostSample sample{std::move(path), ts_s, 0, 0, amount};
+      if (const SolveContext* context = current_solve_context();
+          context != nullptr && context->valid()) {
+        sample.trace_id = context->trace_id;
+        sample.solve_id = context->solve_id;
+      }
+      slot.timeline.push_back(std::move(sample));
     } else {
       ++slot.timeline_dropped;
     }

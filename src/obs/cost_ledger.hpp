@@ -105,10 +105,14 @@ struct CostCounters {
 using CostTree = std::map<std::string, CostCounters>;
 
 /// One raw charge occurrence (timeline mode only; Chrome counter tracks).
+/// `trace_id`/`solve_id` carry the solve context active at the charge site
+/// (0 when none), so a mixed-batch cost timeline slices per solve.
 struct CostSample {
   std::string path;
   double ts_s = 0.0;  ///< seconds since the profiler epoch (or the
                       ///< ledger's own clock when no profiler is active).
+  std::uint64_t trace_id = 0;
+  std::uint64_t solve_id = 0;
   CostCounters delta;
 };
 

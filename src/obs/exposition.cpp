@@ -1,0 +1,68 @@
+#include "obs/exposition.hpp"
+
+#include <cstdio>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace memlp::obs {
+namespace {
+
+bool prometheus_name_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Prometheus sample values: json_number already renders doubles
+/// round-trippably and integers without an exponent, both valid here.
+std::string prom_value(double v) { return json_number(v); }
+
+void append_summary(std::string& out, const std::string& name,
+                    const HistogramStats& stats) {
+  out += "# TYPE " + name + " summary\n";
+  out += name + "{quantile=\"0.5\"} " + prom_value(stats.p50) + "\n";
+  out += name + "{quantile=\"0.95\"} " + prom_value(stats.p95) + "\n";
+  out += name + "{quantile=\"0.99\"} " + prom_value(stats.p99) + "\n";
+  out += name + "_sum " + prom_value(stats.total) + "\n";
+  out += name + "_count " + std::to_string(stats.count) + "\n";
+  out += "# TYPE " + name + "_max gauge\n";
+  out += name + "_max " + prom_value(stats.max) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out = "memlp_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += prometheus_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.counter_values()) {
+    const std::string prom = prometheus_metric_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : registry.gauge_values()) {
+    const std::string prom = prometheus_metric_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + prom_value(value) + "\n";
+  }
+  for (const auto& [name, stats] : registry.histogram_values())
+    append_summary(out, prometheus_metric_name(name), stats);
+  return out;
+}
+
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = to_prometheus(registry);
+  std::fputs(text.c_str(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace memlp::obs

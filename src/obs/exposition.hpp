@@ -1,0 +1,32 @@
+// memlp::obs — Prometheus text exposition of the metrics registry.
+//
+// Renders a MetricsRegistry snapshot in the Prometheus text format
+// (version 0.0.4): counters as `counter`, gauges as `gauge`, histograms as
+// `summary` with quantile-labelled p50/p95/p99 samples plus `_sum`/`_count`
+// (and a `_max` gauge, which summaries lack but dashboards want). Metric
+// names are sanitized to the Prometheus charset and prefixed `memlp_`, so
+// the registry's dotted names ("xbar.solve_seconds") become scrape-ready
+// ("memlp_xbar_solve_seconds"). Written one-shot to a `.prom` file
+// (`--metrics-out`, MEMLP_METRICS_OUT) for node_exporter's textfile
+// collector or `tools/memlp_top`.
+#pragma once
+
+#include <string>
+
+namespace memlp::obs {
+
+class MetricsRegistry;
+
+/// `name` mapped to the Prometheus charset ([a-zA-Z0-9_:], prefixed
+/// `memlp_`, every other character replaced by '_').
+std::string prometheus_metric_name(const std::string& name);
+
+/// The registry's current values as a Prometheus text document.
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Writes to_prometheus(registry) to `path`; false when the file cannot be
+/// opened.
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path);
+
+}  // namespace memlp::obs

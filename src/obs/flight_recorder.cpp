@@ -1,0 +1,190 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/json.hpp"
+#include "common/par.hpp"
+#include "obs/context.hpp"
+
+namespace memlp::obs {
+namespace {
+
+/// Dump names of the kind-specific a/b/c values (nullptr = omit the value).
+struct KindSchema {
+  const char* name;
+  const char* a;
+  const char* b;
+  const char* c;
+};
+
+KindSchema kind_schema(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kPhaseEnter:
+      return {"phase_enter", nullptr, nullptr, nullptr};
+    case FlightEventKind::kPhaseExit:
+      return {"phase_exit", "wall_seconds", nullptr, nullptr};
+    case FlightEventKind::kIteration:
+      return {"iteration", "iteration", "mu", "merit"};
+    case FlightEventKind::kRetry:
+      return {"retry", "attempt", "code", nullptr};
+    case FlightEventKind::kCacheRefresh:
+      return {"cache_refresh", "full_factorizations", nullptr, nullptr};
+    case FlightEventKind::kAnomaly:
+      return {"anomaly", "value", "iteration", nullptr};
+    case FlightEventKind::kSolveEnd:
+      return {"solve_end", "iterations", "optimal", nullptr};
+    case FlightEventKind::kMark:
+      return {"mark", "a", "b", "c"};
+  }
+  return {"unknown", "a", "b", "c"};
+}
+
+}  // namespace
+
+const char* flight_kind_name(FlightEventKind kind) noexcept {
+  return kind_schema(kind).name;
+}
+
+/// Per-thread ring; the mutex is uncontended in steady state (only snapshot
+/// and slot sharing past the thread cap contend with the owning thread).
+struct FlightRecorder::Slot {
+  std::mutex mutex;  // memlint:allow(R1): recorder slot-internal lock
+  std::vector<FlightRecord> ring;  ///< reserved in full on first record.
+  std::uint64_t written = 0;       ///< total records; ring[written % cap].
+};
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder::FlightRecorder(std::size_t capacity_per_thread)
+    : capacity_(std::max<std::size_t>(capacity_per_thread, 1)) {
+  slots_.reserve(par::thread_slot_limit());
+  for (std::size_t i = 0; i < par::thread_slot_limit(); ++i)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+void FlightRecorder::record(FlightEventKind kind, const char* tag, double a,
+                            double b, double c) noexcept {
+  FlightRecord rec;
+  rec.ts_s = clock_.seconds();
+  rec.kind = kind;
+  rec.a = a;
+  rec.b = b;
+  rec.c = c;
+  if (tag != nullptr) {
+    std::strncpy(rec.tag, tag, sizeof(rec.tag) - 1);
+    rec.tag[sizeof(rec.tag) - 1] = 0;
+  }
+  if (const SolveContext* context = current_solve_context();
+      context != nullptr && context->valid()) {
+    rec.trace_id = context->trace_id;
+    rec.solve_id = context->solve_id;
+  }
+  Slot& slot = *slots_[par::thread_slot()];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (slot.ring.capacity() == 0) slot.ring.reserve(capacity_);
+  if (slot.ring.size() < capacity_) {
+    slot.ring.push_back(rec);
+  } else {
+    slot.ring[slot.written % capacity_] = rec;
+  }
+  ++slot.written;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::vector<FlightRecord> out;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    out.insert(out.end(), slot->ring.begin(), slot->ring.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) {
+                     return a.ts_s < b.ts_s;
+                   });
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    total += slot->written;
+  }
+  return total;
+}
+
+void FlightRecorder::reset() {
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->ring.clear();
+    slot->written = 0;
+  }
+}
+
+bool FlightRecorder::dump_to(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  for (const FlightRecord& rec : snapshot()) {
+    const KindSchema schema = kind_schema(rec.kind);
+    std::string line = "{\"ts\":" + json_number(rec.ts_s);
+    line += ",\"kind\":" + json_string(schema.name);
+    if (rec.tag[0] != 0) line += ",\"tag\":" + json_string(rec.tag);
+    if (rec.trace_id != 0) {
+      line += ",\"trace_id\":" + std::to_string(rec.trace_id);
+      line += ",\"solve_id\":" + std::to_string(rec.solve_id);
+    }
+    if (schema.a != nullptr)
+      line += ",\"" + std::string(schema.a) + "\":" + json_number(rec.a);
+    if (schema.b != nullptr)
+      line += ",\"" + std::string(schema.b) + "\":" + json_number(rec.b);
+    if (schema.c != nullptr)
+      line += ",\"" + std::string(schema.c) + "\":" + json_number(rec.c);
+    line += "}\n";
+    std::fputs(line.c_str(), file);
+  }
+  std::fclose(file);
+  return true;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void flight_record(FlightEventKind kind, const char* tag, double a, double b,
+                   double c) noexcept {
+  FlightRecorder::global().record(kind, tag, a, b, c);
+}
+
+std::string flight_dump_path() {
+  const char* raw = std::getenv("MEMLP_FLIGHT_DUMP");
+  if (raw == nullptr || *raw == 0) return "memlp_flight.jsonl";
+  const std::string value(raw);
+  if (value == "0" || value == "false" || value == "no" || value == "off")
+    return "";
+  return value;
+}
+
+std::string flight_dump_on_failure(const char* reason) noexcept {
+  // One dump per process: the first failure is the root cause, and later
+  // failures (often cascades of the first) must not overwrite its evidence.
+  static std::atomic<bool> dumped{false};
+  try {
+    const std::string path = flight_dump_path();
+    if (path.empty()) return "";
+    FlightRecorder& recorder = FlightRecorder::global();
+    if (recorder.recorded() == 0) return "";
+    if (dumped.exchange(true, std::memory_order_acq_rel)) return "";
+    recorder.record(FlightEventKind::kMark,
+                    reason != nullptr ? reason : "failure");
+    if (!recorder.dump_to(path)) return "";
+    return path;
+  } catch (...) {
+    return "";  // never let a post-mortem dump mask the original failure.
+  }
+}
+
+}  // namespace memlp::obs

@@ -1,0 +1,126 @@
+// memlp::obs — always-on in-memory flight recorder.
+//
+// `--trace` reconstructs a solve only if it was armed in advance; the flight
+// recorder closes that gap for post-mortems. Every thread appends compact
+// fixed-size records (phase transitions, iteration digests, retry decisions,
+// settle-cache refreshes, anomalies) into its own bounded ring buffer, and
+// the merged tail is dumped as JSONL when something goes wrong — a solver
+// ends in failure, a MEMLP_EXPECT contract trips (via the
+// common/contracts.hpp failure hook), or a caller asks explicitly.
+//
+// Cost discipline (memlint R9): `record()` allocates only on a thread's
+// first record (its ring is reserved in full, once); afterwards it is a copy
+// into pre-reserved storage under an uncontended per-slot mutex. Records are
+// plain structs — no strings are built unless a dump actually happens.
+// Rings are per par::thread_slot(), merged timestamp-sorted at dump time
+// (ties resolved by slot index — the deterministic merge order of the par
+// contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace memlp::obs {
+
+/// What one flight record describes. Values are stable dump identifiers —
+/// append new kinds at the end.
+enum class FlightEventKind : std::uint8_t {
+  kPhaseEnter = 0,    ///< tag = phase name.
+  kPhaseExit = 1,     ///< tag = phase name; a = wall_seconds.
+  kIteration = 2,     ///< tag = solver; a = iteration, b = mu, c = merit/gap.
+  kRetry = 3,         ///< tag = solver; a = attempt, b = variation/reason code.
+  kCacheRefresh = 4,  ///< tag = backend; a = full factorizations so far.
+  kAnomaly = 5,       ///< tag = anomaly name; a = magnitude, b = iteration.
+  kSolveEnd = 6,      ///< tag = solver; a = iterations, b = 1 when optimal.
+  kMark = 7,          ///< tag = free-form label (dump reasons, tests).
+};
+
+/// Dump name of `kind` ("phase_enter", "iteration", ...).
+const char* flight_kind_name(FlightEventKind kind) noexcept;
+
+/// One compact flight record. `tag` is a truncated copy (no ownership, no
+/// allocation); `a`/`b`/`c` are kind-specific values per FlightEventKind.
+struct FlightRecord {
+  double ts_s = 0.0;  ///< seconds since the recorder was created.
+  std::uint64_t trace_id = 0;  ///< active SolveContext (0 = none).
+  std::uint64_t solve_id = 0;
+  FlightEventKind kind = FlightEventKind::kMark;
+  char tag[23] = {};  ///< NUL-terminated, truncated to fit.
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+/// Bounded per-thread ring recorder. One process-wide instance
+/// (`FlightRecorder::global()`) backs the `flight_record()` free function
+/// that instrumentation sites call; separate instances exist for tests.
+class FlightRecorder {
+ public:
+  /// Records kept per thread slot before the ring wraps (oldest first out).
+  static constexpr std::size_t kDefaultCapacityPerThread = 2048;
+
+  explicit FlightRecorder(
+      std::size_t capacity_per_thread = kDefaultCapacityPerThread);
+  ~FlightRecorder();  // out of line: Slot is header-incomplete.
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends a record to the calling thread's ring, stamping the current
+  /// timestamp and solve context. Never throws, never allocates after the
+  /// thread's first record.
+  void record(FlightEventKind kind, const char* tag, double a = 0.0,
+              double b = 0.0, double c = 0.0) noexcept;
+
+  /// Every retained record, merged across threads and sorted by timestamp
+  /// (stable — ties keep slot order). At most capacity × active-threads.
+  [[nodiscard]] std::vector<FlightRecord> snapshot() const;
+
+  /// Total records ever recorded (including ones the rings have since
+  /// overwritten).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  [[nodiscard]] std::size_t capacity_per_thread() const noexcept {
+    return capacity_;
+  }
+
+  /// Drops all retained records (counts reset too).
+  void reset();
+
+  /// Writes the snapshot as JSONL (one record per line, kind-specific value
+  /// names). Returns false when the file cannot be opened.
+  bool dump_to(const std::string& path) const;
+
+  /// The process-wide recorder backing flight_record().
+  static FlightRecorder& global();
+
+ private:
+  struct Slot;
+
+  std::size_t capacity_;
+  Stopwatch clock_;
+  std::vector<std::unique_ptr<Slot>> slots_;  ///< par::thread_slot_limit().
+};
+
+/// Records into the global recorder: the one-liner for instrumentation
+/// sites.
+void flight_record(FlightEventKind kind, const char* tag, double a = 0.0,
+                   double b = 0.0, double c = 0.0) noexcept;
+
+/// Resolves the flight-dump destination from MEMLP_FLIGHT_DUMP: unset/empty
+/// → "memlp_flight.jsonl"; a falsey token ("0", "off", ...) → "" (disabled);
+/// anything else is the path.
+std::string flight_dump_path();
+
+/// Dumps the global recorder on a failure, at most once per process (the
+/// first failure is the root cause; later ones must not overwrite its
+/// evidence). A kMark record naming `reason` is appended first. Returns the
+/// path written, or "" when disabled/already dumped/nothing recorded.
+std::string flight_dump_on_failure(const char* reason) noexcept;
+
+}  // namespace memlp::obs

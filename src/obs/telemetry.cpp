@@ -1,0 +1,50 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+
+namespace memlp::obs {
+namespace {
+
+void on_contract_failure() noexcept {
+  flight_dump_on_failure("contract_violation");
+}
+
+}  // namespace
+
+Telemetry::Telemetry() {
+  detail::set_contract_failure_hook(&on_contract_failure);
+  if (const char* raw = std::getenv("MEMLP_METRICS_OUT");
+      raw != nullptr && *raw != 0)
+    metrics_out_ = raw;
+}
+
+FlightRecorder& Telemetry::recorder() const {
+  return FlightRecorder::global();
+}
+
+HealthMonitor& Telemetry::health() const { return HealthMonitor::global(); }
+
+bool Telemetry::write_metrics(const std::string& path) const {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.gauge("process.uptime_seconds").set(uptime_s());
+  return write_prometheus(registry, path);
+}
+
+std::string Telemetry::write_metrics_if_configured() const {
+  if (metrics_out_.empty()) return "";
+  if (!write_metrics(metrics_out_)) return "";
+  return metrics_out_;
+}
+
+Telemetry& Telemetry::global() {
+  static Telemetry telemetry;
+  return telemetry;
+}
+
+}  // namespace memlp::obs

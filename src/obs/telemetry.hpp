@@ -1,0 +1,61 @@
+// memlp::obs — run-wide telemetry facade.
+//
+// One object tying the observability substrate together for a process:
+//   * owns the process uptime epoch the exposition's `process.uptime_seconds`
+//     gauge (and memlp_top's solves/sec column) is measured against,
+//   * installs the common/contracts.hpp failure hook, so a MEMLP_EXPECT trip
+//     anywhere dumps the flight recorder before ContractViolation unwinds,
+//   * resolves MEMLP_METRICS_OUT once and exposes `write_metrics()` /
+//     `write_metrics_if_configured()` for drivers (memlp_solve, the batch
+//     engine, the benches) to snapshot the registry at natural boundaries —
+//     "periodic" exposition without a background thread, which the par layer
+//     deliberately does not offer.
+//
+// `Telemetry::global()` is cheap and idempotent; any component that wants
+// the failure hook armed just touches it.
+#pragma once
+
+#include <string>
+
+#include "common/stopwatch.hpp"
+
+namespace memlp::obs {
+
+class FlightRecorder;
+class HealthMonitor;
+
+class Telemetry {
+ public:
+  /// Seconds since this Telemetry (in practice: the process) started.
+  [[nodiscard]] double uptime_s() const { return epoch_.seconds(); }
+
+  /// The global flight recorder / health monitor (convenience accessors).
+  [[nodiscard]] FlightRecorder& recorder() const;
+  [[nodiscard]] HealthMonitor& health() const;
+
+  /// Destination resolved from MEMLP_METRICS_OUT ("" = none). A `--metrics-out`
+  /// flag overrides this via set_metrics_out().
+  [[nodiscard]] const std::string& metrics_out() const noexcept {
+    return metrics_out_;
+  }
+  void set_metrics_out(std::string path) { metrics_out_ = std::move(path); }
+
+  /// Snapshots MetricsRegistry::global() to `path` in Prometheus text
+  /// format, refreshing the `process.uptime_seconds` gauge first.
+  bool write_metrics(const std::string& path) const;
+
+  /// write_metrics(metrics_out()) when a destination is configured; returns
+  /// the path written ("" when none).
+  std::string write_metrics_if_configured() const;
+
+  /// The process-wide instance. First call arms the contract-failure hook.
+  static Telemetry& global();
+
+ private:
+  Telemetry();
+
+  Stopwatch epoch_;
+  std::string metrics_out_;
+};
+
+}  // namespace memlp::obs

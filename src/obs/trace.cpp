@@ -1,11 +1,14 @@
 #include "obs/trace.hpp"
 
 #include <cstdlib>
+#include <cstring>
 #include <string_view>
 
 #include "common/csv.hpp"
 #include "common/json.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/context.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/profiler.hpp"
 
 namespace memlp::obs {
@@ -76,6 +79,17 @@ void JsonlTraceSink::emit(const Event& event) {
   if (file_ == nullptr) return;
   // Stamp seq/ts ahead of the payload so every line is self-describing.
   std::string line = "{\"type\":" + json_string(event.type());
+  // Context fields are stamped by the sink, not the instrumentation site, so
+  // the same solver code yields context-free lines outside a SolveContext
+  // (keeping the engine golden traces bit-exact) and attributable lines
+  // inside one.
+  if (const SolveContext* context = current_solve_context();
+      context != nullptr && context->valid()) {
+    line += ",\"trace_id\":" + std::to_string(context->trace_id);
+    line += ",\"solve_id\":" + std::to_string(context->solve_id);
+    if (!context->tenant.empty())
+      line += ",\"tenant\":" + json_string(context->tenant);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   line += ",\"seq\":" + std::to_string(seq_++);
   line += ",\"ts\":" + json_number(clock_.seconds());
@@ -102,12 +116,30 @@ CsvTraceSink::~CsvTraceSink() {
 
 void CsvTraceSink::emit(const Event& event) {
   if (file_ == nullptr) return;
+  const SolveContext* context = current_solve_context();
+  if (context != nullptr && !context->valid()) context = nullptr;
   std::lock_guard<std::mutex> lock(mutex_);
   const std::string prefix = std::to_string(seq_++) + "," +
                              json_number(clock_.seconds()) + "," +
                              csv_escape(event.type()) + ",";
+  // Long format: the active context becomes ordinary key/value rows of the
+  // same event (same seq), present only when a context is installed.
+  if (context != nullptr) {
+    std::fputs(
+        (prefix + "trace_id," + std::to_string(context->trace_id) + "\n")
+            .c_str(),
+        file_);
+    std::fputs(
+        (prefix + "solve_id," + std::to_string(context->solve_id) + "\n")
+            .c_str(),
+        file_);
+    if (!context->tenant.empty())
+      std::fputs(
+          (prefix + "tenant," + csv_escape(context->tenant) + "\n").c_str(),
+          file_);
+  }
   if (event.fields().empty()) {
-    std::fputs((prefix + ",\n").c_str(), file_);
+    if (context == nullptr) std::fputs((prefix + ",\n").c_str(), file_);
     return;
   }
   for (const Field& field : event.fields()) {
@@ -125,8 +157,13 @@ void CsvTraceSink::flush() {
 // --- MemoryTraceSink --------------------------------------------------------
 
 void MemoryTraceSink::emit(const Event& event) {
+  // Stored copies carry the emitting thread's context (when one is active),
+  // mirroring what the streaming sinks stamp on their lines — tests filter
+  // events() by trace_id exactly like a JSONL consumer would.
+  Event annotated = event;
+  annotate_context(annotated);
   std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back(event);
+  events_.push_back(std::move(annotated));
 }
 
 std::vector<Event> MemoryTraceSink::events() const {
@@ -236,6 +273,10 @@ Event SolveSummary::to_event() const {
 
 PhaseSpan::PhaseSpan(TraceSink* sink, const char* solver, std::string phase)
     : sink_(sink), event_("phase") {
+  // The flight recorder sees every span, traced or not — phase transitions
+  // are the skeleton a post-mortem dump hangs everything else on.
+  flight_record(FlightEventKind::kPhaseEnter, phase.c_str());
+  std::strncpy(flight_tag_, phase.c_str(), sizeof(flight_tag_) - 1);
   // Open the profiler frame first: the phase string is moved into the event
   // below, and the profiler needs it by name.
   if (Profiler* profiler = Profiler::active()) {
@@ -251,6 +292,10 @@ void PhaseSpan::on_close(std::function<void(PhaseSpan&)> hook) {
 }
 
 void PhaseSpan::close() {
+  if (flight_open_) {
+    flight_open_ = false;
+    flight_record(FlightEventKind::kPhaseExit, flight_tag_, timer_.seconds());
+  }
   if (profiled_) {
     profiled_ = false;
     // The profiler that opened the frame is still active by contract

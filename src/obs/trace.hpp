@@ -263,6 +263,8 @@ class PhaseSpan {
   Stopwatch timer_;
   std::function<void(PhaseSpan&)> hook_;
   bool profiled_ = false;  ///< a profiler frame was opened for this span.
+  bool flight_open_ = true;  ///< the recorder's exit record is still owed.
+  char flight_tag_[23] = {};  ///< phase name copy for the exit record.
 };
 
 }  // namespace memlp::obs

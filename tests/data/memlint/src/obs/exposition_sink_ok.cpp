@@ -1,0 +1,25 @@
+// Fixture: src/obs/ is the sink layer — the file IO that R3 flags anywhere
+// else under src/ (flight-recorder dumps, Prometheus exposition writes) is
+// exempt here. Must lint clean.
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace memlp::obs {
+
+class DumpSink {
+ public:
+  bool dump(const std::string& path, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return false;
+    std::fputs(line.c_str(), file);
+    std::fclose(file);
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;  // memlint:allow(R1): sink-internal serialization lock
+};
+
+}  // namespace memlp::obs

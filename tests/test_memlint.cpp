@@ -85,6 +85,15 @@ TEST(Memlint, R3FlagsConsoleOutputInLibraryCode) {
       << run.output;
 }
 
+TEST(Memlint, R3ExemptsObsSinkLayer) {
+  // src/obs/ is the sink layer: the same fopen/fputs calls that r3_io.cpp
+  // trips on are how the flight recorder and Prometheus exposition write.
+  const RunResult run = run_memlint("src/obs/exposition_sink_ok.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(count_occurrences(run.output, "[R3/io-discipline]"), 0)
+      << run.output;
+}
+
 TEST(Memlint, R4FlagsBareAssertAndRuntimeError) {
   const RunResult run = run_memlint("src/r4_assert.cpp");
   EXPECT_EQ(run.exit_code, 1) << run.output;

@@ -23,6 +23,10 @@
 //                                   cost-ledger counter tracks (implies
 //                                   profiling; open in chrome://tracing or
 //                                   https://ui.perfetto.dev)
+//   --metrics-out <path>            write a Prometheus text snapshot of the
+//                                   metrics registry after the solve (also
+//                                   honoured via MEMLP_METRICS_OUT; render
+//                                   with tools/memlp_top)
 //   --quiet                         print only the objective value
 //
 // Reads the problem from a file (or stdin with "-"), solves it, prints the
@@ -44,6 +48,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/cost_ledger.hpp"
 #include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "perf/cost_tree.hpp"
 #include "perf/hardware_model.hpp"
@@ -53,9 +58,10 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: memlp_solve [--solver name] "
-               "[--variation f] [--seed n] [--tile-dim n] [--trace path] "
+               "[--variation f] [--seed n] [--tile-dim n] "
+               "[--max-iterations n] [--trace path] "
                "[--convergence] [--profile] [--cost] [--chrome-trace path] "
-               "[--quiet] <problem.lp | ->\n");
+               "[--metrics-out path] [--quiet] <problem.lp | ->\n");
 }
 
 /// Comma-joined names of every registered solver (for the bad-name path).
@@ -123,6 +129,7 @@ int main(int argc, char** argv) {
   double variation = 0.10;
   std::uint64_t seed = 42;
   std::size_t tile_dim = 0;
+  std::size_t max_iterations = 0;  // 0 = solver default.
   bool quiet = false;
   bool convergence = false;
   bool profile = false;
@@ -148,6 +155,8 @@ int main(int argc, char** argv) {
       seed = std::stoull(next());
     } else if (arg == "--tile-dim") {
       tile_dim = std::stoull(next());
+    } else if (arg == "--max-iterations") {
+      max_iterations = std::stoull(next());
     } else if (arg == "--trace") {
       trace_spec = next();
     } else if (arg == "--convergence") {
@@ -158,6 +167,8 @@ int main(int argc, char** argv) {
       cost = true;
     } else if (arg == "--chrome-trace") {
       chrome_trace_path = next();
+    } else if (arg == "--metrics-out") {
+      memlp::obs::Telemetry::global().set_metrics_out(next());
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -259,6 +270,7 @@ int main(int argc, char** argv) {
   memlp::engine::SolveRequest request;
   request.solver = solver;
   request.pdip.trace = sink;
+  if (max_iterations > 0) request.pdip.max_iterations = max_iterations;
   request.seed = seed;
   request.hardware.crossbar.variation = variation_model;
   if (tile_dim > 0) {
@@ -323,5 +335,9 @@ int main(int argc, char** argv) {
     }
   }
   if (file_sink != nullptr) file_sink->flush();
+  const std::string metrics_path =
+      memlp::obs::Telemetry::global().write_metrics_if_configured();
+  if (!metrics_path.empty() && !quiet)
+    std::printf("metrics: %s\n", metrics_path.c_str());
   return result.optimal() ? 0 : 1;
 }

@@ -1,0 +1,173 @@
+// memlp_top — one-shot per-solver dashboard over a Prometheus snapshot.
+//
+// Reads a `.prom` file written by the telemetry exposition (memlp_solve
+// --metrics-out, MEMLP_METRICS_OUT, the benches) and tabulates, per solver
+// kind: request/solve counts, solves/sec against the process uptime gauge,
+// the p50/p95/p99 solve-latency quantiles, total anomaly count from the
+// health-monitor counters, and total estimated analog energy. The `top` of
+// a run you cannot attach to — point it at the last snapshot.
+//
+//   memlp_top run.prom
+//   memlp_top --raw run.prom     # also dump every parsed metric
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace {
+
+/// One parsed exposition: plain samples (counters, gauges, _sum/_count) and
+/// quantile-labelled samples keyed "name|q".
+struct Snapshot {
+  std::map<std::string, double> plain;
+  std::map<std::string, double> quantile;  ///< "name|0.95" → value.
+};
+
+bool parse_prom(const char* path, Snapshot& out) {
+  std::FILE* file = std::fopen(path, "r");
+  if (file == nullptr) return false;
+  char line[1024];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    std::string text(line);
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+      text.pop_back();
+    const std::size_t space = text.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::string value_text = text.substr(space + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) continue;
+    std::string name = text.substr(0, space);
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+      out.plain[name] = value;
+      continue;
+    }
+    // Only quantile labels are emitted by the exposition writer.
+    const std::string base = name.substr(0, brace);
+    const std::size_t q = name.find("quantile=\"", brace);
+    if (q == std::string::npos) continue;
+    const std::size_t q_begin = q + std::strlen("quantile=\"");
+    const std::size_t q_end = name.find('"', q_begin);
+    if (q_end == std::string::npos) continue;
+    out.quantile[base + "|" + name.substr(q_begin, q_end - q_begin)] = value;
+  }
+  std::fclose(file);
+  return true;
+}
+
+double lookup(const std::map<std::string, double>& table,
+              const std::string& key, double fallback = 0.0) {
+  const auto it = table.find(key);
+  return it == table.end() ? fallback : it->second;
+}
+
+std::string quantile_ms(const Snapshot& snap, const std::string& base,
+                        const char* q) {
+  const auto it = snap.quantile.find(base + "|" + q);
+  if (it == snap.quantile.end()) return "-";
+  return memlp::TextTable::num(it->second * 1e3);
+}
+
+int usage() {
+  std::fputs("usage: memlp_top [--raw] <metrics.prom>\n", stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool raw = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--raw") == 0) {
+      raw = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return usage();
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+
+  Snapshot snap;
+  if (!parse_prom(path, snap)) {
+    std::fprintf(stderr, "memlp_top: cannot read '%s'\n", path);
+    return 1;
+  }
+
+  // Solver kinds are discovered from their latency summaries (every registry
+  // solve observes memlp_<solver>_solve_seconds) or, for snapshots from
+  // callers that drive the core solvers directly (the benches), from the
+  // per-solver memlp_<solver>_solves counters — those rows render counts and
+  // anomalies with "-" quantiles.
+  const std::string kCountSuffix = "_solve_seconds_count";
+  const std::string kSolvesSuffix = "_solves";
+  const std::string kPrefix = "memlp_";
+  std::vector<std::string> solvers;
+  const auto add_solver = [&solvers](std::string name) {
+    for (const std::string& existing : solvers)
+      if (existing == name) return;
+    solvers.push_back(std::move(name));
+  };
+  for (const auto& [name, value] : snap.plain) {
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (name.size() > kPrefix.size() + kCountSuffix.size() &&
+        name.compare(name.size() - kCountSuffix.size(), kCountSuffix.size(),
+                     kCountSuffix) == 0)
+      add_solver(name.substr(
+          kPrefix.size(), name.size() - kPrefix.size() - kCountSuffix.size()));
+    else if (name.size() > kPrefix.size() + kSolvesSuffix.size() &&
+             name.compare(name.size() - kSolvesSuffix.size(),
+                          kSolvesSuffix.size(), kSolvesSuffix) == 0)
+      add_solver(name.substr(
+          kPrefix.size(), name.size() - kPrefix.size() - kSolvesSuffix.size()));
+  }
+
+  // A near-zero uptime gauge means the snapshot writer was constructed at
+  // export time (bench snapshots) — a rate against it would be noise.
+  const double uptime_s = lookup(snap.plain, "memlp_process_uptime_seconds");
+  const bool rate_valid = uptime_s > 1e-3;
+
+  memlp::TextTable table("memlp_top — " + std::string(path));
+  table.set_header({"solver", "solves", "solves/s", "p50_ms", "p95_ms",
+                    "p99_ms", "anomalies", "energy_j"});
+  for (const std::string& solver : solvers) {
+    const std::string latency = kPrefix + solver + "_solve_seconds";
+    double solves = lookup(snap.plain, latency + "_count");
+    if (solves == 0.0)
+      solves = lookup(snap.plain, kPrefix + solver + kSolvesSuffix);
+    double anomalies = 0.0;
+    const std::string health_prefix = kPrefix + "health_" + solver + "_";
+    for (const auto& [name, value] : snap.plain)
+      if (name.compare(0, health_prefix.size(), health_prefix) == 0)
+        anomalies += value;
+    const double energy_j =
+        lookup(snap.plain, kPrefix + solver + "_solve_energy_j_sum");
+    table.add_row({solver, memlp::TextTable::num((long long)solves),
+                   rate_valid ? memlp::TextTable::num(solves / uptime_s)
+                              : std::string("-"),
+                   quantile_ms(snap, latency, "0.5"),
+                   quantile_ms(snap, latency, "0.95"),
+                   quantile_ms(snap, latency, "0.99"),
+                   memlp::TextTable::num((long long)anomalies),
+                   memlp::TextTable::num(energy_j)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  if (raw) {
+    std::fputs("\nraw samples:\n", stdout);
+    for (const auto& [name, value] : snap.plain)
+      std::fprintf(stdout, "  %s = %g\n", name.c_str(), value);
+    for (const auto& [name, value] : snap.quantile)
+      std::fprintf(stdout, "  %s = %g\n", name.c_str(), value);
+  }
+  return 0;
+}
