@@ -50,7 +50,9 @@ int main() {
       // Exact solve of the perturbed problem.
       lp::LinearProgram perturbed = problem;
       Rng rng(config.seed + 7000 * m + trial);
-      mem::VariationModel::uniform(0.10).perturb(perturbed.a, rng);
+      Matrix perturbed_a = perturbed.a.dense();
+      mem::VariationModel::uniform(0.10).perturb(perturbed_a, rng);
+      perturbed.a = std::move(perturbed_a);
       const auto perturbed_result = solvers::solve_simplex(perturbed);
       if (perturbed_result.optimal())
         exact_errors.push_back(lp::relative_error(perturbed_result.objective,

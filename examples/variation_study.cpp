@@ -50,8 +50,11 @@ int main() {
     // Intrinsic sensitivity: exact solve of the Eq.(18)-perturbed problem.
     lp::LinearProgram perturbed = problem;
     Rng perturb_rng(500 + static_cast<std::uint64_t>(level * 1000));
-    if (level > 0.0)
-      mem::VariationModel::uniform(level).perturb(perturbed.a, perturb_rng);
+    if (level > 0.0) {
+      Matrix perturbed_a = perturbed.a.dense();
+      mem::VariationModel::uniform(level).perturb(perturbed_a, perturb_rng);
+      perturbed.a = std::move(perturbed_a);
+    }
     const auto perturbed_exact = solvers::solve_simplex(perturbed);
     const double intrinsic =
         perturbed_exact.optimal()

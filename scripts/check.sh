@@ -20,13 +20,16 @@
 #      MEMLP_THREADS=4, proving the memlp::par pool, the parallel
 #      tile/linalg paths, and the trace/metrics/profiler sinks are
 #      race-free.
-#   3. Smoke bench: fig6a_latency + fig7a_energy + complexity_scaling at a
-#      pinned tiny sweep (fixed seed, MEMLP_MAX_M=16, 2 trials) into a temp
-#      dir, then memlp_report against the committed results/json/baseline
-#      tree — the regression gate from docs/observability.md. Deterministic
-#      estimated metrics (including the settle-cache factorization counts
-#      and flop ratios) use the default tight tolerance; measured wall
-#      clocks get a machine-tolerant band.
+#   3. Smoke bench: fig6a_latency + fig7a_energy + complexity_scaling +
+#      ablation_sparsity at a pinned tiny sweep (fixed seed, MEMLP_MAX_M=16,
+#      2 trials) into a temp dir, then memlp_report against the committed
+#      results/json/baseline tree — the regression gate from
+#      docs/observability.md. Deterministic estimated metrics (including
+#      the settle-cache factorization counts, the sparse-Schur flop
+#      crossover, and zero-shard counts) use the default tight tolerance;
+#      measured wall clocks get a machine-tolerant band. ablation_sparsity
+#      additionally hard-fails if the sparse Schur assembly is not >= 5x
+#      cheaper than the dense form at 5% density, m = 512.
 #
 # Usage: scripts/check.sh [extra ctest args for the ASan run...]
 set -euo pipefail
@@ -88,5 +91,6 @@ SMOKE_ENV=(MEMLP_MAX_M=16 MEMLP_TRIALS=2 MEMLP_SEED=42 MEMLP_THREADS=1
 env "${SMOKE_ENV[@]}" "$STATIC_BUILD_DIR/bench/fig6a_latency" > /dev/null
 env "${SMOKE_ENV[@]}" "$STATIC_BUILD_DIR/bench/fig7a_energy" > /dev/null
 env "${SMOKE_ENV[@]}" "$STATIC_BUILD_DIR/bench/complexity_scaling" > /dev/null
+env "${SMOKE_ENV[@]}" "$STATIC_BUILD_DIR/bench/ablation_sparsity" > /dev/null
 "$STATIC_BUILD_DIR/tools/memlp_report" --require-coverage \
   --tolerance-measured 5.0 results/json/baseline "$SMOKE_DIR"

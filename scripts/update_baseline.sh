@@ -29,6 +29,7 @@ cp "$BASELINE_DIR"/BENCH_*.json "$OLD_DIR"/ 2>/dev/null || true
 env "${PINNED_ENV[@]}" "$BUILD_DIR/bench/fig6a_latency" > /dev/null
 env "${PINNED_ENV[@]}" "$BUILD_DIR/bench/fig7a_energy" > /dev/null
 env "${PINNED_ENV[@]}" "$BUILD_DIR/bench/complexity_scaling" > /dev/null
+env "${PINNED_ENV[@]}" "$BUILD_DIR/bench/ablation_sparsity" > /dev/null
 
 echo "baseline refreshed under $BASELINE_DIR:"
 ls -1 "$BASELINE_DIR"

@@ -72,6 +72,7 @@ class TiledNocBackend final : public AnalogBackend {
     s.noc = tiled_.noc_stats();
     s.settle_cache = tiled_.settle_cache_stats();
     s.num_tiles = tiled_.num_tiles();
+    s.zero_tiles = tiled_.num_zero_tiles();
     return s;
   }
   void reset_stats() override { tiled_.reset_stats(); }
@@ -82,6 +83,8 @@ class TiledNocBackend final : public AnalogBackend {
                : "mesh")
        << " NoC, " << tiled_.num_tiles() << " tiles of "
        << tiled_.config().tile_dim;
+    if (tiled_.programmed() && tiled_.num_zero_tiles() > 0)
+      os << " (" << tiled_.num_zero_tiles() << " zero shards skipped)";
     return os.str();
   }
 
@@ -109,6 +112,9 @@ void annotate_backend_stats(obs::PhaseSpan& span, const BackendStats& delta) {
   span.note("amps.element_ops", delta.amps.element_ops);
   span.note("amps.vector_ops", delta.amps.vector_ops);
   span.note("num_tiles", delta.num_tiles);
+  // Emitted only when a shard was actually skipped: healthy single-crossbar
+  // traces (and the pinned golden ones) are unchanged.
+  if (delta.zero_tiles != 0) span.note("zero_tiles", delta.zero_tiles);
   if (delta.num_tiles > 1) {
     span.note("noc.transfers", delta.noc.transfers);
     span.note("noc.value_hops", delta.noc.value_hops);

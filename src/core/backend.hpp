@@ -29,6 +29,9 @@ struct BackendStats {
   /// Settle-cache reuse counters (full LUs vs rank-k patches vs pure hits).
   FactorCacheStats settle_cache;
   std::size_t num_tiles = 1;
+  /// Shards left unprogrammed because their block was all-zero (gauge, not
+  /// a counter — like num_tiles it describes the array, not an op stream).
+  std::size_t zero_tiles = 0;
 
   BackendStats& operator+=(const BackendStats& other) noexcept {
     xbar += other.xbar;
@@ -36,6 +39,7 @@ struct BackendStats {
     noc += other.noc;
     settle_cache += other.settle_cache;
     num_tiles = num_tiles > other.num_tiles ? num_tiles : other.num_tiles;
+    zero_tiles = zero_tiles > other.zero_tiles ? zero_tiles : other.zero_tiles;
     return *this;
   }
 
@@ -47,6 +51,7 @@ struct BackendStats {
     d.noc = noc.since(earlier.noc);
     d.settle_cache = settle_cache.since(earlier.settle_cache);
     d.num_tiles = num_tiles;
+    d.zero_tiles = zero_tiles;
     return d;
   }
 };

@@ -40,18 +40,24 @@ Matrix assemble_kkt(const lp::LinearProgram& problem,
   const std::size_t m = layout.m;
   Matrix kkt(layout.dim(), layout.dim());
 
+  // CSR iteration: only stored entries are written, structural zeros stay
+  // zero — identical to the old dense fill, O(nnz) instead of O(m·n).
+  const CsrMatrix& a = problem.a.csr();
+  const auto offsets = a.row_offsets();
+  const auto cols = a.column_indices();
+  const auto values = a.values();
   // Row block 1: A·∆x + I·∆w.
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j)
-      kkt(layout.row_primal() + i, layout.col_x() + j) = problem.a(i, j);
+    for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k)
+      kkt(layout.row_primal() + i, layout.col_x() + cols[k]) = values[k];
     kkt(layout.row_primal() + i, layout.col_w() + i) = 1.0;
   }
   // Row block 2: Aᵀ·∆y − I·∆z.
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t i = 0; i < m; ++i)
-      kkt(layout.row_dual() + j, layout.col_y() + i) = problem.a(i, j);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k)
+      kkt(layout.row_dual() + cols[k], layout.col_y() + i) = values[k];
+  for (std::size_t j = 0; j < n; ++j)
     kkt(layout.row_dual() + j, layout.col_z() + j) = -1.0;
-  }
   update_kkt_diagonals(kkt, problem, state);
   return kkt;
 }
@@ -78,8 +84,8 @@ Vec kkt_rhs(const lp::LinearProgram& problem, const PdipState& state,
             double mu) {
   const KktLayout layout{problem.num_variables(), problem.num_constraints()};
   Vec rhs(layout.dim(), 0.0);
-  const Vec ax = gemv(problem.a, state.x);
-  const Vec aty = gemv_transposed(problem.a, state.y);
+  const Vec ax = problem.a.multiply(state.x);
+  const Vec aty = problem.a.multiply_transposed(state.y);
   for (std::size_t i = 0; i < layout.m; ++i)
     rhs[layout.row_primal() + i] = problem.b[i] - ax[i] - state.w[i];
   for (std::size_t j = 0; j < layout.n; ++j)

@@ -15,9 +15,11 @@
 namespace memlp::core {
 namespace {
 
-double mean_abs(const Matrix& a) {
+/// Mean |a_ij| over ALL cells (structural zeros included), computed from the
+/// CSR values — matches the old dense definition exactly.
+double mean_abs(const lp::ConstraintMatrix& a) {
   double sum = 0.0;
-  for (double v : a.data()) sum += std::abs(v);
+  for (double v : a.csr().values()) sum += std::abs(v);
   const std::size_t count = a.rows() * a.cols();
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
@@ -30,12 +32,15 @@ Matrix build_balanced_m1(const lp::LinearProgram& problem,
   problem.validate();
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
+  // M1 is dense by construction (the balancing fill populates the corners),
+  // so this path reads A through the dense escape hatch.
+  const Matrix& a = problem.a.dense();
   Matrix m1(m + n, n + m);
   // Row block 1: [A | RU], row block 2: [RL | Aᵀ].
   for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) m1(i, j) = problem.a(i, j);
+    for (std::size_t j = 0; j < n; ++j) m1(i, j) = a(i, j);
   for (std::size_t j = 0; j < n; ++j)
-    for (std::size_t i = 0; i < m; ++i) m1(m + j, n + i) = problem.a(i, j);
+    for (std::size_t i = 0; i < m; ++i) m1(m + j, n + i) = a(i, j);
 
   const double epsilon =
       balancing_scale * std::max(mean_abs(problem.a), 1e-12);
@@ -58,11 +63,12 @@ Matrix build_schur_m1(const lp::LinearProgram& problem,
   problem.validate();
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
+  const Matrix& a = problem.a.dense();
   Matrix m1(m + n, n + m);
   for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) m1(i, j) = problem.a(i, j);
+    for (std::size_t j = 0; j < n; ++j) m1(i, j) = a(i, j);
   for (std::size_t j = 0; j < n; ++j)
-    for (std::size_t i = 0; i < m; ++i) m1(m + j, n + i) = problem.a(i, j);
+    for (std::size_t i = 0; i < m; ++i) m1(m + j, n + i) = a(i, j);
   if (corner_fill_scale > 0.0 && rng != nullptr) {
     // The paper's "very small values" in the rest of RU/RL: a one-off random
     // fill of the off-diagonal corner entries that keeps M1 non-singular

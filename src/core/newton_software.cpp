@@ -5,6 +5,7 @@
 
 #include "common/par.hpp"
 #include "linalg/ops.hpp"
+#include "linalg/sparse.hpp"
 #include "obs/cost_ledger.hpp"
 #include "obs/profiler.hpp"
 
@@ -43,8 +44,8 @@ NormalEquationsSolver::NormalEquationsSolver(const lp::LinearProgram& problem,
     : problem_(problem), state_(state) {
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
-  const Vec ax = gemv(problem.a, state.x);
-  const Vec aty = gemv_transposed(problem.a, state.y);
+  const Vec ax = problem.a.multiply(state.x);
+  const Vec aty = problem.a.multiply_transposed(state.y);
   rp_.resize(m);
   for (std::size_t i = 0; i < m; ++i)
     rp_[i] = problem.b[i] - ax[i] - state.w[i];
@@ -55,27 +56,35 @@ NormalEquationsSolver::NormalEquationsSolver(const lp::LinearProgram& problem,
   for (std::size_t j = 0; j < n; ++j)
     theta_[j] = state.x[j] / state.z[j];
 
-  Matrix s(m, m);  // S = A·Θ·Aᵀ + diag(w/y)
-  // Assembled in parallel above a size cutoff. Row task i writes exactly
-  // the cells {(i, k), (k, i) : k ≤ i}; any off-diagonal cell (r, c) is
-  // owned by task max(r, c) and the diagonal by task i, so tasks never
-  // collide and every cell's arithmetic is independent of thread count.
-  const auto assemble_row = [&](std::size_t i) {
-    for (std::size_t k = 0; k <= i; ++k) {
-      double sum = 0.0;
-      for (std::size_t j = 0; j < n; ++j)
-        sum += problem.a(i, j) * theta_[j] * problem.a(k, j);
-      s(i, k) = sum;
-      s(k, i) = sum;
-    }
-    s(i, i) += state.w[i] / state.y[i];
-  };
-  if (m >= kParallelSchurCutoff) {
-    par::parallel_for(m, assemble_row);
+  Matrix s;  // S = A·Θ·Aᵀ + diag(w/y)
+  if (problem.a.prefers_sparse()) {
+    // Sparse Schur assembly from CSR row intersections: cost scales with
+    // Σ_j nnz_col(j)² instead of m²·n (charges its own ledger entry).
+    Vec shift(m);
+    for (std::size_t i = 0; i < m; ++i) shift[i] = state.w[i] / state.y[i];
+    s = csr_schur_dense(problem.a.csr(), theta_, shift);
   } else {
-    for (std::size_t i = 0; i < m; ++i) assemble_row(i);
-  }
-  {
+    const Matrix& a = problem.a.dense();
+    s = Matrix(m, m);
+    // Assembled in parallel above a size cutoff. Row task i writes exactly
+    // the cells {(i, k), (k, i) : k ≤ i}; any off-diagonal cell (r, c) is
+    // owned by task max(r, c) and the diagonal by task i, so tasks never
+    // collide and every cell's arithmetic is independent of thread count.
+    const auto assemble_row = [&](std::size_t i) {
+      for (std::size_t k = 0; k <= i; ++k) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+          sum += a(i, j) * theta_[j] * a(k, j);
+        s(i, k) = sum;
+        s(k, i) = sum;
+      }
+      s(i, i) += state.w[i] / state.y[i];
+    };
+    if (m >= kParallelSchurCutoff) {
+      par::parallel_for(m, assemble_row);
+    } else {
+      for (std::size_t i = 0; i < m; ++i) assemble_row(i);
+    }
     // Schur flops (3 per triple-product term over m(m+1)/2 dot products of
     // length n, plus the diagonal shift), charged closed-form outside the
     // parallel region so the attribution is deterministic.
@@ -102,7 +111,7 @@ std::optional<StepDirection> NormalEquationsSolver::step(
         (mu - state_.x[j] * state_.z[j] - c1(j)) / state_.x[j];
     u[j] = theta_[j] * (rd_[j] + rmu1_over_x);
   }
-  Vec rhs = gemv(problem_.a, u);
+  Vec rhs = problem_.a.multiply(u);
   for (std::size_t i = 0; i < m; ++i) {
     const double rmu2_over_y =
         (mu - state_.y[i] * state_.w[i] - c2(i)) / state_.y[i];
@@ -110,7 +119,7 @@ std::optional<StepDirection> NormalEquationsSolver::step(
   }
   StepDirection step;
   step.dy = ldlt_->solve(rhs);
-  const Vec atdy = gemv_transposed(problem_.a, step.dy);
+  const Vec atdy = problem_.a.multiply_transposed(step.dy);
   step.dx.resize(n);
   step.dz.resize(n);
   for (std::size_t j = 0; j < n; ++j) {

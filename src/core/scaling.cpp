@@ -20,7 +20,7 @@ ProblemScaling::ProblemScaling(const lp::LinearProgram& problem) {
   z_scale_ = c_norm;
   obj_scale_ = c_norm * x_scale_;
 
-  scaled_.a = problem.a * (1.0 / a_norm);
+  scaled_.a = problem.a.scaled(1.0 / a_norm);
   scaled_.b = memlp::scaled(problem.b, 1.0 / b_norm);
   scaled_.c = memlp::scaled(problem.c, 1.0 / c_norm);
 }

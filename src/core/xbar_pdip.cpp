@@ -20,7 +20,7 @@ struct SolveContext {
   std::optional<NegativeFreeSystem> negfree;
   std::unique_ptr<AnalogBackend> backend;
   xbar::AmplifierBank amps;
-  Matrix a_scaled;  ///< the constraint matrix the array holds.
+  lp::ConstraintMatrix a_scaled;  ///< the constraint matrix the array holds.
   bool array_programmed = false;
 };
 

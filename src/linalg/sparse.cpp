@@ -1,17 +1,35 @@
 #include "linalg/sparse.hpp"
 
-// memlint:allow-file(R10): CSR utilities back the sparse-LDLT study only;
-// nothing here sits on the costed solve path the ledger attributes.
-
 #include <algorithm>
 #include <cmath>
 
 #include "common/contracts.hpp"
 #include "common/error.hpp"
+#include "common/par.hpp"
+#include "obs/cost_ledger.hpp"
 
 namespace memlp {
+namespace {
 
-CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double threshold) {
+/// Sparse Schur assembly goes parallel from this many output rows (matches
+/// the dense cutoff in core/newton_software.cpp).
+constexpr std::size_t kParallelSchurCutoff = 64;
+
+/// Charges one sparse MVM: 2 flops per stored entry, bytes for the value +
+/// index streams and both vectors. Closed-form, charged once per call, so
+/// the attribution is thread-count-invariant.
+void charge_spmv(std::size_t nnz, std::size_t rows, std::size_t cols) {
+  obs::CostLedger::charge_active(
+      {.flops = 2 * static_cast<std::uint64_t>(nnz),
+       .bytes = 16 * static_cast<std::uint64_t>(nnz) +
+                8 * static_cast<std::uint64_t>(rows + cols)});
+}
+
+}  // namespace
+
+// Format conversion, not arithmetic — nothing to charge.
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense,  // memlint:allow(R10)
+                                double threshold) {
   CsrMatrix out;
   out.rows_ = dense.rows();
   out.cols_ = dense.cols();
@@ -30,7 +48,9 @@ CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double threshold) {
   return out;
 }
 
-CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+// Index canonicalization, not arithmetic — nothing to charge.
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows,  // memlint:allow(R10)
+                                   std::size_t cols,
                                    std::vector<Triplet> triplets) {
   for (const auto& t : triplets)
     if (t.row >= rows || t.col >= cols)
@@ -74,9 +94,11 @@ double CsrMatrix::density() const noexcept {
                     : static_cast<double>(nnz()) / static_cast<double>(total);
 }
 
+// memlint:hot — sparse-baseline MVM kernel.
 Vec CsrMatrix::multiply(std::span<const double> x) const {
   MEMLP_EXPECT_MSG(x.size() == cols_, "csr multiply: size mismatch");
-  Vec y(rows_, 0.0);
+  charge_spmv(nnz(), rows_, cols_);
+  Vec y(rows_, 0.0);  // memlint:allow(R9): result vector sized once per call; reuse is ROADMAP scale-up work
   for (std::size_t i = 0; i < rows_; ++i) {
     double sum = 0.0;
     for (std::size_t k = row_offsets_[i]; k < row_offsets_[i + 1]; ++k)
@@ -86,9 +108,11 @@ Vec CsrMatrix::multiply(std::span<const double> x) const {
   return y;
 }
 
+// memlint:hot — sparse-baseline transposed MVM kernel.
 Vec CsrMatrix::multiply_transposed(std::span<const double> x) const {
   MEMLP_EXPECT_MSG(x.size() == rows_, "csr multiply_transposed: mismatch");
-  Vec y(cols_, 0.0);
+  charge_spmv(nnz(), rows_, cols_);
+  Vec y(cols_, 0.0);  // memlint:allow(R9): result vector sized once per call; reuse is ROADMAP scale-up work
   for (std::size_t i = 0; i < rows_; ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
@@ -98,7 +122,55 @@ Vec CsrMatrix::multiply_transposed(std::span<const double> x) const {
   return y;
 }
 
-Matrix CsrMatrix::to_dense() const {
+// Index permutation only — nothing to charge.
+CsrMatrix CsrMatrix::transposed() const {  // memlint:allow(R10)
+  CsrMatrix out;
+  out.rows_ = cols_;
+  out.cols_ = rows_;
+  // Counting sort by column: count per-column entries, prefix-sum into the
+  // transposed row offsets, then place. Row-major placement preserves
+  // ascending order within each output row, keeping canonical form.
+  out.row_offsets_.assign(cols_ + 1, 0);
+  for (std::size_t c : column_indices_) ++out.row_offsets_[c + 1];
+  for (std::size_t c = 0; c < cols_; ++c)
+    out.row_offsets_[c + 1] += out.row_offsets_[c];
+  out.column_indices_.resize(nnz());
+  out.values_.resize(nnz());
+  std::vector<std::size_t> cursor(out.row_offsets_.begin(),
+                                  out.row_offsets_.end() - 1);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_offsets_[i]; k < row_offsets_[i + 1]; ++k) {
+      const std::size_t slot = cursor[column_indices_[k]]++;
+      out.column_indices_[slot] = i;
+      out.values_[slot] = values_[k];
+    }
+  return out;
+}
+
+CsrMatrix CsrMatrix::scaled(double factor) const {
+  CsrMatrix out = *this;
+  if (factor == 0.0) {
+    // Keep the canonical no-stored-zeros invariant.
+    out.row_offsets_.assign(rows_ + 1, 0);
+    out.column_indices_.clear();
+    out.values_.clear();
+    return out;
+  }
+  for (double& v : out.values_) v *= factor;
+  obs::CostLedger::charge_active(
+      {.flops = static_cast<std::uint64_t>(nnz()),
+       .bytes = 16 * static_cast<std::uint64_t>(nnz())});
+  return out;
+}
+
+double CsrMatrix::max_abs() const noexcept {
+  double best = 0.0;
+  for (double v : values_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+// Format conversion, not arithmetic — nothing to charge.
+Matrix CsrMatrix::to_dense() const {  // memlint:allow(R10)
   Matrix dense(rows_, cols_);
   for (std::size_t i = 0; i < rows_; ++i)
     for (std::size_t k = row_offsets_[i]; k < row_offsets_[i + 1]; ++k)
@@ -115,6 +187,61 @@ double CsrMatrix::at(std::size_t row, std::size_t col) const {
   const auto it = std::lower_bound(begin, end, col);
   if (it == end || *it != col) return 0.0;
   return values_[static_cast<std::size_t>(it - column_indices_.begin())];
+}
+
+// memlint:hot — sparse Schur-assembly kernel on the normal-equations path.
+Matrix csr_schur_dense(const CsrMatrix& a, std::span<const double> theta,
+                       std::span<const double> shift) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  MEMLP_EXPECT_MSG(theta.size() == n && shift.size() == m,
+                   "csr_schur_dense: operand size mismatch");
+  const CsrMatrix at = a.transposed();
+  {
+    // Closed-form charge outside the parallel region: 1 flop per stored
+    // entry for the a_ij·θ_j products, 2 per scatter addend (one addend per
+    // (row-i entry j, column-j entry) pair = Σ_j nnz_col(j)²), m diagonal
+    // adds. Bytes: both CSR streams plus the dense output.
+    const auto at_offsets = at.row_offsets();
+    std::uint64_t scatter_pairs = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto col_nnz =
+          static_cast<std::uint64_t>(at_offsets[j + 1] - at_offsets[j]);
+      scatter_pairs += col_nnz * col_nnz;
+    }
+    obs::CostLedger::charge_active(
+        {.flops = static_cast<std::uint64_t>(a.nnz()) + 2 * scatter_pairs +
+                  static_cast<std::uint64_t>(m),
+         .bytes = 32 * static_cast<std::uint64_t>(a.nnz()) +
+                  8 * static_cast<std::uint64_t>(m) * m});
+  }
+  // The dense output IS the product; it is sized exactly once per call.
+  Matrix s(m, m);  // memlint:allow(R9)
+  const auto a_offsets = a.row_offsets();
+  const auto a_cols = a.column_indices();
+  const auto a_values = a.values();
+  const auto at_offsets = at.row_offsets();
+  const auto at_cols = at.column_indices();
+  const auto at_values = at.values();
+  // Row task i writes only s.row(i); the scatter order within the row is
+  // fixed by the CSR structure, so the result is bit-identical at any
+  // thread count.
+  const auto assemble_row = [&](std::size_t i) {
+    const auto out = s.row(i);
+    for (std::size_t k = a_offsets[i]; k < a_offsets[i + 1]; ++k) {
+      const std::size_t j = a_cols[k];
+      const double coef = a_values[k] * theta[j];
+      for (std::size_t l = at_offsets[j]; l < at_offsets[j + 1]; ++l)
+        out[at_cols[l]] += coef * at_values[l];
+    }
+    out[i] += shift[i];
+  };
+  if (m >= kParallelSchurCutoff) {
+    par::parallel_for(m, assemble_row);
+  } else {
+    for (std::size_t i = 0; i < m; ++i) assemble_row(i);
+  }
+  return s;
 }
 
 }  // namespace memlp

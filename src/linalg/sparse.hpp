@@ -1,12 +1,20 @@
 // Compressed sparse row (CSR) matrix.
 //
-// §3.5 notes that LP constraint matrices are typically sparse; the software
-// baselines use CSR for their residual MVMs on sparse workloads, and the
-// sparsity-aware crossbar programming (structural zeros are free) mirrors
-// the same observation on the hardware side.
+// §3.5 notes that LP constraint matrices are typically sparse; since the
+// sparse-first pipeline refactor the CSR form is the source of truth for
+// lp::LinearProgram constraint matrices: the software baselines run their
+// residual MVMs and Schur assembly over CSR, and the sparsity-aware crossbar
+// programming (structural zeros are free) mirrors the same observation on
+// the hardware side.
+//
+// Canonical form invariant: within every row the column indices are strictly
+// increasing, duplicates are summed at construction, and exact zeros are
+// dropped. Both factories and every derived matrix (transposed, scaled)
+// preserve it, so structural equality is plain container equality.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -45,11 +53,37 @@ class CsrMatrix {
   /// y = Aᵀ·x.
   [[nodiscard]] Vec multiply_transposed(std::span<const double> x) const;
 
+  /// Aᵀ in canonical CSR form (O(nnz)).
+  [[nodiscard]] CsrMatrix transposed() const;
+
+  /// factor·A; an exact-zero factor collapses to an empty pattern so the
+  /// canonical no-stored-zeros invariant holds.
+  [[nodiscard]] CsrMatrix scaled(double factor) const;
+
+  /// Largest absolute stored value (0 when empty) — equals the dense
+  /// max-abs because structural zeros cannot exceed any |value|.
+  [[nodiscard]] double max_abs() const noexcept;
+
   /// Reconstructs the dense form.
   [[nodiscard]] Matrix to_dense() const;
 
   /// Element lookup (O(log nnz-in-row)); 0 for structural zeros.
   [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  /// Raw CSR views for kernels that walk the structure directly.
+  [[nodiscard]] std::span<const std::size_t> row_offsets() const noexcept {
+    return row_offsets_;
+  }
+  [[nodiscard]] std::span<const std::size_t> column_indices() const noexcept {
+    return column_indices_;
+  }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+
+  /// Structural equality. Canonical form makes this exact: same shape and
+  /// same nonzero entries ⇔ identical containers.
+  bool operator==(const CsrMatrix& other) const = default;
 
  private:
   std::size_t rows_ = 0;
@@ -58,5 +92,15 @@ class CsrMatrix {
   std::vector<std::size_t> column_indices_;
   std::vector<double> values_;
 };
+
+/// Sparse normal-equations assembly: S = A·diag(theta)·Aᵀ + diag(shift),
+/// returned dense (the LDLᵀ factorization consumes a dense S). Row i of S is
+/// accumulated by scattering A's row-i entries against the matching columns
+/// of A (via Aᵀ rows), so the cost is nnz + 2·Σ_j nnz_col(j)² instead of the
+/// dense 3·n·m(m+1)/2. Parallel over output rows under the memlp::par
+/// bit-identical contract: each task owns exactly its own row and the addend
+/// order within a row is fixed by the CSR structure, not the thread count.
+Matrix csr_schur_dense(const CsrMatrix& a, std::span<const double> theta,
+                       std::span<const double> shift);
 
 }  // namespace memlp

@@ -1,0 +1,47 @@
+#include "lp/constraint_matrix.hpp"
+
+#include <utility>
+
+#include "linalg/ops.hpp"
+
+namespace memlp::lp {
+
+ConstraintMatrix::ConstraintMatrix(Matrix dense)
+    : dense_(std::make_shared<const Matrix>(std::move(dense))) {
+  csr_ = CsrMatrix::from_dense(*dense_);
+}
+
+ConstraintMatrix::ConstraintMatrix(CsrMatrix csr) : csr_(std::move(csr)) {}
+
+const Matrix& ConstraintMatrix::dense() const {
+  if (!dense_) dense_ = std::make_shared<const Matrix>(csr_.to_dense());
+  return *dense_;
+}
+
+Vec ConstraintMatrix::multiply(std::span<const double> x) const {
+  if (prefers_sparse()) return csr_.multiply(x);
+  return gemv(dense(), x);
+}
+
+Vec ConstraintMatrix::multiply_transposed(std::span<const double> x) const {
+  if (prefers_sparse()) return csr_.multiply_transposed(x);
+  return gemv_transposed(dense(), x);
+}
+
+ConstraintMatrix ConstraintMatrix::transposed() const {
+  if (dense_) return ConstraintMatrix(dense_->transposed());
+  return ConstraintMatrix(csr_.transposed());
+}
+
+ConstraintMatrix ConstraintMatrix::scaled(double factor) const {
+  if (dense_) return ConstraintMatrix(*dense_ * factor);
+  return ConstraintMatrix(csr_.scaled(factor));
+}
+
+bool ConstraintMatrix::nonnegative() const noexcept {
+  for (double v : csr_.values())
+    if (v < 0.0) return false;
+  return true;
+}
+
+}  // namespace memlp::lp

@@ -16,6 +16,11 @@
 // The domain generators (max-flow routing, production scheduling,
 // transportation) build the application LPs the paper's introduction
 // motivates; they back the examples/ binaries.
+//
+// The structured family (multi_commodity_flow / block_diagonal / banded)
+// emits realistic sparsity patterns CSR-natively — no dense intermediate —
+// so problems with thousands of constraints stay cheap to generate and feed
+// the sparse Schur / sharded-crossbar paths (§3.5).
 #pragma once
 
 #include <cstddef>
@@ -75,5 +80,27 @@ LinearProgram diet(std::size_t foods, std::size_t nutrients, Rng& rng);
 /// most one task per worker and at least one worker per task
 /// (workers >= tasks keeps it feasible).
 LinearProgram assignment(std::size_t workers, std::size_t tasks, Rng& rng);
+
+/// Multi-commodity flow on a random layered graph (CSR-native): one flow
+/// variable per (commodity, edge), shared edge-capacity rows coupling the
+/// commodities, and two-sided per-commodity conservation rows. Feasible
+/// (zero flow) and bounded (capacities cap every variable); density shrinks
+/// as ~1/(commodities·width).
+LinearProgram multi_commodity_flow(std::size_t commodities,
+                                   std::size_t layers, std::size_t width,
+                                   Rng& rng);
+
+/// Block-diagonal LP (CSR-native): `blocks` independent dense blocks of
+/// block_rows x block_cols on the diagonal, coupled by nothing — density is
+/// exactly 1/blocks. Feasible and bounded by the random_feasible recipe
+/// (interior point + positive column sums).
+LinearProgram block_diagonal(std::size_t blocks, std::size_t block_rows,
+                             std::size_t block_cols, Rng& rng);
+
+/// Banded LP (CSR-native): m rows over n = max(1, m/3) variables with
+/// nonzeros confined to a band of half-width `bandwidth` around the scaled
+/// diagonal. Feasible and bounded by the random_feasible recipe.
+LinearProgram banded(std::size_t constraints, std::size_t bandwidth,
+                     Rng& rng);
 
 }  // namespace memlp::lp

@@ -1,0 +1,82 @@
+// MPS reader/writer — ingest for real (netlib-style) LP instances.
+//
+// Supports the classic fixed-format layout and the whitespace-separated free
+// format in one tokenizing parser: section headers start in column 1
+// (NAME, OBJSENSE, ROWS, COLUMNS, RHS, RANGES, BOUNDS, ENDATA), data lines
+// are indented, '*' in column 1 comments a line out.
+//
+// Everything is converted to memlp's canonical form on the way in
+// (max cᵀx, A·x ≤ b, x ≥ 0):
+//   * MINIMIZE (the MPS default) negates the objective,
+//   * G rows become negated L rows, E rows become an L/G pair,
+//   * RANGES widen a row to an interval [lo, up] (per-type semantics below)
+//     and emit one canonical row per finite side,
+//   * BOUNDS become singleton rows: UP u ⇒ x_j ≤ u; LO l (l ≥ 0) ⇒
+//     −x_j ≤ −l; FX v ⇒ both; PL is a no-op. FR/MI/negative bounds would
+//     leave the x ⪰ 0 orthant and raise a typed kUnsupported error.
+// Range semantics (row type × range value r): L: [b−|r|, b];
+// G: [b, b+|r|]; E: r ≥ 0 ⇒ [b, b+r], r < 0 ⇒ [b+r, b].
+//
+// Errors are typed (MpsError::Kind) and carry exact file:line diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "lp/problem.hpp"
+
+namespace memlp::lp {
+
+/// Malformed or unsupported MPS input, with the offending location.
+class MpsError : public Error {
+ public:
+  enum class Kind {
+    kSyntax,       ///< malformed line / token in a section
+    kSection,      ///< missing or out-of-order section
+    kUnknownName,  ///< reference to an undeclared row or column
+    kNumber,       ///< unparsable numeric field
+    kUnsupported,  ///< valid MPS that canonical form cannot express
+  };
+
+  MpsError(Kind kind, const std::string& file, std::size_t line,
+           const std::string& message);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  Kind kind_;
+  std::size_t line_;
+};
+
+/// A parsed MPS instance: the canonical problem plus enough metadata to
+/// report results in the file's own terms.
+struct MpsModel {
+  LinearProgram problem;  ///< canonical max form (CSR-native)
+  std::string name;       ///< NAME field ("" when absent)
+  std::string objective_name;               ///< the N row's name
+  bool maximize = false;                    ///< original sense (MPS default: min)
+  double objective_rhs = 0.0;               ///< RHS entry of the N row, if any
+  std::vector<std::string> variable_names;  ///< canonical column order
+
+  /// Objective of a canonical solution x in the file's original sense,
+  /// including the conventional constant (−RHS of the objective row).
+  [[nodiscard]] double original_objective(std::span<const double> x) const;
+};
+
+/// Parses MPS from a stream; `filename` labels diagnostics.
+MpsModel read_mps(std::istream& in, const std::string& filename = "<mps>");
+
+/// Opens and parses a file; throws MpsError (kSyntax, line 0) when the file
+/// cannot be opened.
+MpsModel read_mps_file(const std::string& path);
+
+/// Serializes a canonical problem as MPS (OBJSENSE MAX, all rows type L,
+/// full-precision values). read_mps ∘ to_mps is an exact round trip.
+std::string to_mps(const LinearProgram& problem,
+                   const std::string& name = "MEMLP");
+
+}  // namespace memlp::lp

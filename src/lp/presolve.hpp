@@ -3,13 +3,22 @@
 // Production LP systems shrink the instance before the expensive phase; for
 // a crossbar solver the payoff is direct — fewer rows/columns mean a
 // smaller array, fewer write cells, and a better-conditioned mapping. The
-// reductions here are the classic safe ones:
+// reductions here are the classic safe ones, run over the CSR form to a
+// fixed point (one reduction can expose another: eliminating a fixed
+// variable can empty a row, dropping a row can empty a column, ...):
 //   * zero rows      (0·x ≤ b: redundant when b ≥ 0, infeasible when b < 0)
 //   * duplicate rows (identical coefficient rows: keep the tightest bound)
 //   * zero columns   (variable absent from A: drop with x_j = 0 when
 //                     c_j ≤ 0, certify unboundedness when c_j > 0)
+//   * singleton rows (a_ij·x_j ≤ b_i as the row's only entry: a_ij > 0 with
+//                     b_i < 0 is infeasible, with b_i ≈ 0 it fixes x_j = 0
+//                     and eliminates the variable; a_ij < 0 with b_i ≥ 0 is
+//                     redundant and dropped)
 // The result records the kept rows/columns so a reduced solution can be
-// restored to original coordinates.
+// restored to original coordinates (eliminated variables are fixed at 0).
+// The reduced constraint matrix is rebuilt through CsrMatrix::from_triplets,
+// so it is always in canonical CSR form (sorted, deduped, no stored zeros)
+// regardless of how messy the input pattern was.
 #pragma once
 
 #include <cstddef>

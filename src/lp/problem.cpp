@@ -25,16 +25,16 @@ double LinearProgram::objective(std::span<const double> x) const {
 LinearProgram LinearProgram::dual() const {
   validate();
   LinearProgram d;
-  d.a = a.transposed() * -1.0;
-  d.b = scaled(c, -1.0);
-  d.c = scaled(b, -1.0);
+  d.a = a.transposed().scaled(-1.0);
+  d.b = memlp::scaled(c, -1.0);
+  d.c = memlp::scaled(b, -1.0);
   return d;
 }
 
 double LinearProgram::primal_infeasibility(std::span<const double> x,
                                            std::span<const double> w) const {
   MEMLP_EXPECT(x.size() == num_variables() && w.size() == num_constraints());
-  const Vec ax = gemv(a, x);
+  const Vec ax = a.multiply(x);
   double worst = 0.0;
   for (std::size_t i = 0; i < b.size(); ++i)
     worst = std::max(worst, std::abs(ax[i] + w[i] - b[i]));
@@ -44,7 +44,7 @@ double LinearProgram::primal_infeasibility(std::span<const double> x,
 double LinearProgram::dual_infeasibility(std::span<const double> y,
                                          std::span<const double> z) const {
   MEMLP_EXPECT(y.size() == num_constraints() && z.size() == num_variables());
-  const Vec aty = gemv_transposed(a, y);
+  const Vec aty = a.multiply_transposed(y);
   double worst = 0.0;
   for (std::size_t j = 0; j < c.size(); ++j)
     worst = std::max(worst, std::abs(aty[j] - z[j] - c[j]));
@@ -64,7 +64,7 @@ bool LinearProgram::satisfies_constraints(std::span<const double> x,
   MEMLP_EXPECT(x.size() == num_variables());
   for (double xj : x)
     if (xj < -tolerance) return false;
-  const Vec ax = gemv(a, x);
+  const Vec ax = a.multiply(x);
   // Per-row allowance: (α−1) of the row's own scale, floored at half the
   // problem scale so rows with b_i = 0 (e.g. flow-conservation rows) still
   // admit the hardware's representational error.

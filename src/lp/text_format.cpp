@@ -1,6 +1,7 @@
 #include "lp/text_format.hpp"
 
 #include <sstream>
+#include <utility>
 #include <vector>
 
 namespace memlp::lp {
@@ -126,9 +127,10 @@ LinearProgram read_text(std::istream& in) {
   }
   if (rows.empty()) fail(line_number, "no constraint rows");
 
-  problem.a = Matrix(rows.size(), n);
+  Matrix a(rows.size(), n);
   for (std::size_t i = 0; i < rows.size(); ++i)
-    for (std::size_t j = 0; j < n; ++j) problem.a(i, j) = rows[i][j];
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rows[i][j];
+  problem.a = std::move(a);
   problem.validate();
   return problem;
 }

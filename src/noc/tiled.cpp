@@ -53,9 +53,14 @@ void TiledCrossbarMatrix::program(const Matrix& a, double full_scale_hint) {
 
   tiles_.clear();
   tiles_.reserve(row_blocks_.size() * col_blocks_.size());
+  tile_zero_.assign(row_blocks_.size() * col_blocks_.size(), 0);
+  full_scale_hint_ = full_scale_hint;
   // Split the RNG serially in tile order so every tile owns the same stream
   // regardless of thread count, then program the tiles in parallel — each
-  // write sequence draws only from the tile's own stream.
+  // write sequence draws only from the tile's own stream. Tiles whose block
+  // is all-zero are skipped entirely (structural zeros cost nothing to
+  // represent); they still own their RNG stream so the other tiles' draws
+  // are unaffected, and are lazily materialized if a write lands on them.
   for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi)
     for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj)
       tiles_.emplace_back(config_.xbar, rng_.split());
@@ -64,16 +69,30 @@ void TiledCrossbarMatrix::program(const Matrix& a, double full_scale_hint) {
       [&](std::size_t t) {
         const std::size_t bi = t / col_blocks_.size();
         const std::size_t bj = t % col_blocks_.size();
-        tiles_[t].program(
+        const Matrix block =
             a.block(row_blocks_[bi].begin, col_blocks_[bj].begin,
-                    row_blocks_[bi].length, col_blocks_[bj].length),
-            full_scale_hint);
+                    row_blocks_[bi].length, col_blocks_[bj].length);
+        if (block.max_abs() == 0.0) {
+          tile_zero_[t] = 1;  // each task owns its own slot
+          return;
+        }
+        tiles_[t].program(block, full_scale_hint);
       },
       config_.threads);
   topology_ = make_topology(config_.topology, tiles_.size());
   // Every tile re-drew its cells: drop the assembly and the factorization.
   composite_ = Matrix();
   settle_cache_.invalidate();
+}
+
+void TiledCrossbarMatrix::materialize_tile(std::size_t bi, std::size_t bj) {
+  const std::size_t t = tile_index(bi, bj);
+  if (tile_zero_[t] == 0) return;
+  // The tile was skipped at program time; give it its deferred all-zero
+  // program (drawing only from its own stream) so the write below can land.
+  tiles_[t].program(Matrix(row_blocks_[bi].length, col_blocks_[bj].length),
+                    full_scale_hint_);
+  tile_zero_[t] = 0;
 }
 
 void TiledCrossbarMatrix::update_block(std::size_t r0, std::size_t c0,
@@ -100,6 +119,7 @@ void TiledCrossbarMatrix::update_block(std::size_t r0, std::size_t c0,
       const std::size_t c_hi =
           std::min(c0 + block.cols(), cb.begin + cb.length);
       if (c_lo >= c_hi) continue;
+      materialize_tile(bi, bj);  // serial: before the parallel dispatch
       tasks.push_back({bi, bj, r_lo, c_lo,
                        block.block(r_lo - r0, c_lo - c0, r_hi - r_lo,
                                    c_hi - c_lo)});
@@ -170,6 +190,7 @@ std::size_t TiledCrossbarMatrix::update_cells(
     const std::size_t bj = u.col / config_.tile_dim;
     const std::size_t t = tile_index(bi, bj);
     if (batch_of[t] == tiles_.size()) {
+      materialize_tile(bi, bj);  // serial: before the parallel dispatch
       batch_of[t] = batches.size();
       batches.push_back({bi, bj, {}, u.row, u.row + 1});
     }
@@ -239,6 +260,8 @@ Vec TiledCrossbarMatrix::multiply(std::span<const double> x,
         for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj) {
           const auto& cb = col_blocks_[bj];
           const std::size_t t = tile_index(bi, bj);
+          // A zero shard contributes nothing: no broadcast, no settle.
+          if (tile_zero_[t] != 0) continue;
           // Input segment broadcast root -> tile.
           charge(local[bi], cb.length, topology_->hops_to_root(t));
           const Vec partial =
@@ -285,6 +308,8 @@ Vec TiledCrossbarMatrix::multiply_transposed(std::span<const double> x,
         for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi) {
           const auto& rb = row_blocks_[bi];
           const std::size_t t = tile_index(bi, bj);
+          // A zero shard contributes nothing: no broadcast, no settle.
+          if (tile_zero_[t] != 0) continue;
           charge(local[bj], rb.length, topology_->hops_to_root(t));
           const Vec partial = tile(bi, bj).multiply_transposed(
               x.subspan(rb.begin, rb.length), tile_io);
@@ -310,10 +335,12 @@ Vec TiledCrossbarMatrix::multiply_transposed(std::span<const double> x,
 Matrix TiledCrossbarMatrix::assemble_effective() const {
   MEMLP_EXPECT(programmed());
   Matrix full(rows_, cols_);
+  // Zero shards hold no cells; their block of `full` stays zero-initialized.
   for (std::size_t bi = 0; bi < row_blocks_.size(); ++bi)
     for (std::size_t bj = 0; bj < col_blocks_.size(); ++bj)
-      full.set_block(row_blocks_[bi].begin, col_blocks_[bj].begin,
-                     tile(bi, bj).effective());
+      if (!tile_is_zero(bi, bj))
+        full.set_block(row_blocks_[bi].begin, col_blocks_[bj].begin,
+                       tile(bi, bj).effective());
   return full;
 }
 
@@ -331,10 +358,13 @@ std::optional<Vec> TiledCrossbarMatrix::solve(std::span<const double> b,
     return std::nullopt;
   }
   // The arbiters connect the tiles into one composite network; boundary
-  // voltages cross the NoC once per settle in each direction.
-  for (std::size_t t = 0; t < tiles_.size(); ++t)
+  // voltages cross the NoC once per settle in each direction. Zero shards
+  // are not wired in — they carry no cells and move no boundary voltages.
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    if (tile_zero_[t] != 0) continue;
     charge_transfer(tiles_[t].rows() + tiles_[t].cols(),
                     topology_->hops_to_root(t));
+  }
   ++stats_.global_settles;
   obs::CostLedger::charge_active({.settles = 1});
   // Voltage I/O crosses the structure boundary with the tiles' precision.
@@ -387,9 +417,15 @@ BlockSolveResult TiledCrossbarMatrix::solve_block_jacobi(
         nb,
         [&](std::size_t bi) {
           const auto& rb = row_blocks_[bi];
+          // An all-zero diagonal block can never settle to a solution.
+          if (tile_is_zero(bi, bi)) {
+            singular[bi] = 1;
+            return;
+          }
           Vec rhs = slice(b, rb.begin, rb.length);
           for (std::size_t bj = 0; bj < nb; ++bj) {
             if (bj == bi) continue;
+            if (tile_is_zero(bi, bj)) continue;  // zero shard: no coupling
             const auto& cb = col_blocks_[bj];
             const std::size_t t = tile_index(bi, bj);
             charge(local[bi], cb.length,

@@ -101,6 +101,14 @@ class TiledCrossbarMatrix {
   [[nodiscard]] std::size_t num_tiles() const noexcept {
     return tiles_.size();
   }
+  /// Tiles whose block was all-zero at program time and that have not been
+  /// written since. Such shards hold no cells: programming, settles, and NoC
+  /// traffic are all skipped for them (structural zeros are free).
+  [[nodiscard]] std::size_t num_zero_tiles() const noexcept {
+    std::size_t zeros = 0;
+    for (const unsigned char z : tile_zero_) zeros += z;
+    return zeros;
+  }
   [[nodiscard]] const Topology& topology() const { return *topology_; }
 
   /// Rewrites the rectangular region with origin (r0, c0), dispatching
@@ -181,6 +189,13 @@ class TiledCrossbarMatrix {
   void note_tile_dirty(std::size_t bi, std::size_t bj, std::size_t r_lo,
                        std::size_t r_hi);
 
+  [[nodiscard]] bool tile_is_zero(std::size_t bi, std::size_t bj) const {
+    return tile_zero_[tile_index(bi, bj)] != 0;
+  }
+  /// Programs a skipped all-zero tile (as zeros, from its own RNG stream)
+  /// so a write can land on it; no-op for materialized tiles.
+  void materialize_tile(std::size_t bi, std::size_t bj);
+
   static std::vector<BlockRange> cut(std::size_t extent, std::size_t tile_dim);
 
   TiledConfig config_;
@@ -190,6 +205,12 @@ class TiledCrossbarMatrix {
   std::vector<BlockRange> row_blocks_;
   std::vector<BlockRange> col_blocks_;
   std::vector<xbar::Crossbar> tiles_;
+  /// Per-tile flag: 1 = the tile's block was all-zero at program time and
+  /// the tile was left unprogrammed (no cells, no settles, no traffic).
+  std::vector<unsigned char> tile_zero_;
+  /// Full-scale hint of the last program(), reused when a zero tile is
+  /// lazily materialized so its mapping matches its siblings'.
+  double full_scale_hint_ = 0.0;
   std::unique_ptr<Topology> topology_;
   xbar::AmplifierBank amps_;
   NocStats stats_;

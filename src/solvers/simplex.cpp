@@ -34,10 +34,21 @@ class Tableau {
     basis_.assign(m_, 0);
 
     std::size_t next_artificial = n_ + m_;
+    // The tableau is dense anyway; fill its A block from the CSR entries so
+    // sparse problems skip the structural zeros.
+    {
+      const auto& a = problem.a.csr();
+      const auto offsets = a.row_offsets();
+      const auto cols = a.column_indices();
+      const auto values = a.values();
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double sign = problem.b[i] < 0.0 ? -1.0 : 1.0;
+        for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k)
+          body_(i, cols[k]) = sign * values[k];
+      }
+    }
     for (std::size_t i = 0; i < m_; ++i) {
       const double sign = problem.b[i] < 0.0 ? -1.0 : 1.0;
-      for (std::size_t j = 0; j < n_; ++j)
-        body_(i, j) = sign * problem.a(i, j);
       body_(i, n_ + i) = sign;  // slack
       body_(i, cols_) = sign * problem.b[i];
       if (problem.b[i] < 0.0) {

@@ -1,0 +1,24 @@
+* Free-format MPS exercising OBJSENSE, RANGES, and BOUNDS:
+*   max x1 + 2 x2  s.t.  x1 + x2 in [2, 6],  x2 in [1, 3],
+*                        x1 <= 4,  x2 >= 0.5
+* optimum 9 at (3, 3).
+NAME RANGED
+OBJSENSE
+ MAX
+ROWS
+ G GROW
+ E EROW
+ N PROFIT
+COLUMNS
+ X1 PROFIT 1.0 GROW 1.0
+ X2 PROFIT 2.0 GROW 1.0
+ X2 EROW 1.0
+RHS
+ RHS GROW 2.0 EROW 1.0
+RANGES
+ RNG GROW 4.0 EROW 2.0
+BOUNDS
+ UP BND X1 4.0
+ LO BND X2 0.5
+ PL BND X1
+ENDATA

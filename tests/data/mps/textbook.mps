@@ -1,0 +1,18 @@
+* Netlib-style fixed-format MPS of the textbook LP (tests/data/textbook.lp):
+*   max 3 x1 + 5 x2  s.t.  x1 <= 4, 2 x2 <= 12, 3 x1 + 2 x2 <= 18
+* written as the default MINIMIZE of -3 x1 - 5 x2 (optimum -36 at (2, 6)).
+NAME          TEXTBOOK
+ROWS
+ N  COST
+ L  LIM1
+ L  LIM2
+ L  LIM3
+COLUMNS
+    X1        COST         -3.0   LIM1          1.0
+    X1        LIM3          3.0
+    X2        COST         -5.0   LIM2          2.0
+    X2        LIM3          2.0
+RHS
+    RHS       LIM1          4.0   LIM2         12.0
+    RHS       LIM3         18.0
+ENDATA

@@ -87,7 +87,9 @@ TEST(Integration, VariationToleranceMirrorsPaperObservation) {
   lp::LinearProgram perturbed = problem;
   const mem::VariationModel variation = mem::VariationModel::uniform(0.10);
   Rng vrng(5);
-  variation.perturb(perturbed.a, vrng);
+  Matrix perturbed_a = perturbed.a.dense();
+  variation.perturb(perturbed_a, vrng);
+  perturbed.a = std::move(perturbed_a);
   const auto perturbed_result = solvers::solve_simplex(perturbed);
   ASSERT_EQ(perturbed_result.status, lp::SolveStatus::kOptimal);
   const double exact_under_variation =

@@ -120,7 +120,7 @@ TEST(Kkt, NewtonStepSolvesLinearizedSystem) {
   const KktLayout layout{2, 3};
   const StepDirection step = split_step(layout, delta);
   // Check Eq. (9a): A∆x + ∆w = rhs_primal.
-  const Vec adx = gemv(problem.a, step.dx);
+  const Vec adx = problem.a.multiply(step.dx);
   for (std::size_t i = 0; i < 3; ++i)
     EXPECT_NEAR(adx[i] + step.dw[i], rhs[i], 1e-10);
   // Check Eq. (9c): Z∆x + X∆z = rhs_xz (X = Z = I here).

@@ -404,7 +404,9 @@ TEST(CostLedger, ChromeCounterTracksAreWellFormedJson) {
     ASSERT_NE(value, nullptr);
     ASSERT_TRUE(value->is_number());
     const auto it = last_value.find(name);
-    if (it != last_value.end()) EXPECT_GE(value->as_number(), it->second);
+    if (it != last_value.end()) {
+      EXPECT_GE(value->as_number(), it->second);
+    }
     last_value[name] = value->as_number();
   }
   // Every charge contributes one sample per track.

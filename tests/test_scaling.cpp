@@ -60,7 +60,7 @@ TEST(Scaling, UnscaleRestoresAllCertificates) {
   ASSERT_EQ(scaled_result.status, lp::SolveStatus::kOptimal);
   lp::SolveResult result = scaled_result;
   // Populate w from the scaled problem so unscale covers it.
-  const Vec ax = gemv(scaling.scaled().a, result.x);
+  const Vec ax = scaling.scaled().a.multiply(result.x);
   result.w.resize(ax.size());
   for (std::size_t i = 0; i < ax.size(); ++i)
     result.w[i] = scaling.scaled().b[i] - ax[i];
@@ -97,7 +97,7 @@ TEST(Scaling, SolverInvariantUnderExternalRescaling) {
   options.constraints = 12;
   const auto problem = lp::random_feasible(options, rng);
   lp::LinearProgram rescaled = problem;
-  rescaled.a *= 1e3;   // same LP, different units: A·1e3 x' <= b with x' = x/1e3
+  rescaled.a = rescaled.a.scaled(1e3);  // same LP, different units
   rescaled.c = scaled(rescaled.c, 1e3);
 
   XbarPdipOptions solver_options;

@@ -59,7 +59,9 @@ TEST(Session, ChangedAReprogramsTransparently) {
             lp::SolveStatus::kOptimal);
 
   lp::LinearProgram changed = problem;
-  changed.a(0, 0) += 0.5;  // structural change
+  Matrix changed_a = changed.a.dense();
+  changed_a(0, 0) += 0.5;  // structural change
+  changed.a = std::move(changed_a);
   const auto outcome = session.solve(changed);
   ASSERT_EQ(outcome.result.status, lp::SolveStatus::kOptimal);
   EXPECT_GT(outcome.stats.programming.xbar.full_programs, 0u);

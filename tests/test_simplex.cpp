@@ -96,7 +96,7 @@ TEST(Simplex, DualSolutionSatisfiesStrongDuality) {
   ASSERT_EQ(result.status, lp::SolveStatus::kOptimal);
   // bᵀy equals the primal optimum, and y is dual-feasible: Aᵀy >= c.
   EXPECT_NEAR(dot(problem.b, result.y), result.objective, 1e-8);
-  const Vec aty = gemv_transposed(problem.a, result.y);
+  const Vec aty = problem.a.multiply_transposed(result.y);
   for (std::size_t j = 0; j < problem.num_variables(); ++j)
     EXPECT_GE(aty[j], problem.c[j] - 1e-8);
 }
@@ -104,10 +104,10 @@ TEST(Simplex, DualSolutionSatisfiesStrongDuality) {
 TEST(Simplex, SolutionIsPrimalFeasible) {
   Rng rng(3);
   lp::LinearProgram problem;
-  problem.a = Matrix(6, 4);
+  Matrix a(6, 4);
   for (std::size_t i = 0; i < 6; ++i)
-    for (std::size_t j = 0; j < 4; ++j)
-      problem.a(i, j) = rng.uniform(0.0, 1.0);
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(0.0, 1.0);
+  problem.a = std::move(a);
   problem.b.assign(6, 5.0);
   problem.c.assign(4, 1.0);
   const auto result = solve_simplex(problem);

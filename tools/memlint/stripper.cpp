@@ -66,7 +66,7 @@ std::string Stripper::strip(const std::string& line) {
               out.push_back(' ');
               break;
             }
-            raw_terminator_ = ")";
+            raw_terminator_.assign(1, ')');
             raw_terminator_.append(line, i + 1, open - (i + 1));
             raw_terminator_.push_back('"');
             state_ = State::kRawString;

@@ -152,8 +152,8 @@ std::optional<Artifact> load_artifact(const std::filesystem::path& path) {
   if (cost_tree != nullptr && cost_tree->is_array()) {
     for (const Value& entry : cost_tree->as_array()) {
       if (!entry.is_object()) continue;
-      const std::string path = entry.string_or("path", "");
-      if (path.empty()) continue;
+      const std::string tree_path = entry.string_or("path", "");
+      if (tree_path.empty()) continue;
       const auto add = [&](const char* key, const char* unit) {
         const Value* value = entry.find(key);
         if (value == nullptr || !value->is_number()) return;
@@ -162,7 +162,7 @@ std::optional<Artifact> load_artifact(const std::filesystem::path& path) {
         metric.unit = unit;
         metric.lower_is_better = true;
         metric.measured = false;
-        artifact.metrics["cost_tree." + path + "." + key] = metric;
+        artifact.metrics["cost_tree." + tree_path + "." + key] = metric;
       };
       add("energy_j", "J");
       add("flops", "flops");

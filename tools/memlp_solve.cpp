@@ -6,6 +6,11 @@
 //                                   memlp::engine registry (default xbar;
 //                                   built-ins: simplex, pdip, xbar, ls —
 //                                   a bad name lists what is registered)
+//   --mps                           read the problem as MPS (fixed or free
+//                                   format, RANGES/BOUNDS) instead of the
+//                                   memlp text format; the objective is
+//                                   reported in the file's own sense
+//                                   (MINIMIZE by default)
 //   --variation <fraction>          process-variation level (default 0.10)
 //   --seed <n>                      hardware seed (default 42)
 //   --tile-dim <n>                  force the NoC with this tile size
@@ -44,6 +49,7 @@
 #include <string>
 
 #include "engine/registry.hpp"
+#include "lp/mps.hpp"
 #include "lp/text_format.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/cost_ledger.hpp"
@@ -57,7 +63,7 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: memlp_solve [--solver name] "
+               "usage: memlp_solve [--solver name] [--mps] "
                "[--variation f] [--seed n] [--tile-dim n] "
                "[--max-iterations n] [--trace path] "
                "[--convergence] [--profile] [--cost] [--chrome-trace path] "
@@ -130,6 +136,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::size_t tile_dim = 0;
   std::size_t max_iterations = 0;  // 0 = solver default.
+  bool mps = false;
   bool quiet = false;
   bool convergence = false;
   bool profile = false;
@@ -149,6 +156,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--solver") {
       solver = next();
+    } else if (arg == "--mps") {
+      mps = true;
     } else if (arg == "--variation") {
       variation = std::stod(next());
     } else if (arg == "--seed") {
@@ -239,8 +248,18 @@ int main(int argc, char** argv) {
   }
 
   memlp::lp::LinearProgram problem;
+  std::unique_ptr<memlp::lp::MpsModel> mps_model;
   try {
-    if (path == "-") {
+    if (mps) {
+      if (path == "-") {
+        mps_model = std::make_unique<memlp::lp::MpsModel>(
+            memlp::lp::read_mps(std::cin, "<stdin>"));
+      } else {
+        mps_model = std::make_unique<memlp::lp::MpsModel>(
+            memlp::lp::read_mps_file(path));
+      }
+      problem = mps_model->problem;
+    } else if (path == "-") {
       std::stringstream buffer;
       buffer << std::cin.rdbuf();
       problem = memlp::lp::from_text(buffer.str());
@@ -279,18 +298,22 @@ int main(int argc, char** argv) {
   }
   const memlp::engine::SolveReport report =
       memlp::engine::solve(problem, request);
-  const memlp::lp::SolveResult& result = report.result;
+  memlp::lp::SolveResult result = report.result;
+  // MPS input: report the objective in the file's own sense (a MINIMIZE
+  // file shows its minimum, not the canonical-max negation).
+  if (mps_model != nullptr && result.optimal())
+    result.objective = mps_model->original_objective(result.x);
   print_result(result, quiet);
   if (!quiet && result.optimal() && report.has_hardware_stats) {
     const memlp::perf::HardwareModel hardware;
-    const auto cost = hardware.estimate(report.stats);
+    const auto estimate = hardware.estimate(report.stats);
     std::printf("hardware:   %zux%zu system, %zu cells written, "
                 "%zu settles, est. %.3f ms / %.3f mJ\n",
                 report.stats.system_dim, report.stats.system_dim,
                 report.stats.backend.xbar.cells_written,
                 report.stats.backend.xbar.mvm_ops +
                     report.stats.backend.xbar.solve_ops,
-                cost.latency_s * 1e3, cost.energy_j * 1e3);
+                estimate.latency_s * 1e3, estimate.energy_j * 1e3);
   }
 
   if (convergence) print_convergence(*memory_sink);
